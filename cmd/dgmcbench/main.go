@@ -1,0 +1,174 @@
+// Command dgmcbench regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	dgmcbench -experiment 1          # Figure 6: bursty, computation dominates
+//	dgmcbench -experiment 2          # Figure 7: bursty, communication dominates
+//	dgmcbench -experiment 3          # Figure 8: normal traffic
+//	dgmcbench -experiment baselines  # D-GMC vs MOSPF vs brute force
+//	dgmcbench -experiment trees      # CBT vs Steiner tree quality
+//	dgmcbench -experiment burst      # overheads vs burst size (fixed n)
+//	dgmcbench -experiment hier       # flat vs hierarchical extension
+//	dgmcbench -experiment all        # everything
+//
+// Use -graphs and -sizes to trade fidelity for speed, and -csv for
+// machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dgmc/internal/exp"
+	"dgmc/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dgmcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dgmcbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "1, 2, 3, baselines, trees, burst, hier, or all")
+	graphs := fs.Int("graphs", 20, "random graphs per network size")
+	sizes := fs.String("sizes", "20,40,60,80,100", "comma-separated network sizes")
+	events := fs.Int("events", 10, "membership events per run")
+	seed := fs.Int64("seed", 1, "base seed for the sweep")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sz, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	override := func(p *exp.Params) {
+		p.Sizes = sz
+		p.GraphsPerSize = *graphs
+		p.Events = *events
+		p.BaseSeed = *seed
+	}
+	emit := func(t *metrics.Table) error {
+		if t == nil {
+			return nil
+		}
+		if *csv {
+			if err := t.WriteCSV(w); err != nil {
+				return err
+			}
+		} else if err := t.WriteText(w); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	emitFigures := func(f exp.FigureSet) error {
+		if err := emit(f.Proposals); err != nil {
+			return err
+		}
+		if err := emit(f.Floodings); err != nil {
+			return err
+		}
+		return emit(f.Convergence)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	if all || want["1"] {
+		f, err := exp.Experiment1(override)
+		if err != nil {
+			return err
+		}
+		if err := emitFigures(f); err != nil {
+			return err
+		}
+	}
+	if all || want["2"] {
+		f, err := exp.Experiment2(override)
+		if err != nil {
+			return err
+		}
+		if err := emitFigures(f); err != nil {
+			return err
+		}
+	}
+	if all || want["3"] {
+		f, err := exp.Experiment3(override)
+		if err != nil {
+			return err
+		}
+		if err := emitFigures(f); err != nil {
+			return err
+		}
+	}
+	if all || want["baselines"] {
+		t, err := exp.Baselines(exp.DefaultBaselineParams(), override)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if all || want["trees"] {
+		t, err := exp.TreeQuality(exp.TreeQualityParams{
+			Sizes:         sz,
+			GraphsPerSize: *graphs,
+			BaseSeed:      *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if all || want["burst"] {
+		t, err := exp.BurstScaling(exp.BurstScalingParams{BaseSeed: *seed, RunsPerPoint: *graphs})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if all || want["hier"] {
+		t, err := exp.Hierarchy(exp.HierarchyParams{BaseSeed: *seed, RunsPerPoint: *graphs / 2})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("invalid size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}

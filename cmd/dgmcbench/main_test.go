@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("10, 20,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+		t.Errorf("sizes = %v", got)
+	}
+	for _, bad := range []string{"", "x", "1", "10,-5", ",,"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRunExperiment3Small(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "3", "-sizes", "10", "-graphs", "2", "-events", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Experiment 3") || !strings.Contains(out, "proposals/event") {
+		t.Errorf("output malformed:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "3", "-sizes", "10", "-graphs", "2", "-events", "4", "-csv"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "switches,proposals/event_mean") {
+		t.Errorf("csv output malformed:\n%s", sb.String())
+	}
+}
+
+func TestRunBaselinesAndTrees(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "baselines,trees", "-sizes", "10", "-graphs", "2", "-events", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "brute force") || !strings.Contains(out, "CBT") {
+		t.Errorf("output missing sections:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-sizes", "nope"}, &sb); err == nil {
+		t.Error("bad sizes accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

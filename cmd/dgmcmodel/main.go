@@ -1,0 +1,90 @@
+// Command dgmcmodel exhaustively model-checks the D-GMC protocol on a
+// small scenario: it explores every interleaving of event handling,
+// topology-computation completion, and LSA delivery, and verifies that
+// every reachable terminal state is convergent. It stands in for the
+// correctness proofs the paper omits (§3.6).
+//
+//	dgmcmodel -n 3 -scenario join@0,join@1,leave@1
+//	dgmcmodel -n 4 -scenario join@0,join@1,join@2 -max-states 50000000
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dgmc/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dgmcmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dgmcmodel", flag.ContinueOnError)
+	n := fs.Int("n", 3, "number of switches (2-4)")
+	scenario := fs.String("scenario", "join@0,join@1", "comma-separated events: join@SWITCH or leave@SWITCH")
+	maxStates := fs.Int("max-states", 0, "abort after this many states (0 = default limit)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	events, err := parseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	c := &model.Checker{N: *n, Scenario: events, MaxStates: *maxStates}
+	start := time.Now()
+	res, err := c.Check()
+	elapsed := time.Since(start)
+	var v *model.Violation
+	if errors.As(err, &v) {
+		fmt.Fprintf(w, "VIOLATION after %d states (%v):\n%v\n", res.StatesExplored, elapsed.Round(time.Millisecond), v)
+		return errors.New("protocol violation found")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scenario: %s on %d switches\n", *scenario, *n)
+	fmt.Fprintf(w, "explored: %d states in %v\n", res.StatesExplored, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "terminal: %d distinct quiescent states, all convergent\n", res.TerminalStates)
+	fmt.Fprintf(w, "peak in-flight LSAs: %d\n", res.MaxInFlight)
+	return nil
+}
+
+func parseScenario(s string) ([]model.Event, error) {
+	var out []model.Event
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		verb, swStr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad event %q (want join@N or leave@N)", part)
+		}
+		sw, err := strconv.Atoi(swStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad switch in %q", part)
+		}
+		switch verb {
+		case "join":
+			out = append(out, model.Event{Switch: sw, Kind: model.Join})
+		case "leave":
+			out = append(out, model.Event{Switch: sw, Kind: model.Leave})
+		default:
+			return nil, fmt.Errorf("unknown verb %q", verb)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty scenario")
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScenario(t *testing.T) {
+	events, err := parseScenario("join@0, leave@0,join@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[0].Switch != 0 || events[2].Switch != 2 {
+		t.Errorf("events = %v", events)
+	}
+	for _, bad := range []string{"", "join", "join@x", "frob@1", "join@"} {
+		if _, err := parseScenario(bad); err == nil {
+			t.Errorf("parseScenario(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRunConvergentScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "2", "-scenario", "join@0,join@1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "all convergent") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "9"}, &sb); err == nil {
+		t.Error("oversized model accepted")
+	}
+	if err := run([]string{"-scenario", "nope"}, &sb); err == nil {
+		t.Error("bad scenario accepted")
+	}
+	if err := run([]string{"-zzz"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-n", "3", "-scenario", "join@0,join@1,join@2", "-max-states", "5"}, &sb); err == nil {
+		t.Error("state limit not enforced")
+	}
+}

@@ -1,0 +1,171 @@
+// Command dgmcsim runs one D-GMC simulation and prints a protocol trace and
+// summary — useful for watching the protocol converge step by step.
+//
+//	dgmcsim -n 20 -events 8 -burst -trace
+//	dgmcsim -n 50 -events 12 -algorithm kmb -kind asymmetric
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dgmc/internal/core"
+	"dgmc/internal/flood"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/sim"
+	"dgmc/internal/topo"
+	"dgmc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dgmcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dgmcsim", flag.ContinueOnError)
+	n := fs.Int("n", 20, "number of switches")
+	events := fs.Int("events", 6, "membership events to inject")
+	seed := fs.Int64("seed", 1, "random seed")
+	burst := fs.Bool("burst", false, "cluster events in one round (bursty) instead of sparse")
+	algName := fs.String("algorithm", "sph", "topology algorithm: sph, kmb, spt, cbt, incremental")
+	kindName := fs.String("kind", "symmetric", "MC kind: symmetric, receiver-only, asymmetric")
+	tc := fs.Duration("tc", 500*time.Microsecond, "topology computation time Tc")
+	perHop := fs.Duration("perhop", 10*time.Microsecond, "per-hop LSA transmission time")
+	trace := fs.Bool("trace", false, "print the full protocol trace")
+	failLink := fs.Bool("faillink", false, "after convergence, fail a link on the MC tree and show the repair")
+	reopt := fs.Float64("reopt", 0, "re-optimization threshold for link recoveries (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alg, err := route.ByName(*algName)
+	if err != nil {
+		return err
+	}
+	var kind mctree.Kind
+	switch *kindName {
+	case "symmetric":
+		kind = mctree.Symmetric
+	case "receiver-only":
+		kind = mctree.ReceiverOnly
+	case "asymmetric":
+		kind = mctree.Asymmetric
+	default:
+		return fmt.Errorf("unknown MC kind %q", *kindName)
+	}
+
+	g, err := topo.Waxman(topo.DefaultGenConfig(*n, *seed))
+	if err != nil {
+		return err
+	}
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	net, err := flood.New(k, g, *perHop, flood.Direct)
+	if err != nil {
+		return err
+	}
+	tf, err := net.FloodTime()
+	if err != nil {
+		return err
+	}
+	round := tf + *tc
+
+	cfg := core.Config{
+		Net:                 net,
+		ComputeTime:         *tc,
+		Algorithm:           alg,
+		Kinds:               map[lsa.ConnID]mctree.Kind{1: kind},
+		ReoptimizeThreshold: *reopt,
+	}
+	if *trace {
+		cfg.Tracer = &core.WriterTracer{W: w}
+	}
+	d, err := core.NewDomain(k, cfg)
+	if err != nil {
+		return err
+	}
+
+	wcfg := workload.Config{N: *n, Events: *events, Seed: *seed, Start: round}
+	var evs []workload.Event
+	if *burst {
+		wcfg.Window = round
+		evs, err = workload.Bursty(wcfg)
+	} else {
+		wcfg.MeanGap = 20 * round
+		evs, err = workload.Sparse(wcfg)
+	}
+	if err != nil {
+		return err
+	}
+	if kind == mctree.Asymmetric {
+		// Root the MC: make the first join the sender, the rest receivers.
+		for i := range evs {
+			if evs[i].Join {
+				if i == 0 {
+					evs[i].Role = mctree.Sender
+				} else {
+					evs[i].Role = mctree.Receiver
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "network: %d switches, %d links, Tf=%v, Tc=%v, round=%v\n",
+		g.NumSwitches(), g.NumLinks(), tf, *tc, round)
+	for _, e := range evs {
+		verb := "leave"
+		if e.Join {
+			verb = "join"
+			d.Join(e.At, e.Switch, 1, e.Role)
+		} else {
+			d.Leave(e.At, e.Switch, 1)
+		}
+		fmt.Fprintf(w, "event: t=%-12v switch %-3d %s\n", e.At, e.Switch, verb)
+	}
+
+	st, err := k.Run()
+	if err != nil {
+		return err
+	}
+	if err := d.CheckConverged(); err != nil {
+		return fmt.Errorf("simulation did not converge: %w", err)
+	}
+
+	if *failLink {
+		if err := d.CheckConverged(); err != nil {
+			return fmt.Errorf("pre-failure state not converged: %w", err)
+		}
+		if snap, ok := d.Switch(0).Connection(1); ok && snap.Topology != nil && snap.Topology.NumEdges() > 0 {
+			edge := snap.Topology.Edges()[0]
+			fmt.Fprintf(w, "\nfailing tree link (%d,%d)\n", edge.A, edge.B)
+			d.FailLink(k.Now()+round, edge.A, edge.B)
+			if st, err = k.Run(); err != nil {
+				return err
+			}
+			repaired, _ := d.Switch(0).Connection(1)
+			fmt.Fprintf(w, "repaired topology: %s\n", repaired.Topology)
+		} else {
+			fmt.Fprintln(w, "\nno tree edges to fail")
+		}
+	}
+
+	m := d.Metrics()
+	fmt.Fprintf(w, "\nconverged at t=%v (%d kernel events)\n", st.End, st.Events)
+	fmt.Fprintf(w, "events: %d  computations: %d (%.2f/event)  floodings: %d (%.2f/event)  withdrawn: %d\n",
+		m.Events, m.Computations, float64(m.Computations)/float64(m.Events),
+		net.Floodings(), float64(net.Floodings())/float64(m.Events), m.Withdrawn)
+	if snap, ok := d.Switch(0).Connection(1); ok {
+		fmt.Fprintf(w, "members: %v\n", snap.Members.IDs())
+		fmt.Fprintf(w, "topology: %s (cost %v)\n", snap.Topology, snap.Topology.Cost(g))
+	} else {
+		fmt.Fprintln(w, "connection ended with no members")
+	}
+	return nil
+}

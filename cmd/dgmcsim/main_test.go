@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSparseSymmetric(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "12", "-events", "4", "-seed", "2"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"network:", "event:", "converged", "computations:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBurstWithTrace(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "10", "-events", "4", "-burst", "-trace"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "flood") || !strings.Contains(out, "install") {
+		t.Errorf("trace missing protocol steps:\n%s", out)
+	}
+}
+
+func TestRunAllAlgorithmsAndKinds(t *testing.T) {
+	for _, alg := range []string{"sph", "kmb", "spt", "incremental"} {
+		for _, kind := range []string{"symmetric", "receiver-only", "asymmetric"} {
+			var sb strings.Builder
+			err := run([]string{"-n", "10", "-events", "3", "-algorithm", alg, "-kind", kind}, &sb)
+			if err != nil {
+				t.Errorf("%s/%s: %v", alg, kind, err)
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-algorithm", "bogus"}, &sb); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run([]string{"-kind", "bogus"}, &sb); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if err := run([]string{"-nonsense"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunWithFailureInjection(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "12", "-events", "4", "-faillink", "-reopt", "0.1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "failing tree link") || !strings.Contains(out, "repaired topology") {
+		t.Errorf("failure injection output missing:\n%s", out)
+	}
+}

@@ -1,0 +1,89 @@
+// Command topogen generates and inspects the random network topologies
+// used by the simulation study.
+//
+//	topogen -n 40 -seed 7            # print stats
+//	topogen -n 40 -seed 7 -dot       # emit Graphviz DOT
+//	topogen -n 40 -model gnm -stats  # uniform random graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dgmc/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	n := fs.Int("n", 40, "number of switches")
+	seed := fs.Int64("seed", 1, "random seed")
+	model := fs.String("model", "waxman", "graph model: waxman or gnm")
+	degree := fs.Float64("degree", 3.5, "target average degree")
+	perHop := fs.Duration("perhop", 10*time.Microsecond, "per-hop LSA time used for the Tf estimate")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of stats")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := topo.DefaultGenConfig(*n, *seed)
+	cfg.AvgDegree = *degree
+	var g *topo.Graph
+	var err error
+	switch *model {
+	case "waxman":
+		g, err = topo.Waxman(cfg)
+	case "gnm":
+		g, err = topo.GNM(cfg)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *dot {
+		return g.WriteDOT(w, fmt.Sprintf("%s-%d-%d", *model, *n, *seed), nil)
+	}
+
+	hd, err := g.HopDiameter()
+	if err != nil {
+		return err
+	}
+	fd, err := g.FloodDiameter()
+	if err != nil {
+		return err
+	}
+	minDeg, maxDeg, sumDeg := g.NumSwitches(), 0, 0
+	for _, s := range g.Switches() {
+		d := g.Degree(s)
+		sumDeg += d
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Fprintf(w, "model:          %s (seed %d)\n", *model, *seed)
+	fmt.Fprintf(w, "switches:       %d\n", g.NumSwitches())
+	fmt.Fprintf(w, "links:          %d\n", g.NumLinks())
+	fmt.Fprintf(w, "degree:         min %d / avg %.2f / max %d\n",
+		minDeg, float64(sumDeg)/float64(g.NumSwitches()), maxDeg)
+	fmt.Fprintf(w, "hop diameter:   %d\n", hd)
+	fmt.Fprintf(w, "delay diameter: %v\n", fd)
+	// Tf including per-hop forwarding costs.
+	tf := fd + time.Duration(hd)**perHop
+	fmt.Fprintf(w, "Tf estimate:    %v (per-hop %v)\n", tf, *perHop)
+	fmt.Fprintf(w, "connected:      %v\n", g.Connected())
+	return nil
+}

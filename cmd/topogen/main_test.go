@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "20", "-seed", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"switches:", "links:", "hop diameter:", "connected:      true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "10", "-dot"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "graph ") {
+		t.Errorf("not DOT output:\n%s", sb.String())
+	}
+}
+
+func TestGNMModel(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "15", "-model", "gnm"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "model:          gnm") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "bogus"}, &sb); err == nil {
+		t.Error("bad model accepted")
+	}
+	if err := run([]string{"-n", "1"}, &sb); err == nil {
+		t.Error("degenerate size accepted")
+	}
+	if err := run([]string{"-zzz"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,18 @@
+// Package dgmc is a Go reproduction of "A Lightweight Protocol for
+// Multipoint Connections under Link-State Routing" (Huang & McKinley,
+// ICDCS 1996).
+//
+// The repository implements the D-GMC protocol (internal/core) on top of a
+// from-scratch link-state-routing substrate (internal/lsr, internal/flood,
+// internal/lsa, internal/stamp) inside a deterministic process-oriented
+// discrete-event simulator (internal/sim), together with the topology
+// algorithms it plugs in (internal/route), the baselines the paper compares
+// against (internal/mospf, internal/bruteforce, internal/cbt), and the
+// experiment harness regenerating every figure of the evaluation section
+// (internal/exp, cmd/dgmcbench).
+//
+// See README.md for a tour and DESIGN.md for the full system inventory and
+// per-experiment index. The benchmarks in bench_test.go regenerate the
+// headline number of each figure; EXPERIMENTS.md records paper-versus-
+// measured results.
+package dgmc

@@ -1,0 +1,3 @@
+module dgmc
+
+go 1.22

@@ -1,0 +1,252 @@
+// Package cbt implements a core-based tree (CBT) baseline after Ballardie's
+// protocol, which the paper discusses in §5: receiver-only MCs built as a
+// single shared tree rooted at a designated core switch. Receivers graft
+// themselves by sending a join request hop-by-hop along the unicast path
+// toward the core until it hits the tree; senders deliver packets to the
+// tree's nearest on-tree switch (the contact node), which forwards them
+// over the shared tree.
+//
+// CBT uses network resources efficiently (one tree per group) but suffers
+// from traffic concentration around the core, and core placement requires
+// topology knowledge the network may not expose — both limitations the
+// paper contrasts with D-GMC. LinkLoads quantifies the concentration.
+package cbt
+
+import (
+	"errors"
+	"fmt"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/topo"
+)
+
+// ErrNotMember is returned by Leave for a switch that never joined.
+var ErrNotMember = errors.New("cbt: not a member")
+
+// Tree is a core-based shared tree under incremental join/leave.
+type Tree struct {
+	g    *topo.Graph
+	core topo.SwitchID
+
+	// parent maps each on-tree switch to its parent toward the core; the
+	// core maps to topo.NoSwitch.
+	parent map[topo.SwitchID]topo.SwitchID
+	// members tracks which on-tree switches are group members (vs pure
+	// relays created by grafting).
+	members map[topo.SwitchID]bool
+	// joins counts hop-by-hop join-request transmissions (signaling cost).
+	joins uint64
+}
+
+// New creates an empty shared tree rooted at core.
+func New(g *topo.Graph, core topo.SwitchID) (*Tree, error) {
+	if core < 0 || int(core) >= g.NumSwitches() {
+		return nil, fmt.Errorf("cbt: core %d out of range [0,%d)", core, g.NumSwitches())
+	}
+	return &Tree{
+		g:       g,
+		core:    core,
+		parent:  map[topo.SwitchID]topo.SwitchID{core: topo.NoSwitch},
+		members: map[topo.SwitchID]bool{},
+	}, nil
+}
+
+// Core returns the core switch.
+func (t *Tree) Core() topo.SwitchID { return t.core }
+
+// Members returns the current member set, ascending.
+func (t *Tree) Members() []topo.SwitchID {
+	out := make([]topo.SwitchID, 0, len(t.members))
+	for s := range t.members {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// OnTree reports whether s is on the shared tree (member or relay).
+func (t *Tree) OnTree(s topo.SwitchID) bool {
+	_, ok := t.parent[s]
+	return ok
+}
+
+// JoinRequests returns the cumulative hop-by-hop join-request count.
+func (t *Tree) JoinRequests() uint64 { return t.joins }
+
+// Join grafts member s onto the tree: a join request travels along s's
+// unicast shortest path toward the core until it reaches an on-tree switch.
+func (t *Tree) Join(s topo.SwitchID) error {
+	if s < 0 || int(s) >= t.g.NumSwitches() {
+		return fmt.Errorf("cbt: switch %d out of range", s)
+	}
+	t.members[s] = true
+	if t.OnTree(s) {
+		return nil
+	}
+	// Unicast path from s to the core.
+	spt := t.g.ShortestPaths(s)
+	path := spt.Path(t.core)
+	if path == nil {
+		delete(t.members, s)
+		return fmt.Errorf("cbt: switch %d cannot reach core %d", s, t.core)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		t.joins++
+		cur, next := path[i], path[i+1]
+		if !t.OnTree(cur) {
+			t.parent[cur] = next
+		}
+		if t.OnTree(next) {
+			break
+		}
+	}
+	return nil
+}
+
+// Leave removes member s, pruning its branch up to the nearest switch that
+// still serves another member (or is the core).
+func (t *Tree) Leave(s topo.SwitchID) error {
+	if !t.members[s] {
+		return fmt.Errorf("%w: %d", ErrNotMember, s)
+	}
+	delete(t.members, s)
+	t.prune()
+	return nil
+}
+
+// prune removes on-tree leaves that are neither members nor the core.
+func (t *Tree) prune() {
+	for {
+		children := map[topo.SwitchID]int{}
+		for s, p := range t.parent {
+			if s != t.core && p != topo.NoSwitch {
+				children[p]++
+			}
+		}
+		trimmed := false
+		for s := range t.parent {
+			if s == t.core || t.members[s] || children[s] > 0 {
+				continue
+			}
+			delete(t.parent, s)
+			trimmed = true
+		}
+		if !trimmed {
+			return
+		}
+	}
+}
+
+// MCTree exports the shared tree as an mctree.Tree (receiver-only kind,
+// root = core).
+func (t *Tree) MCTree() *mctree.Tree {
+	out := mctree.NewWithRoot(mctree.ReceiverOnly, t.core)
+	for s, p := range t.parent {
+		if p != topo.NoSwitch {
+			out.AddEdge(s, p)
+		}
+	}
+	return out
+}
+
+// ContactNode returns the first on-tree switch along sender's unicast path
+// toward the core — where a non-member sender's packets enter the MC
+// (stage one of the paper's receiver-only delivery).
+func (t *Tree) ContactNode(sender topo.SwitchID) (topo.SwitchID, error) {
+	if t.OnTree(sender) {
+		return sender, nil
+	}
+	spt := t.g.ShortestPaths(sender)
+	path := spt.Path(t.core)
+	if path == nil {
+		return topo.NoSwitch, fmt.Errorf("cbt: sender %d cannot reach core %d", sender, t.core)
+	}
+	for _, s := range path {
+		if t.OnTree(s) {
+			return s, nil
+		}
+	}
+	return t.core, nil
+}
+
+// LinkLoad maps links to the number of packet traversals per round of
+// traffic (each sender sending one packet to the whole group).
+type LinkLoad map[mctree.Edge]float64
+
+// Max returns the largest per-link load, the traffic-concentration metric.
+func (l LinkLoad) Max() float64 {
+	var m float64
+	for _, v := range l {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Total returns the summed load over all links (total bandwidth consumed).
+func (l LinkLoad) Total() float64 {
+	var t float64
+	for _, v := range l {
+		t += v
+	}
+	return t
+}
+
+// SharedTreeLoads computes per-link loads when every sender delivers one
+// packet to all receivers over the shared tree: the sender's packet travels
+// unicast to its contact node, then floods the tree.
+func (t *Tree) SharedTreeLoads(senders []topo.SwitchID) (LinkLoad, error) {
+	loads := LinkLoad{}
+	tree := t.MCTree()
+	for _, snd := range senders {
+		contact, err := t.ContactNode(snd)
+		if err != nil {
+			return nil, err
+		}
+		// Unicast leg to the contact node.
+		if contact != snd {
+			spt := t.g.ShortestPaths(snd)
+			path := spt.Path(contact)
+			for i := 0; i+1 < len(path); i++ {
+				loads[mctree.NewEdge(path[i], path[i+1])]++
+			}
+		}
+		// Tree flood: every tree edge carries the packet once.
+		for _, e := range tree.Edges() {
+			loads[e]++
+		}
+	}
+	return loads, nil
+}
+
+// SourceTreeLoads computes per-link loads for the same traffic pattern when
+// each sender uses its own shortest-path tree to the receivers (the
+// per-source alternative CBT is compared against).
+func SourceTreeLoads(g *topo.Graph, senders, receivers []topo.SwitchID) (LinkLoad, error) {
+	loads := LinkLoad{}
+	for _, snd := range senders {
+		spt := g.ShortestPaths(snd)
+		edges := map[mctree.Edge]bool{}
+		for _, rcv := range receivers {
+			if rcv == snd {
+				continue
+			}
+			path := spt.Path(rcv)
+			if path == nil {
+				return nil, fmt.Errorf("cbt: receiver %d unreachable from sender %d", rcv, snd)
+			}
+			for i := 0; i+1 < len(path); i++ {
+				edges[mctree.NewEdge(path[i], path[i+1])] = true
+			}
+		}
+		for e := range edges {
+			loads[e]++
+		}
+	}
+	return loads, nil
+}

@@ -1,0 +1,235 @@
+package cbt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/topo"
+)
+
+func lineTree(t *testing.T, n int, core topo.SwitchID) (*topo.Graph, *Tree) {
+	t.Helper()
+	g, err := topo.Line(n, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(g, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr
+}
+
+func TestNewValidation(t *testing.T) {
+	g, err := topo.Line(3, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(g, -1); err == nil {
+		t.Error("negative core accepted")
+	}
+	if _, err := New(g, 3); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	tr, err := New(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Core() != 1 || !tr.OnTree(1) {
+		t.Error("core not on its own tree")
+	}
+}
+
+func TestJoinGraftsTowardCore(t *testing.T) {
+	g, tr := lineTree(t, 5, 2)
+	if err := tr.Join(0); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.OnTree(0) || !tr.OnTree(1) {
+		t.Error("graft path incomplete")
+	}
+	if tr.JoinRequests() != 2 {
+		t.Errorf("join requests = %d, want 2 hops", tr.JoinRequests())
+	}
+	if err := tr.Join(4); err != nil {
+		t.Fatal(err)
+	}
+	mc := tr.MCTree()
+	if mc.NumEdges() != 4 {
+		t.Errorf("tree = %v", mc)
+	}
+	if err := mc.Validate(g, mctree.Members{0: mctree.Receiver, 4: mctree.Receiver}); err != nil {
+		t.Errorf("tree invalid: %v", err)
+	}
+	// Joining an already-on-tree switch adds no signaling.
+	pre := tr.JoinRequests()
+	if err := tr.Join(1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.JoinRequests() != pre {
+		t.Error("redundant join generated requests")
+	}
+	members := tr.Members()
+	if len(members) != 3 || members[0] != 0 || members[1] != 1 || members[2] != 4 {
+		t.Errorf("members = %v", members)
+	}
+}
+
+func TestJoinStopsAtExistingTree(t *testing.T) {
+	// Grid: second join should graft to the nearest tree switch, not the core.
+	g, err := topo.Grid(3, 3, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(g, 4) // center
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Join(0); err != nil {
+		t.Fatal(err)
+	}
+	pre := tr.JoinRequests()
+	if err := tr.Join(6); err != nil { // 6 is adjacent to 3; path 6-3-4 or 6-7-4
+		t.Fatal(err)
+	}
+	if tr.JoinRequests()-pre > 2 {
+		t.Errorf("join used %d hops, expected at most 2", tr.JoinRequests()-pre)
+	}
+}
+
+func TestLeavePrunesExclusiveBranch(t *testing.T) {
+	_, tr := lineTree(t, 5, 2)
+	if err := tr.Join(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Join(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.OnTree(0) || tr.OnTree(1) {
+		t.Error("branch not pruned")
+	}
+	if !tr.OnTree(3) || !tr.OnTree(4) {
+		t.Error("other branch damaged")
+	}
+	if err := tr.Leave(0); !errors.Is(err, ErrNotMember) {
+		t.Errorf("double leave err = %v", err)
+	}
+}
+
+func TestLeaveKeepsSharedRelays(t *testing.T) {
+	_, tr := lineTree(t, 5, 0)
+	if err := tr.Join(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Join(4); err != nil {
+		t.Fatal(err)
+	}
+	// 2 relays for 4; leaving 2 must keep switch 2 as relay.
+	if err := tr.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.OnTree(2) || !tr.OnTree(3) || !tr.OnTree(4) {
+		t.Error("relay pruned while still needed")
+	}
+	if err := tr.Leave(4); err != nil {
+		t.Fatal(err)
+	}
+	if tr.OnTree(4) || tr.OnTree(1) {
+		t.Error("tree not fully pruned after last leave")
+	}
+}
+
+func TestContactNode(t *testing.T) {
+	_, tr := lineTree(t, 6, 0)
+	if err := tr.Join(2); err != nil {
+		t.Fatal(err)
+	}
+	// Sender 5 is off-tree; its path to core 0 first touches the tree at 2.
+	cn, err := tr.ContactNode(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn != 2 {
+		t.Errorf("contact node = %d, want 2", cn)
+	}
+	cn, err = tr.ContactNode(1) // on-tree switch is its own contact
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn != 1 {
+		t.Errorf("contact node = %d, want 1", cn)
+	}
+}
+
+func TestTrafficConcentrationAtCore(t *testing.T) {
+	// On a shared tree every link carries every sender's packet, so the
+	// maximum link load always equals the sender count — that is the
+	// traffic concentration §5 describes. Per-source trees spread load
+	// across diverse paths, so their maximum is at most the sender count
+	// and strictly lower on irregular (Waxman) topologies.
+	g, err := topo.Waxman(topo.DefaultGenConfig(40, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []topo.SwitchID{5, 12, 19, 26, 33, 39}
+	for _, r := range members {
+		if err := tr.Join(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	senders := members // symmetric conversation over the shared tree
+	shared, err := tr.SharedTreeLoads(senders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source, err := SourceTreeLoads(g, senders, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Max() != float64(len(senders)) {
+		t.Errorf("shared-tree max load = %.1f, want %d (all senders on every link)",
+			shared.Max(), len(senders))
+	}
+	if source.Max() >= shared.Max() {
+		t.Errorf("expected concentration relief from source trees: shared max %.1f vs source max %.1f",
+			shared.Max(), source.Max())
+	}
+	if shared.Total() <= 0 || source.Total() <= 0 {
+		t.Error("loads empty")
+	}
+}
+
+func TestJoinUnreachableCore(t *testing.T) {
+	g, err := topo.Line(4, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetLinkDown(1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Join(3); err == nil {
+		t.Error("join across partition succeeded")
+	}
+	if len(tr.Members()) != 0 {
+		t.Error("failed join left membership state")
+	}
+	if _, err := tr.ContactNode(3); err == nil {
+		t.Error("contact node across partition succeeded")
+	}
+	if err := tr.Join(-1); err == nil {
+		t.Error("out-of-range join accepted")
+	}
+}

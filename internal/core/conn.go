@@ -1,0 +1,97 @@
+package core
+
+import (
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/stamp"
+)
+
+// connState is one switch's protocol state for one multipoint connection:
+// the member list, the three vector timestamps, the installed topology, and
+// the shared makeProposal flag (paper §3.2–3.3).
+type connState struct {
+	id      lsa.ConnID
+	kind    mctree.Kind
+	members mctree.Members
+
+	r, e, c stamp.Stamp
+
+	// topology is the currently installed MC topology (nil before the
+	// first accepted proposal).
+	topology *mctree.Tree
+
+	// makeProposal is the flag shared between EventHandler and ReceiveLSA:
+	// true when this switch owes the network a topology proposal.
+	makeProposal bool
+
+	// lastDelta remembers the most recent membership change applied, as a
+	// hint for incremental topology updates. nil forces from-scratch.
+	lastDelta *route.Change
+
+	// installs counts accepted/installed topologies (for convergence
+	// bookkeeping and metrics).
+	installs uint64
+
+	// dormant marks state for a connection whose member list has emptied
+	// (§3.4 "destroyed"). The heavy state (members, topology) is gone, but
+	// the event counters persist — like OSPF LSA sequence numbers — so
+	// that LSAs still in flight when the last member left cannot be
+	// mistaken for a fresh incarnation of the connection. A new event
+	// resurrects the state.
+	dormant bool
+}
+
+func newConnState(id lsa.ConnID, kind mctree.Kind, n int) *connState {
+	return &connState{
+		id:      id,
+		kind:    kind,
+		members: make(mctree.Members),
+		r:       stamp.New(n),
+		e:       stamp.New(n),
+		c:       stamp.New(n),
+	}
+}
+
+// applyMembership updates the member list for an event LSA from src.
+// Link events do not change membership (Figure 5 line 8).
+func (cs *connState) applyMembership(event lsa.Event, src int, role mctree.Role) {
+	switch event {
+	case lsa.Join:
+		cs.members[switchID(src)] = role
+		cs.lastDelta = &route.Change{Switch: switchID(src), Join: true}
+	case lsa.Leave:
+		delete(cs.members, switchID(src))
+		cs.lastDelta = &route.Change{Switch: switchID(src), Join: false}
+	case lsa.Link:
+		cs.lastDelta = nil // force from-scratch around the failed link
+	}
+}
+
+// Snapshot is a read-only copy of a connection's state, for inspection by
+// tests, metrics, and tools.
+type Snapshot struct {
+	Conn     lsa.ConnID
+	Kind     mctree.Kind
+	Members  mctree.Members
+	R, E, C  stamp.Stamp
+	Topology *mctree.Tree
+	Installs uint64
+}
+
+func (cs *connState) snapshot() Snapshot {
+	var topoCopy *mctree.Tree
+	if cs.topology != nil {
+		topoCopy = cs.topology.Clone()
+	}
+	return Snapshot{
+		Conn:     cs.id,
+		Kind:     cs.kind,
+		Members:  cs.members.Clone(),
+		R:        cs.r.Clone(),
+		E:        cs.e.Clone(),
+		C:        cs.c.Clone(),
+		Topology: topoCopy,
+		Installs: cs.installs,
+	}
+}

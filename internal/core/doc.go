@@ -1,0 +1,50 @@
+// Package core implements D-GMC, the distributed generic multipoint-
+// connection protocol of Huang & McKinley (ICDCS 1996) — the paper's
+// primary contribution.
+//
+// # Protocol overview
+//
+// D-GMC constructs and maintains multipoint connections (MCs) under
+// link-state routing. Membership changes and link/nodal events are flooded
+// to all switches as MC LSAs; only the switch that detects an event
+// computes a new MC topology, and the resulting proposal rides inside the
+// flooded LSA. In the common case each event therefore costs one topology
+// computation and one flooding operation network-wide, versus one
+// computation per switch for MOSPF-style or brute-force event-driven
+// protocols.
+//
+// Conflicting concurrent events are reconciled with vector timestamps.
+// Per MC, every switch keeps three n-component stamps:
+//
+//   - R (received): R[y] counts events heard from switch y,
+//   - E (expected): the componentwise max of R and every LSA timestamp
+//     seen — events known to exist somewhere in the network,
+//   - C (current): the event set the installed topology is based on.
+//
+// Two protocol entities run at each switch:
+//
+//   - EventHandler is invoked for each local event (host join/leave via
+//     the ingress switch, or a detected link event) and corresponds to
+//     Figure 4 of the paper;
+//   - ReceiveLSA drains the switch's LSA mailbox and corresponds to
+//     Figure 5.
+//
+// Both entities may compute and flood a topology proposal, guarded by
+// timestamp comparisons and a per-connection makeProposal flag. A proposal
+// computed from a stale basis (the R stamp advanced during the
+// computation, or LSAs are queued) is withdrawn rather than flooded.
+//
+// # Mapping to the simulator
+//
+// Each switch runs two sim processes sharing the switch state — exactly
+// the concurrency model of the paper, where timestamp accesses are atomic
+// between the two entities (our kernel's cooperative scheduling yields
+// only inside Hold, i.e. during topology computations, which is when the
+// paper's protocol must tolerate interleaving and does so via the old_R
+// checks). Topology computation occupies Tc of virtual time; flooding is
+// provided by internal/flood.
+//
+// The protocol is independent of the topology-computation algorithm
+// (internal/route) and serves symmetric, receiver-only, and asymmetric MCs
+// with the same code.
+package core

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dgmc/internal/flood"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/sim"
+	"dgmc/internal/topo"
+)
+
+// Metrics aggregates protocol activity network-wide. Flooding operations
+// are counted by the flood.Network; everything else here.
+type Metrics struct {
+	// Events counts EventHandler invocations (one per event per MC).
+	Events uint64
+	// Computations counts topology computations (proposals computed,
+	// whether or not they survive to flooding).
+	Computations uint64
+	// Withdrawn counts proposals computed but withdrawn as obsolete.
+	Withdrawn uint64
+	// Installs counts topology installations across all switches.
+	Installs uint64
+	// MCLSAs and NonMCLSAs count originated advertisements.
+	MCLSAs    uint64
+	NonMCLSAs uint64
+	// ReoptChecks counts re-optimization estimates run on link recovery
+	// (each also counts as a Computation).
+	ReoptChecks uint64
+}
+
+// Config configures a D-GMC domain.
+type Config struct {
+	// Net is the flooding fabric (carries the network graph). Required.
+	Net *flood.Network
+	// ComputeTime is Tc, the virtual time a topology computation takes.
+	ComputeTime sim.Time
+	// Algorithm computes MC topologies. Required.
+	Algorithm route.Algorithm
+	// Kinds maps connection IDs to their MC type. Connections not listed
+	// default to Symmetric. (Deployments derive the type from the group
+	// address range; the simulation declares it up front.)
+	Kinds map[lsa.ConnID]mctree.Kind
+	// Tracer observes protocol activity; nil disables tracing.
+	Tracer Tracer
+	// EncodeLSAs floods advertisements in their binary wire format instead
+	// of as in-memory structs, exercising the lsa codec end-to-end. Off by
+	// default because it only costs simulation time.
+	EncodeLSAs bool
+	// ReoptimizeThreshold enables §3.5's re-optimization policy: when a
+	// link recovers, the detecting switch estimates a fresh topology for
+	// each live connection and, if the installed tree costs more than
+	// (1+threshold)× the fresh one, signals a link event so the network
+	// re-converges on the better tree. Zero disables re-optimization
+	// (recoveries then only update unicast images, as adverse changes are
+	// the only mandatory triggers).
+	ReoptimizeThreshold float64
+}
+
+// Domain is a network of switches all running the D-GMC protocol inside
+// one simulation kernel.
+type Domain struct {
+	k           *sim.Kernel
+	net         *flood.Network
+	computeTime sim.Time
+	algorithm   route.Algorithm
+	kinds       map[lsa.ConnID]mctree.Kind
+	tracer      Tracer
+	encodeLSAs  bool
+	reoptThresh float64
+	n           int
+
+	switches []*Switch
+	metrics  *Metrics
+
+	lastInstall sim.Time
+}
+
+// NewDomain builds the per-switch protocol state and spawns the two
+// protocol entities on every switch.
+func NewDomain(k *sim.Kernel, cfg Config) (*Domain, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("core: Config.Net is required")
+	}
+	if cfg.Algorithm == nil {
+		return nil, errors.New("core: Config.Algorithm is required")
+	}
+	if cfg.ComputeTime < 0 {
+		return nil, fmt.Errorf("core: negative compute time %v", cfg.ComputeTime)
+	}
+	if cfg.ReoptimizeThreshold < 0 {
+		return nil, fmt.Errorf("core: negative re-optimization threshold %v", cfg.ReoptimizeThreshold)
+	}
+	d := &Domain{
+		k:           k,
+		net:         cfg.Net,
+		computeTime: cfg.ComputeTime,
+		algorithm:   cfg.Algorithm,
+		kinds:       cfg.Kinds,
+		tracer:      cfg.Tracer,
+		encodeLSAs:  cfg.EncodeLSAs,
+		reoptThresh: cfg.ReoptimizeThreshold,
+		n:           cfg.Net.Graph().NumSwitches(),
+		metrics:     &Metrics{},
+	}
+	d.switches = make([]*Switch, d.n)
+	for i := 0; i < d.n; i++ {
+		sw, err := newSwitch(d, topo.SwitchID(i))
+		if err != nil {
+			return nil, err
+		}
+		d.switches[i] = sw
+		k.Spawn(fmt.Sprintf("dgmc-%d-events", i), sw.eventLoop)
+		k.Spawn(fmt.Sprintf("dgmc-%d-lsa", i), sw.lsaLoop)
+	}
+	return d, nil
+}
+
+// kindOf returns the declared MC type for conn (default Symmetric).
+func (d *Domain) kindOf(conn lsa.ConnID) mctree.Kind {
+	if k, ok := d.kinds[conn]; ok {
+		return k
+	}
+	return mctree.Symmetric
+}
+
+// Switch returns switch s.
+func (d *Domain) Switch(s topo.SwitchID) *Switch { return d.switches[s] }
+
+// NumSwitches returns the domain size.
+func (d *Domain) NumSwitches() int { return d.n }
+
+// Metrics returns the live metrics (valid to read when the kernel is idle).
+func (d *Domain) Metrics() *Metrics { return d.metrics }
+
+// Network returns the flooding fabric.
+func (d *Domain) Network() *flood.Network { return d.net }
+
+// LastInstall returns the virtual time of the most recent topology
+// installation anywhere in the domain — the convergence instant once the
+// simulation is quiescent.
+func (d *Domain) LastInstall() sim.Time { return d.lastInstall }
+
+func (d *Domain) noteInstall() { d.lastInstall = d.k.Now() }
+
+// Join schedules a host-driven join of connection conn at ingress switch s
+// with the given role, at virtual time at.
+func (d *Domain) Join(at sim.Time, s topo.SwitchID, conn lsa.ConnID, role mctree.Role) {
+	d.switches[s].events.Send(localEvent{conn: conn, kind: lsa.Join, role: role}, at-d.k.Now())
+}
+
+// Leave schedules a host-driven leave of connection conn at switch s.
+func (d *Domain) Leave(at sim.Time, s topo.SwitchID, conn lsa.ConnID) {
+	d.switches[s].events.Send(localEvent{conn: conn, kind: lsa.Leave}, at-d.k.Now())
+}
+
+// FailLink schedules a failure of link (a,b), detected by switch a.
+func (d *Domain) FailLink(at sim.Time, a, b topo.SwitchID) {
+	d.switches[a].events.Send(localEvent{kind: lsa.Link, link: lsa.LinkChange{A: a, B: b, Down: true}}, at-d.k.Now())
+}
+
+// RestoreLink schedules a recovery of link (a,b), detected by switch a.
+func (d *Domain) RestoreLink(at sim.Time, a, b topo.SwitchID) {
+	d.switches[a].events.Send(localEvent{kind: lsa.Link, link: lsa.LinkChange{A: a, B: b, Down: false}}, at-d.k.Now())
+}
+
+// FailSwitch schedules a nodal failure of switch s at time at: every link
+// incident to s fails, each detected independently by its surviving
+// neighbour — the paper's "nodal events". The failed switch keeps its
+// stale state but is cut off from all further flooding.
+func (d *Domain) FailSwitch(at sim.Time, s topo.SwitchID) {
+	for _, nb := range d.net.Graph().Neighbors(s) {
+		d.switches[nb].events.Send(
+			localEvent{kind: lsa.Link, link: lsa.LinkChange{A: nb, B: s, Down: true}},
+			at-d.k.Now())
+	}
+}
+
+// trace forwards to the configured tracer, if any.
+func (d *Domain) trace(kind TraceKind, sw topo.SwitchID, conn lsa.ConnID, format string, args ...any) {
+	if d.tracer == nil {
+		return
+	}
+	d.tracer.Trace(TraceEntry{
+		At:     d.k.Now(),
+		Kind:   kind,
+		Switch: sw,
+		Conn:   conn,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// CheckConverged verifies that the domain has reached consensus. Because
+// flooding cannot cross failed links, consistency is required within each
+// connected component of the (current) network: inside a component, every
+// switch must hold identical member lists, identical C stamps with
+// C == R == E, and identical installed topologies; each topology must be a
+// valid tree spanning the component's reachable members. Call it only when
+// the kernel is quiescent.
+func (d *Domain) CheckConverged() error {
+	seen := make(map[topo.SwitchID]bool, d.n)
+	var comps [][]topo.SwitchID
+	maxSize := 0
+	for s := 0; s < d.n; s++ {
+		start := topo.SwitchID(s)
+		if seen[start] {
+			continue
+		}
+		comp := d.net.Graph().Component(start)
+		for _, c := range comp {
+			seen[c] = true
+		}
+		comps = append(comps, comp)
+		if len(comp) > maxSize {
+			maxSize = len(comp)
+		}
+	}
+	for _, comp := range comps {
+		inComp := make(map[topo.SwitchID]bool, len(comp))
+		for _, c := range comp {
+			inComp[c] = true
+		}
+		// Majority components must satisfy the full quiescence invariant;
+		// minority fragments (e.g. a failed switch cut off mid-flood) may
+		// hold legitimately stale state and are checked for internal
+		// agreement only — the paper defers partition recovery (§6).
+		strict := len(comp) == maxSize
+		if err := d.checkComponent(comp, inComp, strict); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkComponent verifies consensus among the switches of one component.
+func (d *Domain) checkComponent(comp []topo.SwitchID, inComp map[topo.SwitchID]bool, strict bool) error {
+	conns := map[lsa.ConnID]bool{}
+	for _, s := range comp {
+		for _, id := range d.switches[s].Connections() {
+			conns[id] = true
+		}
+	}
+	for conn := range conns {
+		var ref *Snapshot
+		var refSwitch topo.SwitchID
+		for _, s := range comp {
+			sw := d.switches[s]
+			snap, ok := sw.Connection(conn)
+			if !ok {
+				return fmt.Errorf("core: switch %d has no state for conn %d", sw.ID(), conn)
+			}
+			if strict && (!snap.R.Equal(snap.E) || !snap.R.Equal(snap.C)) {
+				return fmt.Errorf("core: switch %d conn %d stamps diverge: R=%s E=%s C=%s",
+					sw.ID(), conn, snap.R, snap.E, snap.C)
+			}
+			if ref == nil {
+				sn := snap
+				ref = &sn
+				refSwitch = sw.ID()
+				continue
+			}
+			if !snap.C.Equal(ref.C) {
+				return fmt.Errorf("core: conn %d: switch %d C=%s but switch %d C=%s",
+					conn, sw.ID(), snap.C, refSwitch, ref.C)
+			}
+			if !snap.Members.Equal(ref.Members) {
+				return fmt.Errorf("core: conn %d: member lists diverge between switches %d and %d",
+					conn, sw.ID(), refSwitch)
+			}
+			if (snap.Topology == nil) != (ref.Topology == nil) ||
+				(snap.Topology != nil && !snap.Topology.Equal(ref.Topology)) {
+				return fmt.Errorf("core: conn %d: topologies diverge between switches %d and %d: %v vs %v",
+					conn, sw.ID(), refSwitch, snap.Topology, ref.Topology)
+			}
+		}
+		if strict && ref != nil && ref.Topology != nil {
+			// The topology serves the members this component can reach.
+			local := make(mctree.Members, len(ref.Members))
+			for m, role := range ref.Members {
+				if inComp[m] {
+					local[m] = role
+				}
+			}
+			if err := ref.Topology.Validate(d.net.Graph(), local); err != nil {
+				return fmt.Errorf("core: conn %d: converged topology invalid: %w", conn, err)
+			}
+		}
+	}
+	return nil
+}

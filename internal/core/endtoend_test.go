@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dgmc/internal/deliver"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/topo"
+)
+
+// TestConvergedTreesCarryTraffic drives the full loop: the protocol
+// converges on topologies for all three MC kinds, then the data plane
+// delivers packets over exactly those trees — every receiver reached once,
+// senders policed per kind.
+func TestConvergedTreesCarryTraffic(t *testing.T) {
+	g, err := topo.Waxman(topo.DefaultGenConfig(30, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[lsa.ConnID]mctree.Kind{
+		1: mctree.Symmetric,
+		2: mctree.ReceiverOnly,
+		3: mctree.Asymmetric,
+	}
+	f := newFixture(t, g, func(c *Config) { c.Kinds = kinds })
+
+	at := time.Duration(0)
+	step := func() time.Duration { at += 2 * time.Millisecond; return at }
+	// Symmetric conference.
+	confMembers := []topo.SwitchID{1, 8, 15, 22}
+	for _, s := range confMembers {
+		f.d.Join(step(), s, 1, mctree.SenderReceiver)
+	}
+	// Receiver-only feed.
+	feedMembers := []topo.SwitchID{4, 12, 27}
+	for _, s := range feedMembers {
+		f.d.Join(step(), s, 2, mctree.Receiver)
+	}
+	// Asymmetric broadcast.
+	f.d.Join(step(), 6, 3, mctree.Sender)
+	for _, s := range []topo.SwitchID{0, 19, 29} {
+		f.d.Join(step(), s, 3, mctree.Receiver)
+	}
+	f.run(t)
+	if err := f.d.CheckConverged(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Symmetric: every member can reach every other member.
+	conf, _ := f.d.Switch(0).Connection(1)
+	for _, src := range confMembers {
+		rep, err := deliver.Multicast(g, conf.Topology, conf.Members, src)
+		if err != nil {
+			t.Fatalf("symmetric send from %d: %v", src, err)
+		}
+		if len(rep.Latency) != len(confMembers)-1 {
+			t.Errorf("symmetric from %d reached %d members", src, len(rep.Latency))
+		}
+	}
+
+	// Receiver-only: an arbitrary off-tree switch can publish via a contact
+	// node.
+	feed, _ := f.d.Switch(0).Connection(2)
+	var publisher topo.SwitchID = topo.NoSwitch
+	for _, s := range g.Switches() {
+		if !feed.Topology.On(s) {
+			publisher = s
+			break
+		}
+	}
+	if publisher == topo.NoSwitch {
+		t.Skip("feed tree spans the whole network")
+	}
+	rep, err := deliver.Multicast(g, feed.Topology, feed.Members, publisher)
+	if err != nil {
+		t.Fatalf("receiver-only publish from %d: %v", publisher, err)
+	}
+	if len(rep.Latency) != len(feedMembers) {
+		t.Errorf("feed reached %d of %d members", len(rep.Latency), len(feedMembers))
+	}
+	if rep.Contact == publisher {
+		t.Error("off-tree publisher needed no contact node?")
+	}
+
+	// Asymmetric: the sender reaches all receivers; receivers are policed.
+	bc, _ := f.d.Switch(0).Connection(3)
+	rep, err = deliver.Multicast(g, bc.Topology, bc.Members, 6)
+	if err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	if len(rep.Latency) != 3 {
+		t.Errorf("broadcast reached %d receivers", len(rep.Latency))
+	}
+	if _, err := deliver.Multicast(g, bc.Topology, bc.Members, 19); err == nil {
+		t.Error("receiver allowed to broadcast")
+	}
+
+	// After a link failure and repair, traffic still flows everywhere.
+	edge := conf.Topology.Edges()[0]
+	f.d.FailLink(at+10*time.Millisecond, edge.A, edge.B)
+	f.run(t)
+	if err := f.d.CheckConverged(); err != nil {
+		t.Fatal(err)
+	}
+	conf, _ = f.d.Switch(0).Connection(1)
+	if _, err := deliver.Multicast(g, conf.Topology, conf.Members, confMembers[0]); err != nil {
+		t.Errorf("post-repair delivery: %v", err)
+	}
+}
+
+// TestDelayBoundedUnderProtocol runs the protocol with the QoS-constrained
+// algorithm: every installed topology must honour the delay bound — the
+// §2 argument that an event-driven protocol can negotiate QoS before data
+// flows.
+func TestDelayBoundedUnderProtocol(t *testing.T) {
+	g, err := topo.Waxman(topo.DefaultGenConfig(25, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 200 * time.Microsecond // loose enough to be satisfiable
+	f := newFixture(t, g, func(c *Config) {
+		c.Algorithm = route.DelayBounded{Bound: bound}
+	})
+	members := []topo.SwitchID{2, 7, 13, 19, 24}
+	for i, s := range members {
+		f.d.Join(time.Duration(i)*3*time.Millisecond, s, 1, mctree.SenderReceiver)
+	}
+	f.run(t)
+	if err := f.d.CheckConverged(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := f.d.Switch(0).Connection(1)
+	root := snap.Topology.Root
+	if root == topo.NoSwitch {
+		root = snap.Members.IDs()[0]
+	}
+	for _, m := range snap.Members.IDs() {
+		if m == root {
+			continue
+		}
+		if d := snap.Topology.PathDelay(g, root, m); d < 0 || d > bound {
+			t.Errorf("member %d at %v violates bound %v", m, d, bound)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"dgmc/internal/deliver"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/sim"
+	"dgmc/internal/topo"
+)
+
+// TestSoakLargeNetwork drives a 100-switch network through heavy mixed
+// churn on three connections of different kinds, with link and nodal
+// failures injected mid-run, and requires full convergence plus working
+// data-plane delivery at the end. This is the "everything at once"
+// integration test.
+func TestSoakLargeNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	g, err := topo.Waxman(topo.DefaultGenConfig(100, 2026))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[lsa.ConnID]mctree.Kind{
+		1: mctree.Symmetric,
+		2: mctree.ReceiverOnly,
+		3: mctree.Asymmetric,
+	}
+	f := newFixture(t, g, func(c *Config) {
+		c.Kinds = kinds
+		c.Algorithm = route.NewIncremental(route.SPH{})
+		c.EncodeLSAs = true // full wire format under load
+	})
+	rng := rand.New(rand.NewSource(99))
+
+	members := map[lsa.ConnID]map[topo.SwitchID]bool{1: {}, 2: {}, 3: {}}
+	// Seed the asymmetric connection with its sender.
+	f.d.Join(0, 50, 3, mctree.Sender)
+	members[3][50] = true
+
+	at := sim.Time(time.Millisecond)
+	for i := 0; i < 40; i++ {
+		// Alternate tight bursts and quiet gaps.
+		if i%8 < 4 {
+			at += sim.Time(rng.Intn(int(200 * time.Microsecond)))
+		} else {
+			at += sim.Time(rng.Intn(int(20 * time.Millisecond)))
+		}
+		conn := lsa.ConnID(1 + rng.Intn(3))
+		ms := members[conn]
+		if len(ms) > 1 && rng.Intn(4) == 0 {
+			ids := make([]topo.SwitchID, 0, len(ms))
+			for s := range ms {
+				ids = append(ids, s)
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			victim := ids[rng.Intn(len(ids))]
+			if conn == 3 && victim == 50 {
+				continue // keep the broadcast sender
+			}
+			f.d.Leave(at, victim, conn)
+			delete(ms, victim)
+			continue
+		}
+		s := topo.SwitchID(rng.Intn(100))
+		if ms[s] {
+			continue
+		}
+		role := mctree.SenderReceiver
+		if conn == 2 || conn == 3 {
+			role = mctree.Receiver
+		}
+		f.d.Join(at, s, conn, role)
+		ms[s] = true
+	}
+
+	// Two link failures on redundant links, spaced out.
+	failed := 0
+	for _, l := range g.Links() {
+		if failed == 2 {
+			break
+		}
+		trial := g.Clone()
+		if err := trial.SetLinkDown(l.A, l.B, true); err != nil {
+			t.Fatal(err)
+		}
+		if !trial.Connected() {
+			continue
+		}
+		at += 30 * time.Millisecond
+		f.d.FailLink(at, l.A, l.B)
+		if err := g.SetLinkDown(l.A, l.B, true); err != nil { // keep trial baseline accurate
+			t.Fatal(err)
+		}
+		if err := g.SetLinkDown(l.A, l.B, false); err != nil {
+			t.Fatal(err)
+		}
+		failed++
+	}
+
+	f.run(t)
+	if err := f.d.CheckConverged(); err != nil {
+		t.Fatalf("soak did not converge: %v", err)
+	}
+
+	// Data-plane verification on every connection.
+	for conn := lsa.ConnID(1); conn <= 3; conn++ {
+		snap, ok := f.d.Switch(0).Connection(conn)
+		if !ok || len(snap.Members) == 0 {
+			continue
+		}
+		var src topo.SwitchID = topo.NoSwitch
+		for _, m := range snap.Members.IDs() {
+			if snap.Members[m].CanSend() {
+				src = m
+				break
+			}
+		}
+		if src == topo.NoSwitch {
+			if snap.Kind != mctree.ReceiverOnly {
+				continue
+			}
+			src = 0 // receiver-only: anyone can publish
+		}
+		if _, err := deliver.Multicast(g, snap.Topology, snap.Members, src); err != nil {
+			t.Errorf("conn %d delivery: %v", conn, err)
+		}
+	}
+
+	m := f.d.Metrics()
+	t.Logf("soak: %d events, %d computations (%.2f/event), %d floodings, %d withdrawn",
+		m.Events, m.Computations, float64(m.Computations)/float64(m.Events),
+		f.net.Floodings(), m.Withdrawn)
+	if m.Computations > m.Events*30 {
+		t.Errorf("computation overhead exploded: %d computations for %d events", m.Computations, m.Events)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/sim"
+	"dgmc/internal/topo"
+)
+
+// TraceKind classifies protocol trace entries.
+type TraceKind uint8
+
+const (
+	// TraceEvent: a local event entered EventHandler.
+	TraceEvent TraceKind = iota + 1
+	// TraceRecv: an MC LSA was consumed by ReceiveLSA.
+	TraceRecv
+	// TraceCompute: a topology computation started.
+	TraceCompute
+	// TraceFlood: an MC LSA was flooded.
+	TraceFlood
+	// TraceInstall: a topology was installed.
+	TraceInstall
+	// TraceWithdraw: a computed proposal was withdrawn as obsolete.
+	TraceWithdraw
+	// TraceDestroy: connection state was deleted (empty member list).
+	TraceDestroy
+	// TraceError: a protocol-level error was logged and absorbed.
+	TraceError
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceEvent:
+		return "event"
+	case TraceRecv:
+		return "recv"
+	case TraceCompute:
+		return "compute"
+	case TraceFlood:
+		return "flood"
+	case TraceInstall:
+		return "install"
+	case TraceWithdraw:
+		return "withdraw"
+	case TraceDestroy:
+		return "destroy"
+	case TraceError:
+		return "error"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", uint8(k))
+	}
+}
+
+// TraceEntry is one observed protocol step.
+type TraceEntry struct {
+	At     sim.Time
+	Kind   TraceKind
+	Switch topo.SwitchID
+	Conn   lsa.ConnID
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e TraceEntry) String() string {
+	return fmt.Sprintf("%12v sw=%-3d conn=%-3d %-8s %s", e.At, e.Switch, e.Conn, e.Kind, e.Detail)
+}
+
+// Tracer observes protocol activity.
+type Tracer interface {
+	Trace(TraceEntry)
+}
+
+// WriterTracer prints every entry to an io.Writer.
+type WriterTracer struct {
+	W io.Writer
+}
+
+var _ Tracer = (*WriterTracer)(nil)
+
+// Trace implements Tracer.
+func (t *WriterTracer) Trace(e TraceEntry) {
+	fmt.Fprintln(t.W, e.String())
+}
+
+// CollectTracer accumulates entries in memory (for tests).
+type CollectTracer struct {
+	Entries []TraceEntry
+}
+
+var _ Tracer = (*CollectTracer)(nil)
+
+// Trace implements Tracer.
+func (t *CollectTracer) Trace(e TraceEntry) { t.Entries = append(t.Entries, e) }
+
+// Count returns how many collected entries have the given kind.
+func (t *CollectTracer) Count(kind TraceKind) int {
+	n := 0
+	for _, e := range t.Entries {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

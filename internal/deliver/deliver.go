@@ -1,0 +1,163 @@
+// Package deliver models the data plane over an installed multipoint
+// connection: given the MC topology the protocol converged on, it traces
+// how a packet actually reaches the members, per MC type (paper §1):
+//
+//   - symmetric: any member sends; the packet fans out over the shared
+//     tree from the sender's switch;
+//   - receiver-only: a (possibly non-member) sender first delivers the
+//     packet to a contact node — the nearest member switch — which then
+//     forwards it over the MC (the paper's two-stage delivery);
+//   - asymmetric: only senders may transmit; the tree is rooted at the
+//     source.
+//
+// The package verifies exactly-once delivery and reports per-receiver
+// latencies and link transmissions, which the tests use to prove that the
+// trees the protocol installs actually carry traffic.
+package deliver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/topo"
+)
+
+// ErrNotSender is returned when the source is not allowed to transmit on
+// the connection.
+var ErrNotSender = errors.New("deliver: source may not send on this MC")
+
+// Report describes one multicast transmission.
+type Report struct {
+	// Source is the sending switch.
+	Source topo.SwitchID
+	// Contact is the switch where the packet entered the MC (differs from
+	// Source only for receiver-only MCs with off-tree senders).
+	Contact topo.SwitchID
+	// Latency maps each receiving member to its end-to-end delay.
+	Latency map[topo.SwitchID]time.Duration
+	// Copies is the number of link transmissions used.
+	Copies int
+}
+
+// MaxLatency returns the worst receiver latency (0 if no receivers).
+func (r *Report) MaxLatency() time.Duration {
+	var m time.Duration
+	for _, d := range r.Latency {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Multicast traces one packet from source over tree t to members, using
+// g's link delays. It returns an error if the source is not entitled to
+// send, if the packet cannot enter the MC, or if some receiving member is
+// unreachable over the tree.
+func Multicast(g *topo.Graph, t *mctree.Tree, members mctree.Members, source topo.SwitchID) (*Report, error) {
+	if t == nil {
+		return nil, errors.New("deliver: nil topology")
+	}
+	if err := checkMaySend(t.Kind, members, source); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Source:  source,
+		Contact: source,
+		Latency: make(map[topo.SwitchID]time.Duration),
+	}
+
+	var entryDelay time.Duration
+	entry := source
+	onTree := t.On(source) || (len(members) == 1 && members[source] != 0)
+	if !onTree {
+		if t.Kind != mctree.ReceiverOnly {
+			return nil, fmt.Errorf("deliver: source %d is not on the MC topology", source)
+		}
+		// Stage one: unicast to the nearest member (the contact node).
+		spt := g.ShortestPaths(source)
+		best := topo.NoSwitch
+		bestD := time.Duration(-1)
+		for _, m := range members.IDs() {
+			d := spt.Delay[m]
+			if d < 0 {
+				continue
+			}
+			if bestD < 0 || d < bestD || (d == bestD && m < best) {
+				best, bestD = m, d
+			}
+		}
+		if best == topo.NoSwitch {
+			return nil, fmt.Errorf("deliver: no reachable contact node for source %d", source)
+		}
+		entry = best
+		entryDelay = bestD
+		rep.Contact = best
+		rep.Copies += len(spt.Path(best)) - 1
+	}
+
+	// Stage two: fan out over the tree from the entry point, BFS with
+	// accumulated delays. Each tree edge is traversed at most once, giving
+	// exactly-once delivery by construction; the traversal double-checks.
+	type hop struct {
+		s topo.SwitchID
+		d time.Duration
+	}
+	seen := map[topo.SwitchID]bool{entry: true}
+	queue := []hop{{entry, entryDelay}}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		if role, ok := members[cur.s]; ok && role.CanReceive() && cur.s != source {
+			if _, dup := rep.Latency[cur.s]; dup {
+				return nil, fmt.Errorf("deliver: duplicate delivery at %d", cur.s)
+			}
+			rep.Latency[cur.s] = cur.d
+		}
+		for _, nb := range t.Neighbors(cur.s) {
+			if seen[nb] {
+				continue
+			}
+			l, ok := g.Link(cur.s, nb)
+			if !ok || l.Down {
+				return nil, fmt.Errorf("deliver: tree edge (%d,%d) unusable", cur.s, nb)
+			}
+			seen[nb] = true
+			rep.Copies++
+			queue = append(queue, hop{nb, cur.d + l.Delay})
+		}
+	}
+
+	// Every receiving member other than the source must have been reached.
+	for _, m := range members.IDs() {
+		if m == source || !members[m].CanReceive() {
+			continue
+		}
+		if _, ok := rep.Latency[m]; !ok {
+			return nil, fmt.Errorf("deliver: member %d unreached", m)
+		}
+	}
+	return rep, nil
+}
+
+// checkMaySend enforces the per-kind sending rules.
+func checkMaySend(kind mctree.Kind, members mctree.Members, source topo.SwitchID) error {
+	switch kind {
+	case mctree.Symmetric:
+		role, ok := members[source]
+		if !ok || !role.CanSend() {
+			return fmt.Errorf("%w: %d is not a sending member", ErrNotSender, source)
+		}
+	case mctree.Asymmetric:
+		role, ok := members[source]
+		if !ok || !role.CanSend() {
+			return fmt.Errorf("%w: %d is not a registered sender", ErrNotSender, source)
+		}
+	case mctree.ReceiverOnly:
+		// Anyone may send to a receiver-only MC.
+	default:
+		return fmt.Errorf("deliver: invalid MC kind %d", kind)
+	}
+	return nil
+}

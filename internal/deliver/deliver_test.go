@@ -1,0 +1,156 @@
+package deliver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/topo"
+)
+
+func lineSetup(t *testing.T) (*topo.Graph, *mctree.Tree, mctree.Members) {
+	t.Helper()
+	g, err := topo.Line(5, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := mctree.Members{0: mctree.SenderReceiver, 4: mctree.SenderReceiver}
+	tr, err := (route.SPH{}).Compute(g, mctree.Symmetric, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr, members
+}
+
+func TestSymmetricDelivery(t *testing.T) {
+	g, tr, members := lineSetup(t)
+	rep, err := Multicast(g, tr, members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Contact != 0 || rep.Source != 0 {
+		t.Errorf("contact/source = %d/%d", rep.Contact, rep.Source)
+	}
+	if d := rep.Latency[4]; d != 40*time.Microsecond {
+		t.Errorf("latency to 4 = %v", d)
+	}
+	if rep.Copies != 4 {
+		t.Errorf("copies = %d", rep.Copies)
+	}
+	if rep.MaxLatency() != 40*time.Microsecond {
+		t.Errorf("max latency = %v", rep.MaxLatency())
+	}
+	// The other member can send too.
+	if _, err := Multicast(g, tr, members, 4); err != nil {
+		t.Errorf("reverse direction: %v", err)
+	}
+	// A non-member cannot.
+	if _, err := Multicast(g, tr, members, 2); !errors.Is(err, ErrNotSender) {
+		t.Errorf("non-member send err = %v", err)
+	}
+}
+
+func TestAsymmetricOnlySenderMaySend(t *testing.T) {
+	g, err := topo.Line(4, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := mctree.Members{0: mctree.Sender, 3: mctree.Receiver}
+	tr, err := (route.SPT{}).Compute(g, mctree.Asymmetric, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Multicast(g, tr, members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Latency) != 1 || rep.Latency[3] != 30*time.Microsecond {
+		t.Errorf("latency = %v", rep.Latency)
+	}
+	// The receiver must not transmit.
+	if _, err := Multicast(g, tr, members, 3); !errors.Is(err, ErrNotSender) {
+		t.Errorf("receiver send err = %v", err)
+	}
+	// The sender does not receive its own packet.
+	if _, ok := rep.Latency[0]; ok {
+		t.Error("sender delivered to itself")
+	}
+}
+
+func TestReceiverOnlyTwoStageDelivery(t *testing.T) {
+	// Members 0 and 2 on a line of 6; sender at 5 is off-tree. Its packet
+	// travels unicast to the contact node (member 2) then over the tree.
+	g, err := topo.Line(6, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := mctree.Members{0: mctree.Receiver, 2: mctree.Receiver}
+	tr, err := (route.SPH{}).Compute(g, mctree.ReceiverOnly, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Multicast(g, tr, members, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Contact != 2 {
+		t.Errorf("contact = %d, want 2", rep.Contact)
+	}
+	// 5→2 unicast = 30µs; 2 receives at 30µs; 0 at 30+20=50µs.
+	if rep.Latency[2] != 30*time.Microsecond || rep.Latency[0] != 50*time.Microsecond {
+		t.Errorf("latency = %v", rep.Latency)
+	}
+	// Copies: 3 unicast hops + 2 tree edges.
+	if rep.Copies != 5 {
+		t.Errorf("copies = %d", rep.Copies)
+	}
+}
+
+func TestDeliveryFailsOverDownedTreeEdge(t *testing.T) {
+	g, tr, members := lineSetup(t)
+	if err := g.SetLinkDown(1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Multicast(g, tr, members, 0); err == nil {
+		t.Error("delivery over failed link succeeded")
+	}
+}
+
+func TestDeliveryErrors(t *testing.T) {
+	g, tr, members := lineSetup(t)
+	if _, err := Multicast(g, nil, members, 0); err == nil {
+		t.Error("nil tree accepted")
+	}
+	bad := tr.Clone()
+	bad.Kind = mctree.Kind(9)
+	if _, err := Multicast(g, bad, members, 0); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	// Member not spanned by the tree: build a tree over {0,2} only, then
+	// claim 4 is also a member.
+	short := mctree.New(mctree.Symmetric)
+	short.AddEdge(0, 1)
+	short.AddEdge(1, 2)
+	orphan := mctree.Members{0: mctree.SenderReceiver, 2: mctree.Receiver, 4: mctree.Receiver}
+	if _, err := Multicast(g, short, orphan, 0); err == nil {
+		t.Error("unreached member not detected")
+	}
+}
+
+func TestSingletonMC(t *testing.T) {
+	g, err := topo.Line(3, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := mctree.Members{1: mctree.SenderReceiver}
+	tr := mctree.New(mctree.Symmetric)
+	rep, err := Multicast(g, tr, members, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Latency) != 0 || rep.Copies != 0 {
+		t.Errorf("singleton delivery report = %+v", rep)
+	}
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"dgmc/internal/metrics"
+	"dgmc/internal/workload"
+)
+
+// BurstScalingParams configures the burst-size sweep.
+type BurstScalingParams struct {
+	// N is the fixed network size. Defaults to 60.
+	N int
+	// BurstSizes lists the event counts to sweep. Defaults to
+	// {2, 4, 8, 12, 16, 20}.
+	BurstSizes []int
+	// RunsPerPoint defaults to 20.
+	RunsPerPoint int
+	// BaseSeed drives the sweep.
+	BaseSeed int64
+	// PerHop and Tc default to the Experiment 1 timing.
+	PerHop, Tc time.Duration
+}
+
+func (p BurstScalingParams) normalized() BurstScalingParams {
+	if p.N == 0 {
+		p.N = 60
+	}
+	if len(p.BurstSizes) == 0 {
+		p.BurstSizes = []int{2, 4, 8, 12, 16, 20}
+	}
+	if p.RunsPerPoint == 0 {
+		p.RunsPerPoint = 20
+	}
+	if p.PerHop == 0 {
+		p.PerHop = 10 * time.Microsecond
+	}
+	if p.Tc == 0 {
+		p.Tc = 500 * time.Microsecond
+	}
+	return p
+}
+
+// BurstScaling studies the cascading-reaction behaviour §4 raises: how do
+// the protocol's overheads grow as more conflicting events pile into one
+// burst window? The paper plots overheads against network size at a fixed
+// burst; this sweep fixes the network and grows the burst, separating the
+// conflict-resolution cost (withdrawn proposals, extra rounds) from the
+// baseline one-computation-per-event cost.
+func BurstScaling(p BurstScalingParams) (*metrics.Table, error) {
+	p = p.normalized()
+	table := &metrics.Table{
+		Title:  fmt.Sprintf("Burst scaling — overheads vs burst size (n=%d)", p.N),
+		XLabel: "burst events",
+		Columns: []string{
+			"proposals/event",
+			"floodings/event",
+			"withdrawn/event",
+			"convergence (rounds)",
+		},
+	}
+	base := Params{
+		PerHop: p.PerHop,
+		Tc:     p.Tc,
+		Bursty: true,
+	}.normalized()
+	for _, burst := range p.BurstSizes {
+		var prop, fld, wdr, conv metrics.Sample
+		for run := 0; run < p.RunsPerPoint; run++ {
+			pp := base
+			pp.Events = burst
+			pp.BaseSeed = p.BaseSeed*131 + int64(burst)*17 + int64(run)
+			g, err := buildGraph(pp, p.N, run)
+			if err != nil {
+				return nil, err
+			}
+			tf, err := probeTf(g, pp.PerHop)
+			if err != nil {
+				return nil, err
+			}
+			events, err := workload.Bursty(workload.Config{
+				N:      p.N,
+				Events: burst,
+				Seed:   pp.BaseSeed,
+				Start:  tf + pp.Tc,
+				Window: tf + pp.Tc,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunDGMC(pp, g, events)
+			if err != nil {
+				return nil, fmt.Errorf("burst=%d run=%d: %w", burst, run, err)
+			}
+			prop.Add(res.ProposalsPerEvent())
+			fld.Add(res.FloodingsPerEvent())
+			wdr.Add(float64(res.Withdrawn) / float64(res.Events))
+			conv.Add(res.ConvergenceRounds)
+		}
+		cells := make([]metrics.Summary, 0, 4)
+		for _, s := range []*metrics.Sample{&prop, &fld, &wdr, &conv} {
+			sum, err := s.Summarize()
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, sum)
+		}
+		if err := table.AddRow(float64(burst), cells...); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}

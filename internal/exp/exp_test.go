@@ -1,0 +1,276 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dgmc/internal/topo"
+	"dgmc/internal/workload"
+)
+
+// smallParams shrinks a sweep so unit tests stay fast; the full sweep runs
+// in the benchmark harness.
+func small(p Params) Params {
+	p.Sizes = []int{12, 24}
+	p.GraphsPerSize = 3
+	p.Events = 6
+	return p
+}
+
+func TestRunDGMCSingle(t *testing.T) {
+	p := Experiment1Params()
+	g, err := buildGraph(p, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := probeTf(g, p.PerHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := buildEvents(p, 20, 0, tf+p.Tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDGMC(p, g, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != uint64(len(events)) {
+		t.Errorf("events = %d, want %d", res.Events, len(events))
+	}
+	if res.ProposalsPerEvent() <= 0 || res.FloodingsPerEvent() < 1 {
+		t.Errorf("ratios = %.2f / %.2f", res.ProposalsPerEvent(), res.FloodingsPerEvent())
+	}
+	if res.Tf <= 0 || res.Round <= res.Tf {
+		t.Errorf("Tf=%v round=%v", res.Tf, res.Round)
+	}
+}
+
+func TestExperiment1ShapeTargets(t *testing.T) {
+	fs, err := Experiment1(func(p *Params) { *p = small(*p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Convergence == nil {
+		t.Fatal("bursty experiment must report convergence")
+	}
+	for _, r := range fs.Proposals.Rows {
+		// Shape target: proposals per event is a small constant, far below
+		// one-per-switch (the brute-force cost).
+		if r.Cells[0].Mean >= r.X/2 {
+			t.Errorf("n=%g: proposals/event %.2f not ≪ n", r.X, r.Cells[0].Mean)
+		}
+		if r.Cells[0].Mean < 1 {
+			t.Errorf("n=%g: proposals/event %.2f below 1 — metrics wrong", r.X, r.Cells[0].Mean)
+		}
+	}
+	for _, r := range fs.Floodings.Rows {
+		if r.Cells[0].Mean < 1 || r.Cells[0].Mean > 6 {
+			t.Errorf("n=%g: floodings/event %.2f outside plausible range", r.X, r.Cells[0].Mean)
+		}
+	}
+	for _, r := range fs.Convergence.Rows {
+		if r.Cells[0].Mean <= 0 || r.Cells[0].Mean > 40 {
+			t.Errorf("n=%g: convergence %.2f rounds implausible", r.X, r.Cells[0].Mean)
+		}
+	}
+}
+
+func TestExperiment3SparseRatiosNearOne(t *testing.T) {
+	fs, err := Experiment3(func(p *Params) { *p = small(*p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Convergence != nil {
+		t.Error("sparse experiment should not report convergence")
+	}
+	for _, r := range fs.Proposals.Rows {
+		if r.Cells[0].Mean < 1 || r.Cells[0].Mean > 1.35 {
+			t.Errorf("n=%g: sparse proposals/event %.2f, want ≈1.0", r.X, r.Cells[0].Mean)
+		}
+	}
+	for _, r := range fs.Floodings.Rows {
+		if r.Cells[0].Mean < 1 || r.Cells[0].Mean > 1.35 {
+			t.Errorf("n=%g: sparse floodings/event %.2f, want ≈1.0", r.X, r.Cells[0].Mean)
+		}
+	}
+}
+
+func TestExperiment2MoreWorkThanExperiment1(t *testing.T) {
+	fs1, err := Experiment1(func(p *Params) { *p = small(*p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Experiment2(func(p *Params) { *p = small(*p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: Experiment 2 incurs more computations per event than
+	// Experiment 1 (long floods mean more switches act before hearing a
+	// proposal). Compare the largest size.
+	last := len(fs1.Proposals.Rows) - 1
+	p1 := fs1.Proposals.Rows[last].Cells[0].Mean
+	p2 := fs2.Proposals.Rows[last].Cells[0].Mean
+	if p2 < p1 {
+		t.Errorf("experiment 2 proposals/event %.2f < experiment 1 %.2f — shape inverted", p2, p1)
+	}
+}
+
+func TestBaselinesOrdering(t *testing.T) {
+	table, err := Baselines(DefaultBaselineParams(), func(p *Params) { *p = small(*p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range table.Rows {
+		dgmc, mospfC, brute := r.Cells[0].Mean, r.Cells[1].Mean, r.Cells[2].Mean
+		if !(dgmc < mospfC && mospfC < brute) {
+			t.Errorf("n=%g: ordering violated: dgmc=%.2f mospf=%.2f brute=%.2f",
+				r.X, dgmc, mospfC, brute)
+		}
+		// Brute force is n computations per event by construction.
+		if brute < r.X*0.9 || brute > r.X*1.1 {
+			t.Errorf("n=%g: brute force %.2f not ≈ n", r.X, brute)
+		}
+	}
+}
+
+func TestTreeQuality(t *testing.T) {
+	table, err := TreeQuality(TreeQualityParams{Sizes: []int{20, 40}, GraphsPerSize: 4, Members: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range table.Rows {
+		costRatio, cbtMax, srcMax := r.Cells[0].Mean, r.Cells[1].Mean, r.Cells[2].Mean
+		if costRatio < 0.8 || costRatio > 2.5 {
+			t.Errorf("n=%g: CBT/SPH cost ratio %.2f implausible", r.X, costRatio)
+		}
+		if cbtMax != 6 {
+			t.Errorf("n=%g: CBT max load %.2f, want 6 (all senders on every tree link)", r.X, cbtMax)
+		}
+		if srcMax > cbtMax {
+			t.Errorf("n=%g: source trees max %.2f exceeds shared %.2f", r.X, srcMax, cbtMax)
+		}
+	}
+}
+
+func TestBuildEventsModes(t *testing.T) {
+	p := Experiment1Params()
+	events, err := buildEvents(p, 20, 0, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := workload.Span(events)
+	if last-first > time.Millisecond {
+		t.Errorf("bursty events span %v, window was 1ms", last-first)
+	}
+	p = Experiment3Params()
+	events, err = buildEvents(p, 20, 0, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last = workload.Span(events)
+	if last-first < 5*time.Millisecond {
+		t.Errorf("sparse events span only %v", last-first)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	fs, err := Experiment1(func(p *Params) {
+		p.Sizes = []int{10}
+		p.GraphsPerSize = 2
+		p.Events = 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := fs.Proposals.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "proposals/event") {
+		t.Errorf("text table malformed:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := fs.Floodings.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "_mean") {
+		t.Errorf("csv malformed:\n%s", sb.String())
+	}
+}
+
+func TestBuildGraphDeterministic(t *testing.T) {
+	p := Experiment1Params()
+	a, err := buildGraph(p, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildGraph(p, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Error("same seed produced different graphs")
+	}
+	c, err := buildGraph(p, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := c.NumLinks() == a.NumLinks()
+	if same {
+		for _, l := range a.Links() {
+			if _, ok := c.Link(l.A, l.B); !ok {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different graph index produced identical graphs")
+	}
+	_ = topo.NoSwitch
+}
+
+func TestHierarchySweep(t *testing.T) {
+	table, err := Hierarchy(HierarchyParams{AreaCounts: []int{2, 4}, AreaSize: 8, RunsPerPoint: 3, EventsPerArea: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At two areas the gateway-anchoring overhead can cancel the area-
+	// scoping savings (the crossover); at scale the hierarchy must win and
+	// the savings must grow.
+	first := table.Rows[0]
+	last := table.Rows[len(table.Rows)-1]
+	if last.Cells[1].Mean >= last.Cells[0].Mean {
+		t.Errorf("n=%g: hierarchy did not reduce copies (%.1f vs %.1f)",
+			last.X, last.Cells[1].Mean, last.Cells[0].Mean)
+	}
+	saveFirst := 1 - first.Cells[1].Mean/first.Cells[0].Mean
+	saveLast := 1 - last.Cells[1].Mean/last.Cells[0].Mean
+	if saveLast <= saveFirst {
+		t.Errorf("savings did not grow with scale: %.2f -> %.2f", saveFirst, saveLast)
+	}
+}
+
+func TestBurstScaling(t *testing.T) {
+	table, err := BurstScaling(BurstScalingParams{N: 20, BurstSizes: []int{2, 8}, RunsPerPoint: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	small, big := table.Rows[0], table.Rows[1]
+	// Larger bursts conflict more: withdrawn proposals per event and
+	// convergence rounds must not shrink.
+	if big.Cells[2].Mean < small.Cells[2].Mean-0.3 {
+		t.Errorf("withdrawn/event fell with burst size: %.2f -> %.2f",
+			small.Cells[2].Mean, big.Cells[2].Mean)
+	}
+	for _, r := range table.Rows {
+		if r.Cells[0].Mean < 1 {
+			t.Errorf("burst=%g: proposals/event %.2f < 1", r.X, r.Cells[0].Mean)
+		}
+	}
+}

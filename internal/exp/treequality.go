@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dgmc/internal/cbt"
+	"dgmc/internal/mctree"
+	"dgmc/internal/metrics"
+	"dgmc/internal/route"
+	"dgmc/internal/topo"
+)
+
+// TreeQualityParams configures the CBT-vs-D-GMC tree comparison of §5.
+type TreeQualityParams struct {
+	// Sizes lists network sizes. Defaults to DefaultSizes.
+	Sizes []int
+	// GraphsPerSize defaults to 20.
+	GraphsPerSize int
+	// Members is the MC group size. Defaults to 8.
+	Members int
+	// BaseSeed makes the sweep reproducible.
+	BaseSeed int64
+}
+
+func (p TreeQualityParams) normalized() TreeQualityParams {
+	if len(p.Sizes) == 0 {
+		p.Sizes = DefaultSizes
+	}
+	if p.GraphsPerSize == 0 {
+		p.GraphsPerSize = 20
+	}
+	if p.Members == 0 {
+		p.Members = 8
+	}
+	return p
+}
+
+// TreeQuality compares CBT shared trees against the Steiner trees D-GMC
+// installs for symmetric MCs: total tree cost (normalized to the Steiner
+// tree) and maximum link load under all-members-send traffic. It
+// reproduces the §5 trade-off: CBT's trees cost about the same, but the
+// shared tree concentrates every sender's traffic on every tree link.
+func TreeQuality(p TreeQualityParams) (*metrics.Table, error) {
+	p = p.normalized()
+	table := &metrics.Table{
+		Title:  "Tree quality — CBT shared tree vs D-GMC Steiner tree (SPH)",
+		XLabel: "switches",
+		Columns: []string{
+			"cost ratio (CBT/SPH)",
+			"max load CBT",
+			"max load source trees",
+		},
+	}
+	for _, n := range p.Sizes {
+		var costRatio, cbtLoad, srcLoad metrics.Sample
+		for i := 0; i < p.GraphsPerSize; i++ {
+			seed := p.BaseSeed*2_654_435 + int64(n)*97 + int64(i)
+			g, err := topo.Waxman(topo.DefaultGenConfig(n, seed))
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+			members := mctree.Members{}
+			ids := make([]topo.SwitchID, 0, p.Members)
+			for len(members) < p.Members {
+				s := topo.SwitchID(rng.Intn(n))
+				if _, dup := members[s]; dup {
+					continue
+				}
+				members[s] = mctree.SenderReceiver
+				ids = append(ids, s)
+			}
+
+			steiner, err := (route.SPH{}).Compute(g, mctree.Symmetric, members)
+			if err != nil {
+				return nil, fmt.Errorf("sph size %d graph %d: %w", n, i, err)
+			}
+			cb := route.NewCoreBased()
+			core, err := cb.SelectCore(g, members)
+			if err != nil {
+				return nil, err
+			}
+			shared, err := cbt.New(g, core)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range ids {
+				if err := shared.Join(m); err != nil {
+					return nil, fmt.Errorf("cbt join size %d graph %d: %w", n, i, err)
+				}
+			}
+			sharedTree := shared.MCTree()
+			if c := steiner.Cost(g); c > 0 {
+				costRatio.Add(float64(sharedTree.Cost(g)) / float64(c))
+			}
+			loads, err := shared.SharedTreeLoads(ids)
+			if err != nil {
+				return nil, err
+			}
+			cbtLoad.Add(loads.Max())
+			src, err := cbt.SourceTreeLoads(g, ids, ids)
+			if err != nil {
+				return nil, err
+			}
+			srcLoad.Add(src.Max())
+		}
+		cr, err := costRatio.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		cl, err := cbtLoad.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		sl, err := srcLoad.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		if err := table.AddRow(float64(n), cr, cl, sl); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}

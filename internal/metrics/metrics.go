@@ -1,0 +1,195 @@
+// Package metrics provides the statistics the paper reports: sample means
+// with 95% confidence intervals (Student's t) over repeated simulation
+// runs, and helpers to format result series as aligned tables or CSV.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ErrNoSamples is returned when a summary is requested over an empty sample.
+var ErrNoSamples = errors.New("metrics: no samples")
+
+// Sample accumulates observations of one scalar metric.
+type Sample struct {
+	values []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// tCritical95 holds two-sided 95% critical values of Student's t for
+// degrees of freedom 1..30; beyond 30 the normal approximation 1.96 is
+// used, as the paper's 20-graph samples never need more.
+var tCritical95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+// Samples with fewer than 2 observations have zero width.
+func (s *Sample) CI95() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	df := n - 1
+	t := 1.96
+	if df <= len(tCritical95) {
+		t = tCritical95[df-1]
+	}
+	return t * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// Summary is a point estimate with its confidence interval.
+type Summary struct {
+	Mean float64
+	CI   float64
+	N    int
+}
+
+// Summarize returns the sample's summary, or ErrNoSamples when empty.
+func (s *Sample) Summarize() (Summary, error) {
+	if len(s.values) == 0 {
+		return Summary{}, ErrNoSamples
+	}
+	return Summary{Mean: s.Mean(), CI: s.CI95(), N: len(s.values)}, nil
+}
+
+// String formats the summary as "mean ± ci".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", s.Mean, s.CI)
+}
+
+// Table is a result series: one row per x value (e.g. network size), one
+// summarized column per metric.
+type Table struct {
+	// Title labels the table (e.g. "Experiment 1: proposals per event").
+	Title string
+	// XLabel names the x column (e.g. "switches").
+	XLabel string
+	// Columns names the metric columns.
+	Columns []string
+	// Rows holds, per x value, one Summary per column.
+	Rows []Row
+}
+
+// Row is one x value and its summarized metrics.
+type Row struct {
+	X     float64
+	Cells []Summary
+}
+
+// AddRow appends a row; the number of cells must match Columns.
+func (t *Table) AddRow(x float64, cells ...Summary) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("metrics: row has %d cells, table has %d columns", len(cells), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, Row{X: x, Cells: cells})
+	return nil
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "  %-22s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12g", r.X)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "  %-22s", c.String())
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV with mean and ci columns per metric.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, c := range t.Columns {
+		name := strings.ReplaceAll(c, ",", " ")
+		fmt.Fprintf(&b, ",%s_mean,%s_ci95", name, name)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%g", r.X)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, ",%.4f,%.4f", c.Mean, c.CI)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

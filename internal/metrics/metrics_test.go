@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample stats should be zero")
+	}
+	if _, err := s.Summarize(); !errors.Is(err, ErrNoSamples) {
+		t.Error("empty summarize should fail with ErrNoSamples")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Known dataset: population sd = 2, sample sd = sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	// n=5, df=4, t=2.776, sd=sqrt(2.5), ci = 2.776*sqrt(2.5)/sqrt(5).
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(s.CI95()-want) > 1e-9 {
+		t.Errorf("ci = %v, want %v", s.CI95(), want)
+	}
+	sum, err := s.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mean != 3 || sum.N != 5 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if got := sum.String(); !strings.Contains(got, "3.00 ±") {
+		t.Errorf("summary string = %q", got)
+	}
+}
+
+func TestCI95SingleSampleAndLargeN(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	if s.CI95() != 0 {
+		t.Error("single-sample CI should be 0")
+	}
+	var big Sample
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		big.Add(rng.NormFloat64())
+	}
+	// Large n uses the 1.96 normal approximation; the CI of 200 standard
+	// normals is about 1.96/sqrt(200) ≈ 0.14.
+	ci := big.CI95()
+	if ci < 0.08 || ci > 0.25 {
+		t.Errorf("large-sample ci = %v", ci)
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// Statistical sanity: the 95% CI of N(0,1) samples should cover 0 in
+	// roughly 95% of trials.
+	rng := rand.New(rand.NewSource(42))
+	trials, covered := 400, 0
+	for i := 0; i < trials; i++ {
+		var s Sample
+		for j := 0; j < 10; j++ {
+			s.Add(rng.NormFloat64())
+		}
+		if math.Abs(s.Mean()) <= s.CI95() {
+			covered++
+		}
+	}
+	rate := float64(covered) / float64(trials)
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("coverage = %.3f, want ≈0.95", rate)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := &Table{Title: "demo", XLabel: "n", Columns: []string{"a", "b"}}
+	if err := tab.AddRow(10, Summary{Mean: 1, CI: 0.5}); err == nil {
+		t.Error("cell-count mismatch accepted")
+	}
+	if err := tab.AddRow(10, Summary{Mean: 1, CI: 0.5}, Summary{Mean: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow(20, Summary{Mean: 3}, Summary{Mean: 4, CI: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var text strings.Builder
+	if err := tab.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{"demo", "n", "a", "b", "1.00 ± 0.50", "4.00 ± 1.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+
+	var csv strings.Builder
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "n,a_mean,a_ci95,b_mean,b_ci95" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "10,1.0000,0.5000") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}
+
+func TestCSVEscapesCommasInColumnNames(t *testing.T) {
+	tab := &Table{XLabel: "n", Columns: []string{"a,b"}}
+	if err := tab.AddRow(1, Summary{}); err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Split(csv.String(), "\n")[0], "a,b_mean") {
+		t.Error("comma in column name leaked into CSV header")
+	}
+}

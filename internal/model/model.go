@@ -1,0 +1,474 @@
+// Package model is an exhaustive state-space explorer for the D-GMC
+// protocol. The paper omits its correctness proofs (§3.6, deferring to
+// technical report MSU-CPS-95-8); this package substitutes machine-checked
+// evidence on small instances: for a given scenario (a set of membership
+// events), it enumerates *every* interleaving of event handling, topology
+// computation completion, and per-switch LSA delivery, and verifies that
+// every reachable terminal state is convergent:
+//
+//   - all switches hold identical R = E = C stamps equal to the total
+//     event vector,
+//   - all member lists agree,
+//   - no switch is left owing the network a proposal (the makeProposal
+//     flag cannot be set with R > C once the network is quiet — no "lost
+//     wakeup"),
+//   - all installed topologies share the same basis (and the computation
+//     algorithm being deterministic, therefore the same tree).
+//
+// The model abstracts exactly two things from the implementation in
+// internal/core: topology *content* is represented by its basis stamp
+// (a deterministic algorithm makes the tree a function of the member list
+// known at the basis), and ReceiveLSA processes one advertisement per
+// activation (a batch of one — a refinement of the mailbox-drain loop).
+// Computation time is modelled as a nondeterministic interval: a pending
+// computation can complete at any point relative to other transitions,
+// which covers every Tc-induced race of the timed implementation.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MaxSwitches bounds the model size (stamps are fixed-size arrays).
+const MaxSwitches = 4
+
+// EventKind is a membership event in a scenario.
+type EventKind uint8
+
+const (
+	// Join adds the switch to the connection.
+	Join EventKind = iota + 1
+	// Leave removes it.
+	Leave
+)
+
+// Event is one scenario event: a membership change at a switch. Events at
+// the same switch are handled in scenario order; across switches, all
+// interleavings are explored.
+type Event struct {
+	Switch int
+	Kind   EventKind
+}
+
+// stamp is a fixed-size vector timestamp (value type: usable as map key).
+type stamp [MaxSwitches]uint8
+
+func (s stamp) geq(o stamp, n int) bool {
+	for i := 0; i < n; i++ {
+		if s[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s stamp) max(o stamp, n int) stamp {
+	for i := 0; i < n; i++ {
+		if o[i] > s[i] {
+			s[i] = o[i]
+		}
+	}
+	return s
+}
+
+func (s stamp) greater(o stamp, n int) bool { return s.geq(o, n) && s != o }
+
+// members is a bitmask of member switches.
+type members uint8
+
+func (m members) with(x int) members    { return m | 1<<x }
+func (m members) without(x int) members { return m &^ (1 << x) }
+
+// pending describes an in-progress topology computation at one protocol
+// entity (the snapshot old_R plus, for EventHandler, the event to flood).
+type pending struct {
+	active bool
+	oldR   stamp
+	// ev and role apply to EventHandler computations only.
+	ev EventKind
+}
+
+// swState is one switch's protocol state.
+type swState struct {
+	r, e, c      stamp
+	members      members
+	makeProposal bool
+	evComp       pending // EventHandler's in-flight computation
+	lsaComp      pending // ReceiveLSA's in-flight computation
+	nextEvent    int     // index into the scenario events of this switch
+}
+
+// msg is an in-flight MC LSA with its undelivered destinations.
+type msg struct {
+	src      int
+	ev       EventKind // 0 = triggered (none)
+	proposal bool
+	stamp    stamp
+	dests    members
+}
+
+// state is a global protocol configuration.
+type state struct {
+	sw  [MaxSwitches]swState
+	net []msg
+}
+
+// key canonicalizes the state for memoization. In-flight messages are
+// stably sorted by source: cross-source ordering is immaterial, while
+// same-source ordering is significant (flooding is per-origin FIFO) and is
+// preserved by the stable sort.
+func (st *state) key(n int) string {
+	buf := make([]byte, 0, 16+n*(3*MaxSwitches+5)+len(st.net)*(MaxSwitches+4))
+	bools := func(b bool) byte {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		s := &st.sw[i]
+		buf = append(buf, s.r[:]...)
+		buf = append(buf, s.e[:]...)
+		buf = append(buf, s.c[:]...)
+		buf = append(buf, byte(s.members),
+			bools(s.makeProposal)|bools(s.evComp.active)<<1|bools(s.lsaComp.active)<<2,
+			byte(s.evComp.ev), byte(s.nextEvent))
+		buf = append(buf, s.evComp.oldR[:]...)
+		buf = append(buf, s.lsaComp.oldR[:]...)
+	}
+	order := make([]int, len(st.net))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return st.net[order[a]].src < st.net[order[b]].src })
+	buf = append(buf, 0xFF)
+	for _, i := range order {
+		m := st.net[i]
+		buf = append(buf, byte(m.src), byte(m.ev), bools(m.proposal), byte(m.dests))
+		buf = append(buf, m.stamp[:]...)
+	}
+	return string(buf)
+}
+
+func (st *state) clone() state {
+	c := *st
+	c.net = make([]msg, len(st.net))
+	copy(c.net, st.net)
+	return c
+}
+
+// Result summarizes an exhaustive exploration.
+type Result struct {
+	// StatesExplored counts distinct states visited.
+	StatesExplored int
+	// TerminalStates counts distinct quiescent states reached.
+	TerminalStates int
+	// MaxInFlight is the largest number of concurrently in-flight LSAs.
+	MaxInFlight int
+}
+
+// Violation describes a non-convergent terminal state.
+type Violation struct {
+	Reason string
+	Trace  []string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("model: %s\ntrace:\n  %s", v.Reason, strings.Join(v.Trace, "\n  "))
+}
+
+// Checker explores the protocol's state space for one scenario.
+type Checker struct {
+	// N is the number of switches (2..MaxSwitches).
+	N int
+	// Scenario lists the membership events. Events at the same switch
+	// occur in listing order; everything else is unordered.
+	Scenario []Event
+	// MaxStates aborts runaway explorations (default 5,000,000).
+	MaxStates int
+
+	// sabotageNoInconsistencyCheck disables Figure 5's line-15 rule (the
+	// detection of proposals unaware of local events). Used only by tests
+	// to demonstrate that the convergence assertions catch real protocol
+	// bugs (mutation testing of the checker itself).
+	sabotageNoInconsistencyCheck bool
+
+	perSwitch [MaxSwitches][]Event
+	memo      map[string]bool
+	result    Result
+}
+
+// Check runs the exhaustive exploration. It returns the exploration
+// statistics, or a *Violation error describing the first non-convergent
+// terminal state found (with a transition trace), or a limit error.
+func (c *Checker) Check() (Result, error) {
+	if c.N < 2 || c.N > MaxSwitches {
+		return Result{}, fmt.Errorf("model: N must be in [2,%d], got %d", MaxSwitches, c.N)
+	}
+	for i := range c.perSwitch {
+		c.perSwitch[i] = nil
+	}
+	for _, e := range c.Scenario {
+		if e.Switch < 0 || e.Switch >= c.N {
+			return Result{}, fmt.Errorf("model: event at switch %d out of range", e.Switch)
+		}
+		if e.Kind != Join && e.Kind != Leave {
+			return Result{}, fmt.Errorf("model: invalid event kind %d", e.Kind)
+		}
+		c.perSwitch[e.Switch] = append(c.perSwitch[e.Switch], e)
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 5_000_000
+	}
+	c.memo = make(map[string]bool)
+	c.result = Result{}
+	var st state
+	if err := c.explore(&st, nil); err != nil {
+		return c.result, err
+	}
+	return c.result, nil
+}
+
+// explore performs memoized DFS over all transitions.
+func (c *Checker) explore(st *state, trace []string) error {
+	k := st.key(c.N)
+	if c.memo[k] {
+		return nil
+	}
+	c.memo[k] = true
+	c.result.StatesExplored++
+	if c.result.StatesExplored > c.MaxStates {
+		return fmt.Errorf("model: state limit %d exceeded", c.MaxStates)
+	}
+	if len(st.net) > c.result.MaxInFlight {
+		c.result.MaxInFlight = len(st.net)
+	}
+
+	progressed := false
+	step := func(desc string, next state) error {
+		progressed = true
+		// Full-capacity slice forces a copy so sibling branches cannot
+		// alias each other's trace entries.
+		return c.explore(&next, append(trace[:len(trace):len(trace)], desc))
+	}
+
+	for x := 0; x < c.N; x++ {
+		sw := &st.sw[x]
+		// Transition 1: start the next local event (EventHandler, Fig. 4
+		// up to the computation decision). Requires the entity idle.
+		if !sw.evComp.active && sw.nextEvent < len(c.perSwitch[x]) {
+			next := st.clone()
+			ev := c.perSwitch[x][sw.nextEvent]
+			c.startEvent(&next, x, ev.Kind)
+			if err := step(fmt.Sprintf("event %v@%d", ev.Kind, x), next); err != nil {
+				return err
+			}
+		}
+		// Transition 2: complete EventHandler's computation (Fig. 4 lines
+		// 6-14).
+		if sw.evComp.active {
+			next := st.clone()
+			c.finishEventCompute(&next, x)
+			if err := step(fmt.Sprintf("ev-compute@%d", x), next); err != nil {
+				return err
+			}
+		}
+		// Transition 4: complete ReceiveLSA's computation (Fig. 5 lines
+		// 22-31).
+		if sw.lsaComp.active {
+			next := st.clone()
+			c.finishLSACompute(&next, x)
+			if err := step(fmt.Sprintf("lsa-compute@%d", x), next); err != nil {
+				return err
+			}
+		}
+	}
+	// Transition 3: deliver an in-flight LSA to one of its remaining
+	// destinations whose ReceiveLSA entity is idle. Flooding is per-origin
+	// FIFO (advertisements from one switch follow the same paths, and OSPF
+	// sequence numbers would reject reordering), so a message is
+	// deliverable to y only if no earlier message from the same source
+	// still awaits delivery at y.
+	for mi := range st.net {
+		for y := 0; y < c.N; y++ {
+			if st.net[mi].dests&(1<<y) == 0 || st.sw[y].lsaComp.active {
+				continue
+			}
+			if c.earlierSameSourcePending(st, mi, y) {
+				continue
+			}
+			next := st.clone()
+			c.deliver(&next, mi, y)
+			if err := step(fmt.Sprintf("deliver %d->%d", st.net[mi].src, y), next); err != nil {
+				return err
+			}
+		}
+	}
+
+	if !progressed {
+		// Some destination may be blocked only by a busy lsaComp — that is
+		// not terminal, but every such state also has the lsa-compute
+		// transition enabled, so reaching here means true quiescence.
+		c.result.TerminalStates++
+		if v := c.verify(st); v != nil {
+			v.Trace = append(trace[:len(trace):len(trace)], "terminal")
+			return v
+		}
+	}
+	return nil
+}
+
+// startEvent is Figure 4 lines 1-2 (+16-17 when deferring).
+func (c *Checker) startEvent(st *state, x int, kind EventKind) {
+	sw := &st.sw[x]
+	sw.nextEvent++
+	sw.r[x]++
+	sw.e[x]++
+	if kind == Join {
+		sw.members = sw.members.with(x)
+	} else {
+		sw.members = sw.members.without(x)
+	}
+	if sw.r.geq(sw.e, c.N) {
+		sw.evComp = pending{active: true, oldR: sw.r, ev: kind}
+		return
+	}
+	c.flood(st, x, msg{src: x, ev: kind, stamp: sw.r})
+	sw.makeProposal = true
+}
+
+// finishEventCompute is Figure 4 lines 6-14.
+func (c *Checker) finishEventCompute(st *state, x int) {
+	sw := &st.sw[x]
+	comp := sw.evComp
+	sw.evComp = pending{}
+	if sw.r == comp.oldR {
+		c.flood(st, x, msg{src: x, ev: comp.ev, proposal: true, stamp: comp.oldR})
+		sw.c = comp.oldR
+		sw.makeProposal = false
+		return
+	}
+	c.flood(st, x, msg{src: x, ev: comp.ev, stamp: comp.oldR})
+	sw.makeProposal = true
+}
+
+// deliver is Figure 5 lines 3-19 for a single advertisement.
+func (c *Checker) deliver(st *state, mi, y int) {
+	m := st.net[mi]
+	st.net[mi].dests = m.dests.without(y)
+	if st.net[mi].dests == 0 {
+		st.net = append(st.net[:mi], st.net[mi+1:]...)
+	}
+	sw := &st.sw[y]
+	if m.ev != 0 {
+		sw.r[m.src]++
+		if m.ev == Join {
+			sw.members = sw.members.with(m.src)
+		} else {
+			sw.members = sw.members.without(m.src)
+		}
+	}
+	sw.e = sw.e.max(m.stamp, c.N)
+	if m.stamp.geq(sw.e, c.N) && m.proposal {
+		sw.c = m.stamp
+		sw.makeProposal = false
+	} else if !c.sabotageNoInconsistencyCheck && sw.r[y] > m.stamp[y] {
+		sw.makeProposal = true
+	}
+	// Line 19.
+	if sw.makeProposal && sw.r.geq(sw.e, c.N) && sw.r.greater(sw.c, c.N) {
+		sw.lsaComp = pending{active: true, oldR: sw.r}
+	}
+}
+
+// finishLSACompute is Figure 5 lines 22-31.
+func (c *Checker) finishLSACompute(st *state, y int) {
+	sw := &st.sw[y]
+	comp := sw.lsaComp
+	sw.lsaComp = pending{}
+	if sw.r == comp.oldR && !c.pendingTo(st, y) {
+		c.flood(st, y, msg{src: y, proposal: true, stamp: comp.oldR})
+		sw.e = sw.r
+		sw.c = comp.oldR
+		sw.makeProposal = false
+	}
+	// Otherwise: withdraw. makeProposal stays set; the queued deliveries
+	// that caused the withdrawal re-trigger ReceiveLSA.
+}
+
+// earlierSameSourcePending reports whether a message older than st.net[mi]
+// from the same source still has y among its destinations (the per-origin
+// FIFO constraint). st.net is kept in flood order.
+func (c *Checker) earlierSameSourcePending(st *state, mi, y int) bool {
+	for j := 0; j < mi; j++ {
+		if st.net[j].src == st.net[mi].src && st.net[j].dests&(1<<y) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pendingTo reports whether some in-flight LSA still awaits delivery at y
+// (the model's mailbox-occupancy check, Figure 5 line 22).
+func (c *Checker) pendingTo(st *state, y int) bool {
+	for _, m := range st.net {
+		if m.dests&(1<<y) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// flood enqueues an LSA to every switch except the origin.
+func (c *Checker) flood(st *state, origin int, m msg) {
+	var dests members
+	for i := 0; i < c.N; i++ {
+		if i != origin {
+			dests = dests.with(i)
+		}
+	}
+	m.dests = dests
+	st.net = append(st.net, m)
+}
+
+// verify checks the convergence assertions in a terminal state.
+func (c *Checker) verify(st *state) *Violation {
+	// Expected totals: one component per event origin.
+	var total stamp
+	for i := 0; i < c.N; i++ {
+		total[i] = uint8(len(c.perSwitch[i]))
+	}
+	ref := st.sw[0]
+	for x := 0; x < c.N; x++ {
+		sw := st.sw[x]
+		if sw.r != total {
+			return &Violation{Reason: fmt.Sprintf("switch %d: R=%v, want total %v", x, sw.r, total)}
+		}
+		if sw.e != sw.r {
+			return &Violation{Reason: fmt.Sprintf("switch %d: E=%v != R=%v at quiescence", x, sw.e, sw.r)}
+		}
+		if sw.c != sw.r {
+			return &Violation{Reason: fmt.Sprintf("switch %d: C=%v != R=%v — stale topology basis", x, sw.c, sw.r)}
+		}
+		// makeProposal may legitimately remain set at quiescence when the
+		// obligation was satisfied by someone else's proposal — Figure 5
+		// line 19's R > C guard ignores the stale flag. A violation is an
+		// UNSERVED obligation: flag set while the installed basis lags.
+		if sw.makeProposal && sw.r.greater(sw.c, c.N) {
+			return &Violation{Reason: fmt.Sprintf("switch %d: makeProposal set with C=%v < R=%v (lost wakeup)", x, sw.c, sw.r)}
+		}
+		if sw.members != ref.members {
+			return &Violation{Reason: fmt.Sprintf("switch %d: members %b != switch 0's %b", x, sw.members, ref.members)}
+		}
+		if sw.c != ref.c {
+			return &Violation{Reason: fmt.Sprintf("switch %d: topology basis %v != switch 0's %v", x, sw.c, ref.c)}
+		}
+		if sw.evComp.active || sw.lsaComp.active {
+			return &Violation{Reason: fmt.Sprintf("switch %d: computation active in terminal state", x)}
+		}
+	}
+	return nil
+}

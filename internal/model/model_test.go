@@ -1,0 +1,169 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, n int, scenario []Event) Result {
+	t.Helper()
+	c := &Checker{N: n, Scenario: scenario}
+	res, err := c.Check()
+	if err != nil {
+		t.Fatalf("n=%d scenario=%v: %v", n, scenario, err)
+	}
+	if res.TerminalStates == 0 {
+		t.Fatalf("n=%d scenario=%v: no terminal state reached", n, scenario)
+	}
+	t.Logf("n=%d events=%d: %d states, %d terminals, %d max in-flight",
+		n, len(scenario), res.StatesExplored, res.TerminalStates, res.MaxInFlight)
+	return res
+}
+
+func TestCheckerValidation(t *testing.T) {
+	if _, err := (&Checker{N: 1}).Check(); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := (&Checker{N: 5}).Check(); err == nil {
+		t.Error("N beyond MaxSwitches accepted")
+	}
+	if _, err := (&Checker{N: 2, Scenario: []Event{{Switch: 7, Kind: Join}}}).Check(); err == nil {
+		t.Error("out-of-range event switch accepted")
+	}
+	if _, err := (&Checker{N: 2, Scenario: []Event{{Switch: 0, Kind: 0}}}).Check(); err == nil {
+		t.Error("invalid event kind accepted")
+	}
+}
+
+func TestEmptyScenarioIsTriviallyConvergent(t *testing.T) {
+	res := check(t, 2, nil)
+	if res.StatesExplored != 1 || res.TerminalStates != 1 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestSingleJoinAllInterleavings(t *testing.T) {
+	check(t, 2, []Event{{Switch: 0, Kind: Join}})
+	check(t, 3, []Event{{Switch: 0, Kind: Join}})
+	check(t, 4, []Event{{Switch: 2, Kind: Join}})
+}
+
+func TestConcurrentJoinsConverge(t *testing.T) {
+	// The paper's central claim: conflicting concurrent events reconcile.
+	check(t, 2, []Event{{Switch: 0, Kind: Join}, {Switch: 1, Kind: Join}})
+	check(t, 3, []Event{{Switch: 0, Kind: Join}, {Switch: 1, Kind: Join}})
+	check(t, 3, []Event{
+		{Switch: 0, Kind: Join},
+		{Switch: 1, Kind: Join},
+		{Switch: 2, Kind: Join},
+	})
+}
+
+func TestJoinLeaveRaces(t *testing.T) {
+	// Join at one switch racing a join+leave at another.
+	check(t, 3, []Event{
+		{Switch: 0, Kind: Join},
+		{Switch: 1, Kind: Join},
+		{Switch: 1, Kind: Leave},
+	})
+	// Everyone joins, one leaves — all interleavings.
+	check(t, 3, []Event{
+		{Switch: 0, Kind: Join},
+		{Switch: 1, Kind: Join},
+		{Switch: 2, Kind: Join},
+		{Switch: 2, Kind: Leave},
+	})
+}
+
+func TestFourSwitchBurst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	check(t, 4, []Event{
+		{Switch: 0, Kind: Join},
+		{Switch: 1, Kind: Join},
+		{Switch: 2, Kind: Join},
+	})
+}
+
+func TestStateLimitEnforced(t *testing.T) {
+	c := &Checker{
+		N:         3,
+		Scenario:  []Event{{Switch: 0, Kind: Join}, {Switch: 1, Kind: Join}, {Switch: 2, Kind: Join}},
+		MaxStates: 10,
+	}
+	if _, err := c.Check(); err == nil || !strings.Contains(err.Error(), "state limit") {
+		t.Errorf("err = %v, want state-limit error", err)
+	}
+}
+
+// TestBrokenProtocolIsCaught sabotages one protocol rule — Figure 5's
+// line-15 inconsistency detection — and requires the checker to find a
+// counterexample, evidence that the convergence assertions have teeth.
+// Without line 15, two concurrent events whose EventHandler proposals
+// cross in flight leave both switches with a stale topology basis: neither
+// accepts the other's single-event proposal (T ≥ E fails), and without the
+// inconsistency rule neither knows it owes the network a fresh one.
+func TestBrokenProtocolIsCaught(t *testing.T) {
+	c := &Checker{
+		N: 2,
+		Scenario: []Event{
+			{Switch: 0, Kind: Join},
+			{Switch: 1, Kind: Join},
+		},
+		sabotageNoInconsistencyCheck: true,
+	}
+	_, err := c.Check()
+	if err == nil {
+		t.Fatal("sabotaged protocol passed the checker")
+	}
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("err = %v, want *Violation", err)
+	}
+	if len(v.Trace) == 0 {
+		t.Error("violation carries no trace")
+	}
+	t.Logf("counterexample found:\n%v", v)
+}
+
+// TestResurrectionRaces explores the §3.4 lifecycle corner: the connection
+// empties and is immediately re-created, with the LSAs of both phases
+// potentially crossing in flight.
+func TestResurrectionRaces(t *testing.T) {
+	// Join, full leave, rejoin elsewhere.
+	check(t, 2, []Event{
+		{Switch: 0, Kind: Join},
+		{Switch: 0, Kind: Leave},
+		{Switch: 1, Kind: Join},
+	})
+	check(t, 3, []Event{
+		{Switch: 0, Kind: Join},
+		{Switch: 0, Kind: Leave},
+		{Switch: 1, Kind: Join},
+	})
+}
+
+// TestCrossingLeaveAndJoin explores a leave racing a concurrent join from
+// a different switch — the conflicting-pair case Figure 2 illustrates.
+func TestCrossingLeaveAndJoin(t *testing.T) {
+	check(t, 3, []Event{
+		{Switch: 0, Kind: Join},
+		{Switch: 0, Kind: Leave},
+		{Switch: 2, Kind: Join},
+	})
+}
+
+// TestSameSwitchChurn explores rapid join/leave/join churn at one switch
+// while another holds the connection open.
+func TestSameSwitchChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	check(t, 2, []Event{
+		{Switch: 0, Kind: Join},
+		{Switch: 1, Kind: Join},
+		{Switch: 1, Kind: Leave},
+		{Switch: 1, Kind: Join},
+	})
+}

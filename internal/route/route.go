@@ -1,0 +1,572 @@
+// Package route implements the topology-computation algorithms that the
+// D-GMC protocol plugs in (paper §3.5): the protocol itself is independent
+// of how trees are computed, so this package provides both Steiner-tree
+// heuristics for symmetric and receiver-only MCs and source-rooted
+// shortest-path trees for asymmetric MCs, each in from-scratch and
+// incremental-update variants.
+package route
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/topo"
+)
+
+// ErrUnreachable is returned when some member cannot be connected to the
+// rest of the MC over up links.
+var ErrUnreachable = errors.New("route: member unreachable")
+
+// ErrNoSource is returned when an asymmetric MC has receivers but no
+// sender to root the tree at.
+var ErrNoSource = errors.New("route: asymmetric MC has no sender")
+
+// Change describes a single membership delta, used by incremental updates.
+type Change struct {
+	// Switch is the member that joined or left.
+	Switch topo.SwitchID
+	// Join is true for a join, false for a leave.
+	Join bool
+}
+
+// Algorithm computes MC topologies from a local network image and member
+// list. Implementations must be deterministic: identical inputs produce
+// identical trees, which the D-GMC consensus relies on for convergence.
+type Algorithm interface {
+	// Name identifies the algorithm in logs and benchmarks.
+	Name() string
+	// Compute builds a topology from scratch.
+	Compute(g *topo.Graph, kind mctree.Kind, members mctree.Members) (*mctree.Tree, error)
+	// Update adapts prev to the new member list; delta describes the
+	// triggering change when known (it may be ignored). Implementations
+	// may fall back to Compute. prev may be nil.
+	Update(g *topo.Graph, kind mctree.Kind, members mctree.Members, prev *mctree.Tree, delta *Change) (*mctree.Tree, error)
+}
+
+// Compile-time interface checks.
+var (
+	_ Algorithm = (*SPH)(nil)
+	_ Algorithm = (*KMB)(nil)
+	_ Algorithm = (*SPT)(nil)
+	_ Algorithm = (*CoreBased)(nil)
+	_ Algorithm = (*Incremental)(nil)
+)
+
+// anchor picks the switches a tree must span for the given kind, plus the
+// root annotation. For asymmetric MCs the tree is rooted at the
+// lowest-numbered sender and spans all receivers (and remaining senders, so
+// they stay attached for management traffic as ATM UNI does with its
+// root-initiated joins).
+func anchor(kind mctree.Kind, members mctree.Members) (span []topo.SwitchID, root topo.SwitchID, err error) {
+	switch kind {
+	case mctree.Asymmetric:
+		senders := members.Senders()
+		if len(senders) == 0 {
+			if len(members) <= 1 {
+				return members.IDs(), topo.NoSwitch, nil
+			}
+			return nil, topo.NoSwitch, ErrNoSource
+		}
+		return members.IDs(), senders[0], nil
+	case mctree.Symmetric, mctree.ReceiverOnly:
+		return members.IDs(), topo.NoSwitch, nil
+	default:
+		return nil, topo.NoSwitch, fmt.Errorf("route: invalid MC kind %d", kind)
+	}
+}
+
+const inf = time.Duration(math.MaxInt64)
+
+// nearestToTree runs a deterministic multi-source Dijkstra from the tree's
+// node set and returns, for every switch, the delay to the tree and the
+// predecessor toward it.
+func nearestToTree(g *topo.Graph, onTree map[topo.SwitchID]bool) (dist []time.Duration, pred []topo.SwitchID) {
+	n := g.NumSwitches()
+	dist = make([]time.Duration, n)
+	pred = make([]topo.SwitchID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+		pred[i] = topo.NoSwitch
+	}
+	for s := range onTree {
+		dist[s] = 0
+	}
+	for {
+		u := topo.NoSwitch
+		best := inf
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				best = dist[i]
+				u = topo.SwitchID(i)
+			}
+		}
+		if u == topo.NoSwitch {
+			break
+		}
+		done[u] = true
+		for _, v := range g.Neighbors(u) {
+			l, ok := g.Link(u, v)
+			if !ok || l.Down {
+				continue
+			}
+			if nd := dist[u] + l.Delay; nd < dist[v] || (nd == dist[v] && !done[v] && pred[v] > u) {
+				dist[v] = nd
+				pred[v] = u
+			}
+		}
+	}
+	return dist, pred
+}
+
+// graft adds the shortest path from target back to the tree (following
+// pred) into t and marks the new nodes in onTree.
+func graft(t *mctree.Tree, onTree map[topo.SwitchID]bool, pred []topo.SwitchID, target topo.SwitchID) {
+	for s := target; !onTree[s]; s = pred[s] {
+		p := pred[s]
+		if p == topo.NoSwitch {
+			return
+		}
+		t.AddEdge(s, p)
+		onTree[s] = true
+	}
+}
+
+// SPH is the shortest-path heuristic (Takahashi–Matsuyama) for Steiner
+// trees: start from one member and repeatedly attach the member closest to
+// the current tree via its shortest path. Its worst-case cost is within 2×
+// optimal.
+type SPH struct{}
+
+// Name implements Algorithm.
+func (SPH) Name() string { return "sph" }
+
+// Compute implements Algorithm.
+func (SPH) Compute(g *topo.Graph, kind mctree.Kind, members mctree.Members) (*mctree.Tree, error) {
+	span, root, err := anchor(kind, members)
+	if err != nil {
+		return nil, err
+	}
+	t := mctree.NewWithRoot(kind, root)
+	if len(span) <= 1 {
+		return t, nil
+	}
+	start := root
+	if start == topo.NoSwitch {
+		start = span[0]
+	}
+	onTree := map[topo.SwitchID]bool{start: true}
+	remaining := make(map[topo.SwitchID]bool, len(span))
+	for _, s := range span {
+		if s != start {
+			remaining[s] = true
+		}
+	}
+	for len(remaining) > 0 {
+		dist, pred := nearestToTree(g, onTree)
+		// Pick the closest remaining member; ties by lowest ID.
+		best := topo.NoSwitch
+		bestD := inf
+		for s := range remaining {
+			if dist[s] < bestD || (dist[s] == bestD && s < best) {
+				bestD = dist[s]
+				best = s
+			}
+		}
+		if best == topo.NoSwitch || bestD == inf {
+			return nil, fmt.Errorf("%w: %v", ErrUnreachable, keys(remaining))
+		}
+		graft(t, onTree, pred, best)
+		delete(remaining, best)
+	}
+	return t, nil
+}
+
+// Update implements Algorithm by recomputing from scratch; use Incremental
+// to wrap SPH with cheap per-event updates.
+func (a SPH) Update(g *topo.Graph, kind mctree.Kind, members mctree.Members, _ *mctree.Tree, _ *Change) (*mctree.Tree, error) {
+	return a.Compute(g, kind, members)
+}
+
+func keys(m map[topo.SwitchID]bool) []topo.SwitchID {
+	out := make([]topo.SwitchID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KMB is the Kou–Markowsky–Berman Steiner heuristic: build the complete
+// distance graph over members, take its minimum spanning tree, expand each
+// MST edge into the underlying shortest path, and prune non-member leaves.
+// Like SPH it is within 2× optimal but often trades slightly worse trees
+// for a more parallelizable structure.
+type KMB struct{}
+
+// Name implements Algorithm.
+func (KMB) Name() string { return "kmb" }
+
+// Compute implements Algorithm.
+func (KMB) Compute(g *topo.Graph, kind mctree.Kind, members mctree.Members) (*mctree.Tree, error) {
+	span, root, err := anchor(kind, members)
+	if err != nil {
+		return nil, err
+	}
+	t := mctree.NewWithRoot(kind, root)
+	if len(span) <= 1 {
+		return t, nil
+	}
+	// Shortest paths from every member.
+	spts := make(map[topo.SwitchID]*topo.SPT, len(span))
+	for _, s := range span {
+		spts[s] = g.ShortestPaths(s)
+	}
+	// Prim's MST over the member distance graph, deterministic ties.
+	in := map[topo.SwitchID]bool{span[0]: true}
+	type via struct {
+		from topo.SwitchID
+		d    time.Duration
+	}
+	bestTo := make(map[topo.SwitchID]via, len(span))
+	for _, s := range span[1:] {
+		d := spts[span[0]].Delay[s]
+		if d < 0 {
+			return nil, fmt.Errorf("%w: %d", ErrUnreachable, s)
+		}
+		bestTo[s] = via{span[0], d}
+	}
+	for len(in) < len(span) {
+		pick := topo.NoSwitch
+		pickD := inf
+		for s, v := range bestTo {
+			if in[s] {
+				continue
+			}
+			if v.d < pickD || (v.d == pickD && s < pick) {
+				pickD = v.d
+				pick = s
+			}
+		}
+		if pick == topo.NoSwitch {
+			return nil, ErrUnreachable
+		}
+		// Expand the MST edge into its underlying path.
+		path := spts[bestTo[pick].from].Path(pick)
+		for i := 0; i+1 < len(path); i++ {
+			t.AddEdge(path[i], path[i+1])
+		}
+		in[pick] = true
+		for s := range bestTo {
+			if in[s] {
+				continue
+			}
+			if d := spts[pick].Delay[s]; d >= 0 && d < bestTo[s].d {
+				bestTo[s] = via{pick, d}
+			}
+		}
+	}
+	// Expanded paths may overlap and create cycles; rebuild as a true tree
+	// with BFS over the union subgraph, then prune non-member leaves.
+	pruned := spanningSubtree(g, t, span)
+	pruned.Kind = kind
+	pruned.Root = root
+	return pruned, nil
+}
+
+// Update implements Algorithm by recomputation.
+func (a KMB) Update(g *topo.Graph, kind mctree.Kind, members mctree.Members, _ *mctree.Tree, _ *Change) (*mctree.Tree, error) {
+	return a.Compute(g, kind, members)
+}
+
+// spanningSubtree extracts a cycle-free subtree of union (a subgraph given
+// as a Tree's edge set) that spans span, pruning everything else.
+func spanningSubtree(g *topo.Graph, union *mctree.Tree, span []topo.SwitchID) *mctree.Tree {
+	if len(span) == 0 {
+		return mctree.New(union.Kind)
+	}
+	// BFS from span[0] over the union edges; keep parent pointers.
+	parent := map[topo.SwitchID]topo.SwitchID{span[0]: topo.NoSwitch}
+	queue := []topo.SwitchID{span[0]}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, v := range union.Neighbors(u) {
+			if _, seen := parent[v]; !seen {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Keep only edges on paths from members to the BFS root.
+	keep := mctree.New(union.Kind)
+	marked := map[topo.SwitchID]bool{}
+	for _, m := range span {
+		if _, ok := parent[m]; !ok {
+			continue
+		}
+		for s := m; !marked[s] && parent[s] != topo.NoSwitch; s = parent[s] {
+			keep.AddEdge(s, parent[s])
+			marked[s] = true
+		}
+	}
+	_ = g
+	return keep
+}
+
+// SPT builds a source-rooted shortest-path tree: the union of the shortest
+// paths from the root to every member. This is the MOSPF-style topology the
+// paper uses for asymmetric MCs.
+type SPT struct{}
+
+// Name implements Algorithm.
+func (SPT) Name() string { return "spt" }
+
+// Compute implements Algorithm.
+func (SPT) Compute(g *topo.Graph, kind mctree.Kind, members mctree.Members) (*mctree.Tree, error) {
+	span, root, err := anchor(kind, members)
+	if err != nil {
+		return nil, err
+	}
+	if root == topo.NoSwitch && len(span) > 0 {
+		root = span[0] // symmetric/receiver-only fall back to lowest member
+	}
+	t := mctree.NewWithRoot(kind, root)
+	if len(span) <= 1 {
+		return t, nil
+	}
+	spt := g.ShortestPaths(root)
+	for _, m := range span {
+		if m == root {
+			continue
+		}
+		path := spt.Path(m)
+		if path == nil {
+			return nil, fmt.Errorf("%w: %d", ErrUnreachable, m)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			t.AddEdge(path[i], path[i+1])
+		}
+	}
+	return t, nil
+}
+
+// Update implements Algorithm by recomputation.
+func (a SPT) Update(g *topo.Graph, kind mctree.Kind, members mctree.Members, _ *mctree.Tree, _ *Change) (*mctree.Tree, error) {
+	return a.Compute(g, kind, members)
+}
+
+// CoreBased builds a CBT-style shared tree: a core switch is selected and
+// every member is attached along its unicast shortest path to the core.
+// Zero value uses median core selection; set Core to pin one.
+type CoreBased struct {
+	// Core, when >= 0, is used as the core switch. Otherwise the member
+	// with minimum total delay to all other members is chosen.
+	Core topo.SwitchID
+}
+
+// NewCoreBased returns a CoreBased with automatic core selection.
+func NewCoreBased() *CoreBased { return &CoreBased{Core: topo.NoSwitch} }
+
+// Name implements Algorithm.
+func (c *CoreBased) Name() string { return "cbt" }
+
+// SelectCore returns the core used for the given members: the pinned core
+// if set, else the member minimizing total shortest-path delay to all
+// members (ties to the lowest ID).
+func (c *CoreBased) SelectCore(g *topo.Graph, members mctree.Members) (topo.SwitchID, error) {
+	if c.Core != topo.NoSwitch {
+		return c.Core, nil
+	}
+	ids := members.IDs()
+	if len(ids) == 0 {
+		return topo.NoSwitch, errors.New("route: no members to select core from")
+	}
+	best := topo.NoSwitch
+	bestSum := inf
+	for _, cand := range ids {
+		spt := g.ShortestPaths(cand)
+		var sum time.Duration
+		ok := true
+		for _, m := range ids {
+			if spt.Delay[m] < 0 {
+				ok = false
+				break
+			}
+			sum += spt.Delay[m]
+		}
+		if !ok {
+			continue
+		}
+		if sum < bestSum || (sum == bestSum && cand < best) {
+			bestSum = sum
+			best = cand
+		}
+	}
+	if best == topo.NoSwitch {
+		return topo.NoSwitch, ErrUnreachable
+	}
+	return best, nil
+}
+
+// Compute implements Algorithm.
+func (c *CoreBased) Compute(g *topo.Graph, kind mctree.Kind, members mctree.Members) (*mctree.Tree, error) {
+	span, _, err := anchor(kind, members)
+	if err != nil {
+		return nil, err
+	}
+	if len(span) == 0 {
+		return mctree.New(kind), nil
+	}
+	core, err := c.SelectCore(g, members)
+	if err != nil {
+		return nil, err
+	}
+	t := mctree.NewWithRoot(kind, core)
+	if len(span) == 1 && span[0] == core {
+		return t, nil
+	}
+	spt := g.ShortestPaths(core)
+	for _, m := range span {
+		if m == core {
+			continue
+		}
+		path := spt.Path(m)
+		if path == nil {
+			return nil, fmt.Errorf("%w: %d", ErrUnreachable, m)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			t.AddEdge(path[i], path[i+1])
+		}
+	}
+	return t, nil
+}
+
+// Update implements Algorithm by recomputation.
+func (c *CoreBased) Update(g *topo.Graph, kind mctree.Kind, members mctree.Members, _ *mctree.Tree, _ *Change) (*mctree.Tree, error) {
+	return c.Compute(g, kind, members)
+}
+
+// Incremental wraps a base algorithm with the cheap per-event updates the
+// paper recommends (§3.5): a join grafts the shortest path from the new
+// member to the existing tree; a leave prunes the branch back to the
+// nearest still-needed switch. Anything more complicated (link events,
+// empty previous tree, root changes) falls back to the base Compute.
+type Incremental struct {
+	// Base computes from-scratch topologies. Required.
+	Base Algorithm
+}
+
+// NewIncremental wraps base.
+func NewIncremental(base Algorithm) *Incremental { return &Incremental{Base: base} }
+
+// Name implements Algorithm.
+func (a *Incremental) Name() string { return "incremental(" + a.Base.Name() + ")" }
+
+// Compute implements Algorithm by delegating to the base.
+func (a *Incremental) Compute(g *topo.Graph, kind mctree.Kind, members mctree.Members) (*mctree.Tree, error) {
+	return a.Base.Compute(g, kind, members)
+}
+
+// Update implements Algorithm.
+func (a *Incremental) Update(g *topo.Graph, kind mctree.Kind, members mctree.Members, prev *mctree.Tree, delta *Change) (*mctree.Tree, error) {
+	if prev == nil || delta == nil {
+		return a.Base.Compute(g, kind, members)
+	}
+	span, root, err := anchor(kind, members)
+	if err != nil {
+		return nil, err
+	}
+	if prev.Kind != kind || prev.Root != root {
+		return a.Base.Compute(g, kind, members)
+	}
+	// The previous tree must still be valid in the current network image.
+	if err := prev.Validate(g, nil); err != nil {
+		return a.Base.Compute(g, kind, members)
+	}
+	t := prev.Clone()
+	if delta.Join {
+		return a.graftJoin(g, t, span, delta.Switch)
+	}
+	return a.pruneLeave(g, kind, members, t, span)
+}
+
+func (a *Incremental) graftJoin(g *topo.Graph, t *mctree.Tree, span []topo.SwitchID, joined topo.SwitchID) (*mctree.Tree, error) {
+	onTree := map[topo.SwitchID]bool{}
+	for _, s := range t.Nodes() {
+		onTree[s] = true
+	}
+	if len(onTree) == 0 {
+		// Previous tree was a singleton (no edges); seed it with the other
+		// members so the graft has a target.
+		for _, s := range span {
+			if s != joined {
+				onTree[s] = true
+			}
+		}
+	}
+	if onTree[joined] {
+		return t, nil // already spanned as a relay
+	}
+	dist, pred := nearestToTree(g, onTree)
+	if dist[joined] == inf {
+		return nil, fmt.Errorf("%w: %d", ErrUnreachable, joined)
+	}
+	graft(t, onTree, pred, joined)
+	return t, nil
+}
+
+func (a *Incremental) pruneLeave(g *topo.Graph, kind mctree.Kind, members mctree.Members, t *mctree.Tree, span []topo.SwitchID) (*mctree.Tree, error) {
+	if len(span) <= 1 {
+		return mctree.NewWithRoot(kind, t.Root), nil
+	}
+	needed := make(map[topo.SwitchID]bool, len(span))
+	for _, s := range span {
+		needed[s] = true
+	}
+	if t.Root != topo.NoSwitch {
+		needed[t.Root] = true
+	}
+	// Repeatedly trim leaves that are not needed.
+	for {
+		trimmed := false
+		for _, s := range t.Nodes() {
+			if needed[s] {
+				continue
+			}
+			nb := t.Neighbors(s)
+			if len(nb) == 1 {
+				t.RemoveEdge(s, nb[0])
+				trimmed = true
+			}
+		}
+		if !trimmed {
+			break
+		}
+	}
+	_ = g
+	_ = members
+	return t, nil
+}
+
+// ByName returns a ready-to-use algorithm by name: "sph", "kmb", "spt",
+// "cbt", or "incremental" (incremental over SPH).
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "sph":
+		return SPH{}, nil
+	case "kmb":
+		return KMB{}, nil
+	case "spt":
+		return SPT{}, nil
+	case "cbt":
+		return NewCoreBased(), nil
+	case "incremental":
+		return NewIncremental(SPH{}), nil
+	default:
+		return nil, fmt.Errorf("route: unknown algorithm %q", name)
+	}
+}

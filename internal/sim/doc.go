@@ -1,0 +1,23 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel, in the spirit of the CSIM simulation language used by
+// the original D-GMC study.
+//
+// A simulation consists of a Kernel owning a virtual clock and an event
+// queue, and a set of Processes. Each Process is backed by a goroutine, but
+// the kernel enforces strictly sequential, cooperative execution: at any
+// instant at most one process runs, and control returns to the kernel
+// whenever a process holds (advances virtual time) or blocks on a Mailbox.
+// Events scheduled for the same virtual time are executed in scheduling
+// order (a monotone sequence number breaks ties), so a simulation with a
+// fixed seed is fully reproducible.
+//
+// The package deliberately mirrors the CSIM primitives the paper relies on:
+//
+//   - Process creation (Kernel.Spawn),
+//   - hold(t) (Process.Hold),
+//   - mailboxes with blocking receive (Mailbox.Recv) and timed send
+//     (Mailbox.Send).
+//
+// On top of these the D-GMC simulator models switches as processes that
+// exchange link-state advertisements through mailboxes.
+package sim

@@ -1,0 +1,37 @@
+package sim_test
+
+import (
+	"fmt"
+	"log"
+
+	"dgmc/internal/sim"
+)
+
+// Example shows the CSIM-style primitives: processes that hold virtual
+// time and exchange messages through mailboxes, scheduled deterministically.
+func Example() {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+
+	inbox := sim.NewMailbox(k, "inbox")
+	k.Spawn("producer", func(p *sim.Process) {
+		for i := 1; i <= 3; i++ {
+			p.Hold(10 * sim.Microsecond)
+			inbox.Send(i, 5*sim.Microsecond) // 5µs transmission delay
+		}
+	})
+	k.Spawn("consumer", func(p *sim.Process) {
+		for i := 0; i < 3; i++ {
+			v := inbox.Recv(p)
+			fmt.Printf("t=%v received %v\n", p.Now(), v)
+		}
+	})
+
+	if _, err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// t=15µs received 1
+	// t=25µs received 2
+	// t=35µs received 3
+}

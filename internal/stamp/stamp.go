@@ -1,0 +1,147 @@
+// Package stamp implements the vector timestamps of the D-GMC protocol.
+//
+// A timestamp T is an n-tuple of natural numbers, n being the number of
+// switches in the network; T[x] counts how many events have been heard from
+// switch x for a given multipoint connection. Timestamps are partially
+// ordered componentwise: A ≤ B iff A[i] ≤ B[i] for all i, and A < B iff
+// A ≤ B and A ≠ B (paper §3).
+package stamp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Stamp is a vector timestamp. The zero-length Stamp is valid and compares
+// equal to itself; all stamps participating in a comparison must have equal
+// length (the network size n).
+type Stamp []uint32
+
+// New returns an all-zero stamp for an n-switch network.
+func New(n int) Stamp { return make(Stamp, n) }
+
+// Clone returns an independent copy of s.
+func (s Stamp) Clone() Stamp {
+	c := make(Stamp, len(s))
+	copy(c, s)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o. The lengths must match.
+func (s Stamp) CopyFrom(o Stamp) {
+	copy(s, o)
+}
+
+// Equal reports whether s and o are identical.
+func (s Stamp) Equal(o Stamp) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Geq reports s ≥ o (componentwise). Stamps of different lengths are
+// incomparable and Geq returns false.
+func (s Stamp) Geq(o Stamp) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Leq reports s ≤ o (componentwise).
+func (s Stamp) Leq(o Stamp) bool { return o.Geq(s) }
+
+// Greater reports s > o, i.e. s ≥ o and s ≠ o (the paper's strict order).
+func (s Stamp) Greater(o Stamp) bool { return s.Geq(o) && !s.Equal(o) }
+
+// Less reports s < o.
+func (s Stamp) Less(o Stamp) bool { return o.Greater(s) }
+
+// Concurrent reports whether neither s ≥ o nor o ≥ s holds (the stamps
+// reflect conflicting views). Stamps of different lengths are considered
+// concurrent.
+func (s Stamp) Concurrent(o Stamp) bool { return !s.Geq(o) && !o.Geq(s) }
+
+// MaxInPlace sets s[i] = max(s[i], o[i]) for every component — the update
+// ReceiveLSA applies to the expected stamp E on every LSA arrival.
+func (s Stamp) MaxInPlace(o Stamp) {
+	n := len(s)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if o[i] > s[i] {
+			s[i] = o[i]
+		}
+	}
+}
+
+// Inc increments component x, recording one more event heard from switch x.
+func (s Stamp) Inc(x int) {
+	if x >= 0 && x < len(s) {
+		s[x]++
+	}
+}
+
+// Sum returns the total number of events recorded across all components.
+func (s Stamp) Sum() uint64 {
+	var t uint64
+	for _, v := range s {
+		t += uint64(v)
+	}
+	return t
+}
+
+// String renders the stamp compactly, e.g. "⟨0 2 1⟩".
+func (s Stamp) String() string {
+	var b strings.Builder
+	b.WriteString("⟨")
+	for i, v := range s {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteString("⟩")
+	return b.String()
+}
+
+// AppendBinary appends a length-prefixed big-endian encoding of s to buf
+// and returns the extended slice.
+func (s Stamp) AppendBinary(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	for _, v := range s {
+		buf = binary.BigEndian.AppendUint32(buf, v)
+	}
+	return buf
+}
+
+// DecodeBinary parses a stamp encoded by AppendBinary from the front of buf
+// and returns the stamp and the remaining bytes.
+func DecodeBinary(buf []byte) (Stamp, []byte, error) {
+	if len(buf) < 4 {
+		return nil, nil, fmt.Errorf("stamp: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	if n < 0 || len(buf) < 4*n {
+		return nil, nil, fmt.Errorf("stamp: truncated stamp of %d components", n)
+	}
+	s := make(Stamp, n)
+	for i := 0; i < n; i++ {
+		s[i] = binary.BigEndian.Uint32(buf[4*i:])
+	}
+	return s, buf[4*n:], nil
+}

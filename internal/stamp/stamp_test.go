@@ -1,0 +1,228 @@
+package stamp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderBasics(t *testing.T) {
+	a := Stamp{1, 2, 3}
+	b := Stamp{1, 2, 3}
+	c := Stamp{2, 2, 3}
+	d := Stamp{0, 5, 3}
+
+	if !a.Equal(b) || !a.Geq(b) || !a.Leq(b) {
+		t.Error("equal stamps must satisfy ==, >=, <=")
+	}
+	if a.Greater(b) || a.Less(b) {
+		t.Error("equal stamps must not be strictly ordered")
+	}
+	if !c.Greater(a) || !a.Less(c) || !c.Geq(a) {
+		t.Error("c should dominate a")
+	}
+	if !a.Concurrent(d) || !d.Concurrent(a) {
+		t.Error("a and d should be concurrent")
+	}
+	if a.Concurrent(c) {
+		t.Error("comparable stamps reported concurrent")
+	}
+}
+
+func TestDifferentLengthsIncomparable(t *testing.T) {
+	a := Stamp{1, 2}
+	b := Stamp{1, 2, 0}
+	if a.Equal(b) || a.Geq(b) || b.Geq(a) {
+		t.Error("stamps of different lengths must be incomparable")
+	}
+	if !a.Concurrent(b) {
+		t.Error("different lengths should report concurrent")
+	}
+}
+
+func TestIncAndSum(t *testing.T) {
+	s := New(4)
+	s.Inc(2)
+	s.Inc(2)
+	s.Inc(0)
+	s.Inc(-1) // ignored
+	s.Inc(4)  // ignored
+	if s[0] != 1 || s[2] != 2 || s[1] != 0 || s[3] != 0 {
+		t.Fatalf("stamp = %v", s)
+	}
+	if s.Sum() != 3 {
+		t.Errorf("sum = %d, want 3", s.Sum())
+	}
+}
+
+func TestMaxInPlace(t *testing.T) {
+	s := Stamp{5, 0, 2}
+	s.MaxInPlace(Stamp{1, 4, 2})
+	want := Stamp{5, 4, 2}
+	if !s.Equal(want) {
+		t.Errorf("max = %v, want %v", s, want)
+	}
+	// Shorter other: only the overlap is merged.
+	s.MaxInPlace(Stamp{9})
+	if s[0] != 9 || s[1] != 4 {
+		t.Errorf("partial max = %v", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := Stamp{1, 2}
+	c := s.Clone()
+	c.Inc(0)
+	if s[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+	s.CopyFrom(Stamp{7, 8})
+	if s[0] != 7 || s[1] != 8 {
+		t.Errorf("CopyFrom result = %v", s)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Stamp{0, 2, 1}).String(); got != "⟨0 2 1⟩" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(0).String(); got != "⟨⟩" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := []Stamp{nil, {}, {0}, {1, 2, 3}, New(100)}
+	for _, s := range cases {
+		buf := s.AppendBinary(nil)
+		got, rest, err := DecodeBinary(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", s, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("decode %v left %d bytes", s, len(rest))
+		}
+		if len(got) != len(s) {
+			t.Fatalf("round trip %v -> %v", s, got)
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				t.Fatalf("round trip %v -> %v", s, got)
+			}
+		}
+	}
+}
+
+func TestDecodeBinaryErrors(t *testing.T) {
+	if _, _, err := DecodeBinary(nil); err == nil {
+		t.Error("decoding nil should fail")
+	}
+	if _, _, err := DecodeBinary([]byte{0, 0, 0, 5, 1, 2}); err == nil {
+		t.Error("decoding truncated payload should fail")
+	}
+}
+
+// randomStamp generates stamps with small components so ordered pairs occur.
+func randomStamp(r *rand.Rand, n int) Stamp {
+	s := New(n)
+	for i := range s {
+		s[i] = uint32(r.Intn(4))
+	}
+	return s
+}
+
+func TestQuickPartialOrderLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(8)
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randomStamp(r, n))
+			}
+		},
+		Rand: r,
+	}
+
+	// Reflexivity, antisymmetry encoded via Equal, transitivity.
+	law := func(a, b, c Stamp) bool {
+		if !a.Geq(a) || !a.Leq(a) || a.Greater(a) {
+			return false
+		}
+		if a.Geq(b) && b.Geq(a) && !a.Equal(b) {
+			return false
+		}
+		if a.Geq(b) && b.Geq(c) && !a.Geq(c) {
+			return false
+		}
+		// Exactly one of: equal, a>b, b>a, concurrent.
+		states := 0
+		if a.Equal(b) {
+			states++
+		}
+		if a.Greater(b) {
+			states++
+		}
+		if b.Greater(a) {
+			states++
+		}
+		if a.Concurrent(b) {
+			states++
+		}
+		return states == 1
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxIsLeastUpperBound(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(8)
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randomStamp(r, n))
+			}
+		},
+		Rand: r,
+	}
+	law := func(a, b Stamp) bool {
+		m := a.Clone()
+		m.MaxInPlace(b)
+		if !m.Geq(a) || !m.Geq(b) {
+			return false
+		}
+		// Least: any upper bound u of a,b dominates m.
+		u := a.Clone()
+		u.MaxInPlace(b)
+		for i := range u {
+			u[i]++ // strictly above both
+		}
+		return u.Geq(m)
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomStamp(r, r.Intn(64)))
+		},
+		Rand: r,
+	}
+	law := func(s Stamp) bool {
+		buf := s.AppendBinary(nil)
+		got, rest, err := DecodeBinary(buf)
+		return err == nil && len(rest) == 0 && got.Equal(s) || (len(s) == 0 && len(got) == 0 && err == nil)
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package topo
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT emits the graph in Graphviz DOT format. Downed links are drawn
+// dashed. highlight, if non-nil, marks a subset of switches (e.g. MC
+// members) with a doubled circle.
+func (g *Graph) WriteDOT(w io.Writer, name string, highlight map[SwitchID]bool) error {
+	if name == "" {
+		name = "network"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n  node [shape=circle];\n", name)
+	for s := 0; s < g.n; s++ {
+		attr := ""
+		if highlight[SwitchID(s)] {
+			attr = " [shape=doublecircle]"
+		}
+		fmt.Fprintf(&b, "  %d%s;\n", s, attr)
+	}
+	for _, l := range g.links {
+		style := ""
+		if l.Down {
+			style = ", style=dashed, color=red"
+		}
+		fmt.Fprintf(&b, "  %d -- %d [label=\"%v\"%s];\n", l.A, l.B, l.Delay, style)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

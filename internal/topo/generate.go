@@ -1,0 +1,245 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// GenConfig controls random network generation. The zero value is not
+// useful; start from DefaultGenConfig.
+type GenConfig struct {
+	// N is the number of switches.
+	N int
+	// Seed drives all randomness; equal seeds give equal graphs.
+	Seed int64
+	// MinDelay and MaxDelay bound per-link delays (uniform).
+	MinDelay, MaxDelay time.Duration
+	// Capacity is assigned to every link.
+	Capacity float64
+	// Waxman parameters: edge probability alpha*exp(-d/(beta*L)) where d is
+	// the Euclidean distance between the endpoints and L the maximum
+	// distance. Typical values from Waxman's paper: alpha≈0.2..0.4,
+	// beta≈0.1..0.4. Used by Waxman only.
+	Alpha, Beta float64
+	// AvgDegree is the target average node degree (Waxman adjusts edge
+	// count toward it; GNM uses exactly N*AvgDegree/2 edges).
+	AvgDegree float64
+}
+
+// DefaultGenConfig returns parameters producing sparse, WAN-like graphs of
+// n switches comparable to those in the 1996 study: average degree ~3.5,
+// uniform link delays.
+func DefaultGenConfig(n int, seed int64) GenConfig {
+	return GenConfig{
+		N:         n,
+		Seed:      seed,
+		MinDelay:  5 * time.Microsecond,
+		MaxDelay:  15 * time.Microsecond,
+		Capacity:  155.0, // OC-3-ish, in Mb/s; only ratios matter
+		Alpha:     0.25,
+		Beta:      0.4,
+		AvgDegree: 3.5,
+	}
+}
+
+func (c GenConfig) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("topo: need at least 2 switches, got %d", c.N)
+	}
+	if c.MinDelay <= 0 || c.MaxDelay < c.MinDelay {
+		return fmt.Errorf("topo: bad delay range [%v,%v]", c.MinDelay, c.MaxDelay)
+	}
+	if c.AvgDegree < 2 {
+		return fmt.Errorf("topo: average degree %.2f too small for a connected graph", c.AvgDegree)
+	}
+	return nil
+}
+
+func (c GenConfig) randomDelay(rng *rand.Rand) time.Duration {
+	span := int64(c.MaxDelay - c.MinDelay)
+	if span == 0 {
+		return c.MinDelay
+	}
+	return c.MinDelay + time.Duration(rng.Int63n(span+1))
+}
+
+// Waxman generates a connected Waxman random graph: switches are placed
+// uniformly in the unit square and each candidate edge is accepted with
+// probability alpha*exp(-d/(beta*L)). A random spanning tree is added first
+// so the result is always connected; extra edges are then sampled until the
+// target average degree is met or the candidate pool is exhausted.
+func Waxman(cfg GenConfig) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.N
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	maxDist := math.Sqrt2 // diagonal of the unit square
+
+	g := New(n)
+	// Random spanning tree: connect each switch (in shuffled order) to a
+	// uniformly chosen already-connected switch.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := SwitchID(perm[i])
+		b := SwitchID(perm[rng.Intn(i)])
+		if err := g.AddLink(a, b, cfg.randomDelay(rng), cfg.Capacity); err != nil {
+			return nil, err
+		}
+	}
+
+	wantLinks := int(float64(n) * cfg.AvgDegree / 2)
+	type cand struct {
+		a, b SwitchID
+		p    float64
+	}
+	var pool []cand
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if _, exists := g.Link(SwitchID(a), SwitchID(b)); exists {
+				continue
+			}
+			d := math.Hypot(xs[a]-xs[b], ys[a]-ys[b])
+			pool = append(pool, cand{SwitchID(a), SwitchID(b), cfg.Alpha * math.Exp(-d/(cfg.Beta*maxDist))})
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	for _, c := range pool {
+		if g.NumLinks() >= wantLinks {
+			break
+		}
+		if rng.Float64() < c.p {
+			if err := g.AddLink(c.a, c.b, cfg.randomDelay(rng), cfg.Capacity); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// If Waxman rejection left us short, top up with uniform extra edges so
+	// all generated graphs have comparable density.
+	for _, c := range pool {
+		if g.NumLinks() >= wantLinks {
+			break
+		}
+		if _, exists := g.Link(c.a, c.b); !exists {
+			if err := g.AddLink(c.a, c.b, cfg.randomDelay(rng), cfg.Capacity); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// GNM generates a connected uniform random graph with exactly
+// round(N*AvgDegree/2) links (a spanning tree plus uniformly chosen extra
+// edges).
+func GNM(cfg GenConfig) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.N
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := SwitchID(perm[i])
+		b := SwitchID(perm[rng.Intn(i)])
+		if err := g.AddLink(a, b, cfg.randomDelay(rng), cfg.Capacity); err != nil {
+			return nil, err
+		}
+	}
+	want := int(float64(n) * cfg.AvgDegree / 2)
+	maxLinks := n * (n - 1) / 2
+	if want > maxLinks {
+		want = maxLinks
+	}
+	for g.NumLinks() < want {
+		a := SwitchID(rng.Intn(n))
+		b := SwitchID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		if _, exists := g.Link(a, b); exists {
+			continue
+		}
+		if err := g.AddLink(a, b, cfg.randomDelay(rng), cfg.Capacity); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Ring returns a ring of n switches with uniform delay d — handy for tests
+// with predictable distances.
+func Ring(n int, d time.Duration) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topo: ring needs >=3 switches, got %d", n)
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddLink(SwitchID(i), SwitchID((i+1)%n), d, 1); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Line returns a path graph 0-1-...-n-1 with uniform delay d.
+func Line(n int, d time.Duration) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: line needs >=2 switches, got %d", n)
+	}
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddLink(SwitchID(i), SwitchID(i+1), d, 1); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Star returns a star with switch 0 at the center and uniform delay d.
+func Star(n int, d time.Duration) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: star needs >=2 switches, got %d", n)
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddLink(0, SwitchID(i), d, 1); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Grid returns a rows x cols mesh with uniform delay d. Switch (r,c) has ID
+// r*cols+c.
+func Grid(rows, cols int, d time.Duration) (*Graph, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topo: bad grid %dx%d", rows, cols)
+	}
+	g := New(rows * cols)
+	id := func(r, c int) SwitchID { return SwitchID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := g.AddLink(id(r, c), id(r, c+1), d, 1); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddLink(id(r, c), id(r+1, c), d, 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

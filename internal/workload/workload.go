@@ -1,0 +1,199 @@
+// Package workload generates the membership-event sequences of the paper's
+// simulation study (§4.1): bursty workloads, where conflicting events
+// cluster within a short period (the start of a multi-party conversation),
+// and normal workloads, where events are spread far enough apart to be
+// handled individually.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/sim"
+	"dgmc/internal/topo"
+)
+
+// Event is one membership change to inject.
+type Event struct {
+	// At is the virtual time of the event.
+	At sim.Time
+	// Switch is the ingress switch where the event occurs.
+	Switch topo.SwitchID
+	// Join is true for joins, false for leaves.
+	Join bool
+	// Role is the member's role for joins.
+	Role mctree.Role
+}
+
+// Config parameterizes a generated event sequence.
+type Config struct {
+	// N is the network size (switch IDs are drawn from [0, N)).
+	N int
+	// Events is the number of membership events to generate.
+	Events int
+	// Seed drives all randomness.
+	Seed int64
+	// Start offsets the first event.
+	Start sim.Time
+	// Window spreads bursty events uniformly over [Start, Start+Window).
+	// Used by Bursty only.
+	Window sim.Time
+	// MeanGap is the mean exponential inter-arrival gap for Sparse.
+	MeanGap sim.Time
+	// JoinBias is the probability that an event is a join while leaves are
+	// possible (members exist). Defaults to 0.7 when zero.
+	JoinBias float64
+	// Role is assigned to every join. Defaults to SenderReceiver when zero.
+	Role mctree.Role
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.N < 2 {
+		return c, fmt.Errorf("workload: network size %d too small", c.N)
+	}
+	if c.Events < 1 {
+		return c, fmt.Errorf("workload: need at least 1 event, got %d", c.Events)
+	}
+	if c.Events > c.N {
+		return c, fmt.Errorf("workload: %d events exceed %d switches (one membership change per switch)", c.Events, c.N)
+	}
+	if c.JoinBias == 0 {
+		c.JoinBias = 0.7
+	}
+	if c.JoinBias < 0 || c.JoinBias > 1 {
+		return c, fmt.Errorf("workload: join bias %.2f outside [0,1]", c.JoinBias)
+	}
+	if c.Role == 0 {
+		c.Role = mctree.SenderReceiver
+	}
+	return c, nil
+}
+
+// generate draws events at the given times. A switch joins at most once
+// per sequence and may later leave (join → leave), so every event is a
+// genuine membership change and no switch re-joins within one scenario.
+func generate(cfg Config, times []sim.Time) []Event {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	members := map[topo.SwitchID]bool{}
+	used := map[topo.SwitchID]bool{}
+	events := make([]Event, 0, len(times))
+	for _, at := range times {
+		join := true
+		if len(members) > 0 && rng.Float64() > cfg.JoinBias {
+			join = false
+		}
+		var s topo.SwitchID
+		if join {
+			for {
+				s = topo.SwitchID(rng.Intn(cfg.N))
+				if !used[s] {
+					break
+				}
+			}
+			members[s] = true
+		} else {
+			// Leave a uniformly chosen current member.
+			ids := make([]topo.SwitchID, 0, len(members))
+			for m := range members {
+				ids = append(ids, m)
+			}
+			sortSwitches(ids)
+			s = ids[rng.Intn(len(ids))]
+			delete(members, s)
+		}
+		used[s] = true
+		events = append(events, Event{At: at, Switch: s, Join: join, Role: cfg.Role})
+	}
+	return events
+}
+
+func sortSwitches(ids []topo.SwitchID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Bursty generates cfg.Events membership events clustered uniformly within
+// cfg.Window — the conflicting-event scenario of Experiments 1 and 2.
+func Bursty(cfg Config) ([]Event, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("workload: bursty window must be positive, got %v", cfg.Window)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995))
+	times := make([]sim.Time, cfg.Events)
+	for i := range times {
+		times[i] = cfg.Start + sim.Time(rng.Int63n(int64(cfg.Window)))
+	}
+	sortTimes(times)
+	return generate(cfg, times), nil
+}
+
+// Sparse generates cfg.Events membership events with exponential
+// inter-arrival gaps of mean cfg.MeanGap — the normal-traffic scenario of
+// Experiment 3, where events rarely conflict.
+func Sparse(cfg Config) ([]Event, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MeanGap <= 0 {
+		return nil, fmt.Errorf("workload: sparse mean gap must be positive, got %v", cfg.MeanGap)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x2545f491))
+	times := make([]sim.Time, cfg.Events)
+	at := cfg.Start
+	for i := range times {
+		gap := sim.Time(float64(cfg.MeanGap) * expVariate(rng))
+		// Keep a floor of half the mean so two events cannot collide even
+		// in the exponential tail, matching the paper's "sufficiently
+		// separated" description.
+		if gap < cfg.MeanGap/2 {
+			gap = cfg.MeanGap / 2
+		}
+		at += gap
+		times[i] = at
+	}
+	return generate(cfg, times), nil
+}
+
+// expVariate returns an Exp(1) sample.
+func expVariate(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Span returns the time range covered by events.
+func Span(events []Event) (first, last sim.Time) {
+	if len(events) == 0 {
+		return 0, 0
+	}
+	first, last = events[0].At, events[0].At
+	for _, e := range events[1:] {
+		if e.At < first {
+			first = e.At
+		}
+		if e.At > last {
+			last = e.At
+		}
+	}
+	return first, last
+}
+
+func sortTimes(ts []sim.Time) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/sim"
+	"dgmc/internal/topo"
+)
+
+func validCfg() Config {
+	return Config{N: 20, Events: 10, Seed: 1, Window: time.Millisecond, MeanGap: time.Millisecond}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"too few switches", func(c *Config) { c.N = 1 }},
+		{"zero events", func(c *Config) { c.Events = 0 }},
+		{"more events than switches", func(c *Config) { c.Events = 21 }},
+		{"negative join bias", func(c *Config) { c.JoinBias = -0.1 }},
+		{"join bias above one", func(c *Config) { c.JoinBias = 1.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validCfg()
+			tt.mutate(&cfg)
+			if _, err := Bursty(cfg); err == nil {
+				t.Error("Bursty accepted invalid config")
+			}
+			if _, err := Sparse(cfg); err == nil {
+				t.Error("Sparse accepted invalid config")
+			}
+		})
+	}
+	bad := validCfg()
+	bad.Window = 0
+	if _, err := Bursty(bad); err == nil {
+		t.Error("Bursty accepted zero window")
+	}
+	bad = validCfg()
+	bad.MeanGap = 0
+	if _, err := Sparse(bad); err == nil {
+		t.Error("Sparse accepted zero mean gap")
+	}
+}
+
+func TestBurstyEventsWithinWindow(t *testing.T) {
+	cfg := validCfg()
+	cfg.Start = 5 * time.Millisecond
+	events, err := Bursty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != cfg.Events {
+		t.Fatalf("events = %d", len(events))
+	}
+	first, last := Span(events)
+	if first < cfg.Start || last >= cfg.Start+cfg.Window {
+		t.Errorf("events outside window: [%v,%v]", first, last)
+	}
+	// Sorted by time.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("events unsorted")
+		}
+	}
+}
+
+func TestSparseEventsSeparated(t *testing.T) {
+	cfg := validCfg()
+	events, err := Sparse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(events); i++ {
+		gap := events[i].At - events[i-1].At
+		if gap < cfg.MeanGap/2 {
+			t.Errorf("gap %v below floor %v", gap, cfg.MeanGap/2)
+		}
+	}
+}
+
+func TestEventSequenceIsConsistent(t *testing.T) {
+	// Every leave must target a current member; every join a switch that
+	// never joined before (join → leave is allowed, rejoin is not).
+	for seed := int64(0); seed < 30; seed++ {
+		cfg := validCfg()
+		cfg.Seed = seed
+		cfg.Events = 15
+		cfg.JoinBias = 0.5
+		events, err := Bursty(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members := map[topo.SwitchID]bool{}
+		joined := map[topo.SwitchID]bool{}
+		for _, e := range events {
+			if e.Join {
+				if joined[e.Switch] {
+					t.Fatalf("seed %d: switch %d re-joined", seed, e.Switch)
+				}
+				joined[e.Switch] = true
+				members[e.Switch] = true
+				if e.Role != mctree.SenderReceiver {
+					t.Fatalf("seed %d: default role = %v", seed, e.Role)
+				}
+			} else {
+				if !members[e.Switch] {
+					t.Fatalf("seed %d: leave of non-member %d", seed, e.Switch)
+				}
+				delete(members, e.Switch)
+			}
+		}
+	}
+}
+
+func TestFirstEventIsAlwaysJoin(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := validCfg()
+		cfg.Seed = seed
+		cfg.JoinBias = 0.1 // leaves strongly preferred — but impossible first
+		events, err := Sparse(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !events[0].Join {
+			t.Fatalf("seed %d: first event is a leave", seed)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := validCfg()
+	a, err := Bursty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bursty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	cfg.Seed = 2
+	c, err := Bursty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestSpanEmpty(t *testing.T) {
+	f, l := Span(nil)
+	if f != 0 || l != 0 {
+		t.Errorf("Span(nil) = %v,%v", f, l)
+	}
+	one := []Event{{At: sim.Time(5)}}
+	f, l = Span(one)
+	if f != 5 || l != 5 {
+		t.Errorf("Span(single) = %v,%v", f, l)
+	}
+}
+
+func TestCustomRole(t *testing.T) {
+	cfg := validCfg()
+	cfg.Role = mctree.Receiver
+	cfg.JoinBias = 1.0
+	events, err := Bursty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Role != mctree.Receiver {
+			t.Fatalf("role = %v", e.Role)
+		}
+	}
+}
