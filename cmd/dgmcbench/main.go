@@ -8,6 +8,7 @@
 //	dgmcbench -experiment trees      # CBT vs Steiner tree quality
 //	dgmcbench -experiment burst      # overheads vs burst size (fixed n)
 //	dgmcbench -experiment hier       # flat vs hierarchical extension
+//	dgmcbench -experiment loss       # convergence under injected loss
 //	dgmcbench -experiment all        # everything
 //
 // Use -graphs and -sizes to trade fidelity for speed, and -csv for
@@ -35,7 +36,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dgmcbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "1, 2, 3, baselines, trees, burst, hier, or all")
+	experiment := fs.String("experiment", "all", "1, 2, 3, baselines, trees, burst, hier, loss, or all")
 	graphs := fs.Int("graphs", 20, "random graphs per network size")
 	sizes := fs.String("sizes", "20,40,60,80,100", "comma-separated network sizes")
 	events := fs.Int("events", 10, "membership events per run")
@@ -144,6 +145,15 @@ func run(args []string, w io.Writer) error {
 	}
 	if all || want["hier"] {
 		t, err := exp.Hierarchy(exp.HierarchyParams{BaseSeed: *seed, RunsPerPoint: *graphs / 2})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if all || want["loss"] {
+		t, err := exp.Loss(exp.LossParams{BaseSeed: *seed, RunsPerPoint: *graphs / 2, Events: *events})
 		if err != nil {
 			return err
 		}

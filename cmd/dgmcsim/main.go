@@ -3,6 +3,7 @@
 //
 //	dgmcsim -n 20 -events 8 -burst -trace
 //	dgmcsim -n 50 -events 12 -algorithm kmb -kind asymmetric
+//	dgmcsim -n 20 -mode reliable -drop 0.1 -resync 4
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"dgmc/internal/core"
+	"dgmc/internal/faults"
 	"dgmc/internal/flood"
 	"dgmc/internal/lsa"
 	"dgmc/internal/mctree"
@@ -42,8 +44,26 @@ func run(args []string, w io.Writer) error {
 	trace := fs.Bool("trace", false, "print the full protocol trace")
 	failLink := fs.Bool("faillink", false, "after convergence, fail a link on the MC tree and show the repair")
 	reopt := fs.Float64("reopt", 0, "re-optimization threshold for link recoveries (0 = off)")
+	modeName := fs.String("mode", "direct", "flooding transport: direct, hopbyhop, tree, reliable")
+	drop := fs.Float64("drop", 0, "per-transmission drop probability (requires -mode reliable)")
+	dup := fs.Float64("dup", 0, "per-transmission duplication probability (requires -mode reliable)")
+	jitter := fs.Duration("jitter", 0, "max per-transmission delay jitter (requires -mode reliable)")
+	resync := fs.Float64("resync", 0, "resync timeout in rounds (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var mode flood.Mode
+	switch *modeName {
+	case "direct":
+		mode = flood.Direct
+	case "hopbyhop":
+		mode = flood.HopByHop
+	case "tree":
+		mode = flood.TreeBased
+	case "reliable":
+		mode = flood.Reliable
+	default:
+		return fmt.Errorf("unknown flooding mode %q", *modeName)
 	}
 
 	alg, err := route.ByName(*algName)
@@ -68,7 +88,18 @@ func run(args []string, w io.Writer) error {
 	}
 	k := sim.NewKernel()
 	defer k.Shutdown()
-	net, err := flood.New(k, g, *perHop, flood.Direct)
+	var opts []flood.Option
+	if *drop > 0 || *dup > 0 || *jitter > 0 {
+		inj, err := faults.New(k, faults.Plan{
+			Seed:    *seed,
+			Default: faults.LinkFaults{Drop: *drop, Dup: *dup, Jitter: *jitter},
+		})
+		if err != nil {
+			return err
+		}
+		opts = append(opts, flood.WithFaults(inj))
+	}
+	net, err := flood.New(k, g, *perHop, mode, opts...)
 	if err != nil {
 		return err
 	}
@@ -84,6 +115,7 @@ func run(args []string, w io.Writer) error {
 		Algorithm:           alg,
 		Kinds:               map[lsa.ConnID]mctree.Kind{1: kind},
 		ReoptimizeThreshold: *reopt,
+		ResyncTimeout:       sim.Time(*resync * float64(round)),
 	}
 	if *trace {
 		cfg.Tracer = &core.WriterTracer{W: w}
@@ -161,6 +193,13 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "events: %d  computations: %d (%.2f/event)  floodings: %d (%.2f/event)  withdrawn: %d\n",
 		m.Events, m.Computations, float64(m.Computations)/float64(m.Events),
 		net.Floodings(), float64(net.Floodings())/float64(m.Events), m.Withdrawn)
+	if mode == flood.Reliable {
+		fmt.Fprintf(w, "transport: %s\n", net.Reliability())
+		if m.ResyncRequests > 0 || m.OutOfOrderLSAs > 0 {
+			fmt.Fprintf(w, "resync: requests=%d responses=%d out-of-order=%d give-ups=%d\n",
+				m.ResyncRequests, m.ResyncResponses, m.OutOfOrderLSAs, m.ResyncGiveUps)
+		}
+	}
 	if snap, ok := d.Switch(0).Connection(1); ok {
 		fmt.Fprintf(w, "members: %v\n", snap.Members.IDs())
 		fmt.Fprintf(w, "topology: %s (cost %v)\n", snap.Topology, snap.Topology.Cost(g))

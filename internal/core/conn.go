@@ -5,6 +5,7 @@ import (
 	"dgmc/internal/mctree"
 	"dgmc/internal/route"
 	"dgmc/internal/stamp"
+	"dgmc/internal/topo"
 )
 
 // connState is one switch's protocol state for one multipoint connection:
@@ -40,6 +41,27 @@ type connState struct {
 	// mistaken for a fresh incarnation of the connection. A new event
 	// resurrects the state.
 	dormant bool
+
+	// eventLog retains every applied event LSA in application order, so
+	// this switch can replay missed events to a resyncing neighbor (the
+	// OSPF database-exchange analogue). The entry for switch x's i-th
+	// event has Stamp[x] == i, which is how resync responses are filtered.
+	// Like the counters, the log survives dormancy.
+	eventLog []*lsa.MC
+
+	// ooo buffers event LSAs that arrived ahead of per-origin order (the
+	// i+2nd event before the i+1st — possible once retransmission or
+	// injected jitter reorders deliveries). Keyed by origin, then by the
+	// event's per-origin index. oooCount mirrors the total buffered.
+	ooo      map[topo.SwitchID]map[uint32]*lsa.MC
+	oooCount int
+
+	// Resync state: whether a gap-check timer is armed, how many resync
+	// requests this incarnation of the gap has issued, and the rotation
+	// cursor over neighbors.
+	resyncScheduled bool
+	resyncRounds    int
+	resyncNext      int
 }
 
 func newConnState(id lsa.ConnID, kind mctree.Kind, n int) *connState {
@@ -51,6 +73,58 @@ func newConnState(id lsa.ConnID, kind mctree.Kind, n int) *connState {
 		e:       stamp.New(n),
 		c:       stamp.New(n),
 	}
+}
+
+// gapped reports whether this switch knows it is missing LSAs for the
+// connection: expectations exceed receipts, or events are buffered out of
+// order (direct evidence that the intervening ones were lost or delayed),
+// or — on a live connection — the committed stamp trails the received one,
+// which after a timeout means the accepted proposal's flood was lost.
+func (cs *connState) gapped() bool {
+	if cs.oooCount > 0 || !cs.r.Geq(cs.e) {
+		return true
+	}
+	return !cs.dormant && cs.r.Greater(cs.c)
+}
+
+// logEvent appends an applied event LSA to the replay log. Proposals are
+// kept: a replayed proposal-carrying event LSA lets a resyncing switch
+// adopt the topology it missed, not just the event.
+func (cs *connState) logEvent(m *lsa.MC) {
+	if m.Event.IsEvent() {
+		cs.eventLog = append(cs.eventLog, m)
+	}
+}
+
+// buffer stashes an out-of-order event LSA for later application; it
+// reports whether the LSA was newly buffered.
+func (cs *connState) buffer(m *lsa.MC) bool {
+	src := m.Src
+	idx := m.Stamp[int(src)]
+	if cs.ooo == nil {
+		cs.ooo = make(map[topo.SwitchID]map[uint32]*lsa.MC)
+	}
+	if cs.ooo[src] == nil {
+		cs.ooo[src] = make(map[uint32]*lsa.MC)
+	}
+	if _, dup := cs.ooo[src][idx]; dup {
+		return false
+	}
+	cs.ooo[src][idx] = m
+	cs.oooCount++
+	return true
+}
+
+// takeBuffered removes and returns the buffered event with the given
+// per-origin index, if present.
+func (cs *connState) takeBuffered(src topo.SwitchID, idx uint32) (*lsa.MC, bool) {
+	m, ok := cs.ooo[src][idx]
+	if !ok {
+		return nil, false
+	}
+	delete(cs.ooo[src], idx)
+	cs.oooCount--
+	return m, true
 }
 
 // applyMembership updates the member list for an event LSA from src.

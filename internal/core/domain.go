@@ -30,6 +30,17 @@ type Metrics struct {
 	// ReoptChecks counts re-optimization estimates run on link recovery
 	// (each also counts as a Computation).
 	ReoptChecks uint64
+	// OutOfOrderLSAs counts event LSAs buffered because they arrived ahead
+	// of per-origin order (only possible on lossy/jittery fabrics).
+	OutOfOrderLSAs uint64
+	// ResyncRequests and ResyncResponses count the gap-recovery exchanges
+	// (requests issued when R < E persisted past the resync timeout, and
+	// replay responses served to neighbors).
+	ResyncRequests  uint64
+	ResyncResponses uint64
+	// ResyncGiveUps counts connections on which a switch exhausted its
+	// resync round budget with the gap still open.
+	ResyncGiveUps uint64
 }
 
 // Config configures a D-GMC domain.
@@ -58,6 +69,19 @@ type Config struct {
 	// (recoveries then only update unicast images, as adverse changes are
 	// the only mandatory triggers).
 	ReoptimizeThreshold float64
+	// ResyncTimeout enables gap recovery on lossy fabrics: when a switch's
+	// received stamp R stays below its expected stamp E (or events sit
+	// buffered out of order) for this long, the switch requests a resync
+	// from a neighbor — a small request/replay exchange analogous to
+	// OSPF's database description. Zero disables resync; the protocol then
+	// assumes perfectly reliable flooding, as the paper does. Pick a value
+	// comfortably above the flooding round (e.g. 2×(Tf+Tc)) so resync only
+	// fires for genuine losses, not in-flight LSAs.
+	ResyncTimeout sim.Time
+	// ResyncMaxRounds bounds resync requests per connection per gap
+	// (default 64 when resync is enabled), guaranteeing quiescence even if
+	// a gap proves unfillable (e.g. a partitioned helper set).
+	ResyncMaxRounds int
 }
 
 // Domain is a network of switches all running the D-GMC protocol inside
@@ -71,6 +95,8 @@ type Domain struct {
 	tracer      Tracer
 	encodeLSAs  bool
 	reoptThresh float64
+	resyncAfter sim.Time
+	resyncMax   int
 	n           int
 
 	switches []*Switch
@@ -94,6 +120,15 @@ func NewDomain(k *sim.Kernel, cfg Config) (*Domain, error) {
 	if cfg.ReoptimizeThreshold < 0 {
 		return nil, fmt.Errorf("core: negative re-optimization threshold %v", cfg.ReoptimizeThreshold)
 	}
+	if cfg.ResyncTimeout < 0 {
+		return nil, fmt.Errorf("core: negative resync timeout %v", cfg.ResyncTimeout)
+	}
+	if cfg.ResyncMaxRounds < 0 {
+		return nil, fmt.Errorf("core: negative resync round limit %d", cfg.ResyncMaxRounds)
+	}
+	if cfg.ResyncMaxRounds == 0 {
+		cfg.ResyncMaxRounds = 64
+	}
 	d := &Domain{
 		k:           k,
 		net:         cfg.Net,
@@ -103,6 +138,8 @@ func NewDomain(k *sim.Kernel, cfg Config) (*Domain, error) {
 		tracer:      cfg.Tracer,
 		encodeLSAs:  cfg.EncodeLSAs,
 		reoptThresh: cfg.ReoptimizeThreshold,
+		resyncAfter: cfg.ResyncTimeout,
+		resyncMax:   cfg.ResyncMaxRounds,
 		n:           cfg.Net.Graph().NumSwitches(),
 		metrics:     &Metrics{},
 	}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"dgmc/internal/lsa"
+	"dgmc/internal/stamp"
+	"dgmc/internal/topo"
+)
+
+// Gap recovery for lossy fabrics (the OSPF database-exchange analogue).
+//
+// The paper assumes flooding is perfectly reliable, so R (received) can
+// never permanently trail E (expected). On a fabric that drops, duplicates,
+// or reorders LSAs that assumption breaks in three ways, each handled here:
+//
+//  1. Duplicated or reordered event LSAs would corrupt the member list if
+//     applied naively. applyEventLSA applies each origin's events strictly
+//     in order, using the fact that an event LSA from switch x carries
+//     Stamp[x] equal to x's per-connection event index: stale copies are
+//     dropped, early arrivals buffered until the gap before them fills.
+//
+//  2. A lost event LSA leaves R < E (or events buffered out of order)
+//     forever. When that persists past Config.ResyncTimeout the switch asks
+//     a neighbor to replay the per-origin suffixes beyond its R; neighbors
+//     rotate across rounds so a single equally-gapped peer cannot wedge
+//     recovery. The request's R also advertises the requester's knowledge:
+//     the peer merges it into its own E, so gap detection is symmetric.
+//
+//  3. A lost *proposal* flood leaves R = E but C behind on some switches —
+//     the protocol is quiescent but unconverged. The replay response ends
+//     with a pseudo-proposal (a triggered LSA carrying the peer's installed
+//     topology at its committed stamp) so the requester can adopt the
+//     topology it missed; and the requester independently nudges its own
+//     ReceiveLSA with makeProposal set, so even a neighborhood of equally
+//     wedged switches recomputes and floods a fresh proposal.
+//
+// Everything travels through the ordinary ReceiveLSA path and the ordinary
+// acceptance rules (a proposal is accepted only if its stamp dominates E),
+// so resync can never regress C or install a stale topology. Rounds are
+// bounded by Config.ResyncMaxRounds to guarantee quiescence.
+
+// resyncRequest asks a neighbor to replay the event LSAs the requester is
+// missing. R is the requester's received stamp; the peer replays exactly
+// the per-origin suffixes beyond it.
+type resyncRequest struct {
+	Conn lsa.ConnID
+	From topo.SwitchID
+	R    stamp.Stamp
+}
+
+// resyncResponse carries the replayed LSAs (in the peer's application
+// order, ending with a pseudo-proposal when the peer has an installed
+// topology). The batch is consumed by the ordinary ReceiveLSA path.
+type resyncResponse struct {
+	Conn  lsa.ConnID
+	From  topo.SwitchID
+	Batch []*lsa.MC
+}
+
+// resyncNudge is a self-addressed mailbox entry that runs ReceiveLSA with
+// an empty batch, giving Figure 5 line 19 a chance to fire after
+// resyncCheck set makeProposal (commit-lag recovery).
+type resyncNudge struct {
+	conn lsa.ConnID
+}
+
+// applyEventLSA performs Figure 5 lines 5-9 under per-origin ordering and
+// returns the LSAs the caller should continue processing: nil for a stale
+// or buffered copy, otherwise the LSA itself followed by any buffered
+// successors it released (R advanced and membership applied for each).
+// Non-event (triggered) LSAs pass through untouched. On a loss-free fabric
+// every event arrives exactly once and in order, so this reduces to the
+// paper's unconditional apply.
+func (s *Switch) applyEventLSA(cs *connState, m *lsa.MC) []*lsa.MC {
+	if !m.Event.IsEvent() {
+		return []*lsa.MC{m}
+	}
+	src := m.Src
+	x := int(src)
+	idx := m.Stamp[x]
+	switch {
+	case idx <= cs.r[x]:
+		// Already applied: a retransmitted, fault-duplicated, or replayed
+		// copy. Its stamp was merged into E when the first copy arrived.
+		return nil
+	case idx == cs.r[x]+1:
+		out := []*lsa.MC{m}
+		cs.r.Inc(x)
+		cs.applyMembership(m.Event, x, m.Role)
+		cs.logEvent(m)
+		// Applying this event may release buffered successors.
+		for {
+			next, ok := cs.takeBuffered(src, cs.r[x]+1)
+			if !ok {
+				break
+			}
+			cs.r.Inc(x)
+			cs.applyMembership(next.Event, x, next.Role)
+			cs.logEvent(next)
+			out = append(out, next)
+		}
+		return out
+	default:
+		// Ahead of order: an intervening event from src is missing. Buffer
+		// the LSA, but merge its stamp into E now — it is hard evidence the
+		// missing events exist, and the R < E it creates is what arms gap
+		// recovery.
+		if cs.buffer(m) {
+			cs.e.MaxInPlace(m.Stamp)
+			s.d.metrics.OutOfOrderLSAs++
+			s.d.trace(TraceResync, s.id, cs.id,
+				"buffered out-of-order event from %d (idx %d, applied %d)", src, idx, cs.r[x])
+		}
+		return nil
+	}
+}
+
+// maybeScheduleResync arms the gap-check timer for cs if resync is enabled,
+// the connection currently looks gapped, and no check is already pending.
+// Called after every EventHandler and ReceiveLSA invocation; a no-op when
+// the connection is healthy (it then also resets the round budget, so each
+// new gap starts fresh).
+func (s *Switch) maybeScheduleResync(cs *connState) {
+	if s.d.resyncAfter <= 0 || cs.resyncScheduled {
+		return
+	}
+	if !cs.gapped() {
+		cs.resyncRounds = 0
+		return
+	}
+	if cs.resyncRounds > s.d.resyncMax {
+		return // gave up on this gap; only new healthy state resets it
+	}
+	cs.resyncScheduled = true
+	s.d.k.After(s.d.resyncAfter, func() {
+		cs.resyncScheduled = false
+		s.resyncCheck(cs)
+	})
+}
+
+// resyncCheck runs when the gap-check timer fires: if the gap healed in the
+// meantime it does nothing; otherwise it spends one resync round on the
+// appropriate recovery action and re-arms.
+func (s *Switch) resyncCheck(cs *connState) {
+	if !cs.gapped() {
+		cs.resyncRounds = 0
+		return
+	}
+	if cs.resyncRounds >= s.d.resyncMax {
+		cs.resyncRounds = s.d.resyncMax + 1 // block further arming for this gap
+		s.d.metrics.ResyncGiveUps++
+		s.d.trace(TraceResync, s.id, cs.id,
+			"giving up after %d resync rounds (R=%s E=%s C=%s)", s.d.resyncMax, cs.r, cs.e, cs.c)
+		return
+	}
+	cs.resyncRounds++
+	if cs.oooCount == 0 && cs.r.Geq(cs.e) {
+		// Only the commit lags: every event is applied but the accepted
+		// proposal's flood was lost. Owe the network a proposal and nudge
+		// ReceiveLSA so line 19 recomputes and floods a triggered one.
+		cs.makeProposal = true
+		s.d.trace(TraceResync, s.id, cs.id,
+			"commit lag (R=%s C=%s): self-nudging a proposal (round %d)", cs.r, cs.c, cs.resyncRounds)
+		s.d.net.Mailbox(s.id).Send(resyncNudge{conn: cs.id}, 0)
+	} else if nbs := s.d.net.Graph().Neighbors(s.id); len(nbs) > 0 {
+		nb := nbs[cs.resyncNext%len(nbs)]
+		cs.resyncNext++
+		s.d.metrics.ResyncRequests++
+		s.d.trace(TraceResync, s.id, cs.id,
+			"requesting resync from %d (round %d, R=%s E=%s ooo=%d)", nb, cs.resyncRounds, cs.r, cs.e, cs.oooCount)
+		s.d.net.Unicast(s.id, nb, resyncRequest{Conn: cs.id, From: s.id, R: cs.r.Clone()})
+	}
+	s.maybeScheduleResync(cs)
+}
+
+// handleResyncRequest serves a neighbor's resync request from this switch's
+// event log: replay every logged event beyond the requester's R, close with
+// a pseudo-proposal carrying the installed topology, and let the request's
+// R advertise any events the requester has seen that we have not.
+func (s *Switch) handleResyncRequest(req resyncRequest) {
+	cs := s.conn(req.Conn)
+	if len(req.R) == len(cs.e) {
+		cs.e.MaxInPlace(req.R)
+	}
+	var batch []*lsa.MC
+	for _, m := range cs.eventLog {
+		if m.Stamp[int(m.Src)] > req.R[int(m.Src)] {
+			batch = append(batch, m)
+		}
+	}
+	if cs.topology != nil {
+		batch = append(batch, &lsa.MC{
+			Src: s.id, Event: lsa.None, Conn: cs.id,
+			Proposal: cs.topology, Stamp: cs.c.Clone(),
+		})
+	}
+	if len(batch) > 0 {
+		s.d.metrics.ResyncResponses++
+		s.d.trace(TraceResync, s.id, cs.id, "replaying %d LSAs to %d", len(batch), req.From)
+		s.d.net.Unicast(s.id, req.From, resyncResponse{Conn: cs.id, From: s.id, Batch: batch})
+	}
+	s.maybeScheduleResync(cs) // the E merge may have revealed our own gap
+}

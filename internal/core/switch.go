@@ -241,14 +241,18 @@ func (s *Switch) eventHandler(p *sim.Process, event lsa.Event, role mctree.Role,
 		// Line 6: is the proposal still valid?
 		if proposal != nil && cs.r.Equal(oldR) {
 			// Lines 7-10: flood proposal, install it.
-			s.floodMC(&lsa.MC{Src: s.id, Event: event, Role: role, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()})
+			m := &lsa.MC{Src: s.id, Event: event, Role: role, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()}
+			s.floodMC(m)
+			cs.logEvent(m)
 			cs.c.CopyFrom(oldR)
 			cs.makeProposal = false
 			s.install(cs, proposal, "event-handler")
 		} else {
 			// Lines 12-13: withdraw; flood the bare event, defer to
 			// ReceiveLSA.
-			s.floodMC(&lsa.MC{Src: s.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: oldR.Clone()})
+			m := &lsa.MC{Src: s.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: oldR.Clone()}
+			s.floodMC(m)
+			cs.logEvent(m)
 			cs.makeProposal = true
 			s.d.metrics.Withdrawn++
 			s.d.trace(TraceWithdraw, s.id, cs.id, "event-handler proposal withdrawn")
@@ -256,10 +260,13 @@ func (s *Switch) eventHandler(p *sim.Process, event lsa.Event, role mctree.Role,
 	} else {
 		// Lines 16-17: outstanding LSAs exist; flood the bare event and
 		// defer to ReceiveLSA.
-		s.floodMC(&lsa.MC{Src: s.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: cs.r.Clone()})
+		m := &lsa.MC{Src: s.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: cs.r.Clone()}
+		s.floodMC(m)
+		cs.logEvent(m)
 		cs.makeProposal = true
 	}
 	s.updateDormancy(cs)
+	s.maybeScheduleResync(cs)
 }
 
 // lsaLoop is the process body for the ReceiveLSA entity: it wakes whenever
@@ -275,11 +282,39 @@ func (s *Switch) lsaLoop(p *sim.Process) {
 
 // receiveBatch demultiplexes a drained mailbox batch: non-MC LSAs go to the
 // unicast substrate; MC LSAs are grouped per connection and handed to
-// ReceiveLSA (which the paper presents per-MC).
+// ReceiveLSA (which the paper presents per-MC). Resync traffic (unicast
+// requests/replays between neighbors, and self-addressed nudges) rides the
+// same mailbox: replayed LSAs join the per-connection groups, requests are
+// served after ReceiveLSA has consumed the batch.
 func (s *Switch) receiveBatch(p *sim.Process, batch []any) {
 	perConn := make(map[lsa.ConnID][]*lsa.MC)
 	var order []lsa.ConnID
+	var requests []resyncRequest
+	addMC := func(m *lsa.MC) {
+		if _, seen := perConn[m.Conn]; !seen {
+			order = append(order, m.Conn)
+		}
+		perConn[m.Conn] = append(perConn[m.Conn], m)
+	}
 	for _, raw := range batch {
+		switch v := raw.(type) {
+		case resyncNudge:
+			if _, seen := perConn[v.conn]; !seen {
+				order = append(order, v.conn)
+				perConn[v.conn] = nil
+			}
+			continue
+		case flood.Unicast:
+			switch pl := v.Payload.(type) {
+			case resyncRequest:
+				requests = append(requests, pl)
+			case resyncResponse:
+				for _, m := range pl.Batch {
+					addMC(m)
+				}
+			}
+			continue
+		}
 		del, ok := raw.(flood.Delivery)
 		if !ok {
 			continue
@@ -303,14 +338,14 @@ func (s *Switch) receiveBatch(p *sim.Process, batch []any) {
 				s.d.trace(TraceError, s.id, 0, "unicast LSA: %v", err)
 			}
 		case *lsa.MC:
-			if _, seen := perConn[m.Conn]; !seen {
-				order = append(order, m.Conn)
-			}
-			perConn[m.Conn] = append(perConn[m.Conn], m)
+			addMC(m)
 		}
 	}
 	for _, conn := range order {
 		s.receiveLSA(p, s.conn(conn), perConn[conn])
+	}
+	for _, req := range requests {
+		s.handleResyncRequest(req)
 	}
 }
 
@@ -326,23 +361,26 @@ func (s *Switch) receiveLSA(p *sim.Process, cs *connState, batch []*lsa.MC) {
 	// Lines 3-18: consume the LSAs.
 	for _, m := range batch {
 		s.d.trace(TraceRecv, s.id, cs.id, "recv %s", m)
-		// Lines 5-9: an event LSA advances R and the member list.
-		if m.Event.IsEvent() {
-			cs.r.Inc(int(m.Src))
-			cs.applyMembership(m.Event, int(m.Src), m.Role)
-		}
-		// Line 10: merge any new expectations.
-		cs.e.MaxInPlace(m.Stamp)
-		// Lines 11-17.
-		if m.Stamp.Geq(cs.e) && m.Proposal != nil {
-			// The proposal is based on every event known to this switch.
-			candidate = m.Proposal
-			candidateStamp = m.Stamp.Clone()
-			cs.makeProposal = false
-		} else if cs.r[x] > m.Stamp[x] {
-			// Inconsistency: the sender did not know about all our local
-			// events; we owe the network a proposal.
-			cs.makeProposal = true
+		// Lines 5-9: an event LSA advances R and the member list. A lossy
+		// transport can deliver copies duplicated or out of per-origin
+		// order, so application is ordered: stale copies are dropped, early
+		// ones buffered, and applying one event can release buffered
+		// successors — which are then consumed as if freshly received. On a
+		// loss-free transport this degenerates to the paper's lines 5-9.
+		for _, a := range s.applyEventLSA(cs, m) {
+			// Line 10: merge any new expectations.
+			cs.e.MaxInPlace(a.Stamp)
+			// Lines 11-17.
+			if a.Stamp.Geq(cs.e) && a.Proposal != nil {
+				// The proposal is based on every event known to this switch.
+				candidate = a.Proposal
+				candidateStamp = a.Stamp.Clone()
+				cs.makeProposal = false
+			} else if cs.r[x] > a.Stamp[x] {
+				// Inconsistency: the sender did not know about all our local
+				// events; we owe the network a proposal.
+				cs.makeProposal = true
+			}
 		}
 	}
 
@@ -378,6 +416,7 @@ func (s *Switch) receiveLSA(p *sim.Process, cs *connState, batch []*lsa.MC) {
 		s.install(cs, candidate, "receive-lsa")
 	}
 	s.updateDormancy(cs)
+	s.maybeScheduleResync(cs)
 }
 
 // filterReachable restricts a member set to switches this switch can

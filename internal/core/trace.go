@@ -29,6 +29,9 @@ const (
 	TraceDestroy
 	// TraceError: a protocol-level error was logged and absorbed.
 	TraceError
+	// TraceResync: gap-recovery activity (out-of-order buffering, resync
+	// requests, replays, give-ups).
+	TraceResync
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +53,8 @@ func (k TraceKind) String() string {
 		return "destroy"
 	case TraceError:
 		return "error"
+	case TraceResync:
+		return "resync"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", uint8(k))
 	}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dgmc/internal/core"
+	"dgmc/internal/faults"
 	"dgmc/internal/flood"
 	"dgmc/internal/lsa"
 	"dgmc/internal/metrics"
@@ -55,6 +56,19 @@ type Params struct {
 	SparseGapRounds float64
 	// Algorithm computes MC topologies. Defaults to route.SPH{}.
 	Algorithm route.Algorithm
+	// Mode selects the flooding transport. Defaults to flood.Direct, the
+	// analytic model the paper's experiments assume.
+	Mode flood.Mode
+	// Faults injects transport faults into every run (requires
+	// Mode == flood.Reliable). The plan's Seed is used as given, so two
+	// runs with identical Params see identical faults.
+	Faults *faults.Plan
+	// RetryBudget bounds reliable retransmission attempts per link copy
+	// (0 = the flood package default).
+	RetryBudget int
+	// ResyncTimeoutRounds enables gap recovery: the domain's resync timeout
+	// is set to this many rounds (Tf+Tc). Zero disables resync.
+	ResyncTimeoutRounds float64
 }
 
 func (p Params) normalized() Params {
@@ -75,6 +89,9 @@ func (p Params) normalized() Params {
 	}
 	if p.Algorithm == nil {
 		p.Algorithm = route.SPH{}
+	}
+	if p.Mode == 0 {
+		p.Mode = flood.Direct
 	}
 	return p
 }
@@ -121,6 +138,11 @@ type RunResult struct {
 	Tf                time.Duration
 	Round             time.Duration
 	ConvergenceRounds float64
+	// Retransmits and Resyncs report the reliable transport's recovery
+	// effort (both zero under Direct/HopByHop/TreeBased, and under
+	// Reliable on a fault-free fabric).
+	Retransmits uint64
+	Resyncs     uint64
 }
 
 // ProposalsPerEvent returns topology computations per event.
@@ -137,6 +159,14 @@ func (r RunResult) FloodingsPerEvent() float64 {
 		return 0
 	}
 	return float64(r.Floodings) / float64(r.Events)
+}
+
+// RetransmitsPerEvent returns link-level retransmissions per event.
+func (r RunResult) RetransmitsPerEvent() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.Retransmits) / float64(r.Events)
 }
 
 const experimentConn lsa.ConnID = 1
@@ -171,7 +201,18 @@ func RunDGMC(p Params, g *topo.Graph, events []workload.Event) (RunResult, error
 	p = p.normalized()
 	k := sim.NewKernel()
 	defer k.Shutdown()
-	net, err := flood.New(k, g, p.PerHop, flood.Direct)
+	var opts []flood.Option
+	if p.RetryBudget > 0 {
+		opts = append(opts, flood.WithRetryBudget(p.RetryBudget))
+	}
+	if p.Faults != nil {
+		inj, err := faults.New(k, *p.Faults)
+		if err != nil {
+			return RunResult{}, err
+		}
+		opts = append(opts, flood.WithFaults(inj))
+	}
+	net, err := flood.New(k, g, p.PerHop, p.Mode, opts...)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -179,7 +220,11 @@ func RunDGMC(p Params, g *topo.Graph, events []workload.Event) (RunResult, error
 	if err != nil {
 		return RunResult{}, err
 	}
-	d, err := core.NewDomain(k, core.Config{Net: net, ComputeTime: p.Tc, Algorithm: p.Algorithm})
+	cfg := core.Config{Net: net, ComputeTime: p.Tc, Algorithm: p.Algorithm}
+	if p.ResyncTimeoutRounds > 0 {
+		cfg.ResyncTimeout = sim.Time(p.ResyncTimeoutRounds * float64(tf+p.Tc))
+	}
+	d, err := core.NewDomain(k, cfg)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -207,6 +252,8 @@ func RunDGMC(p Params, g *topo.Graph, events []workload.Event) (RunResult, error
 		Withdrawn:    m.Withdrawn,
 		Tf:           tf,
 		Round:        round,
+		Retransmits:  net.Reliability().Retransmits,
+		Resyncs:      m.ResyncRequests,
 	}
 	if d.LastInstall() > first && round > 0 {
 		res.ConvergenceRounds = float64(d.LastInstall()-first) / float64(round)

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"dgmc/internal/faults"
+	"dgmc/internal/flood"
+	"dgmc/internal/metrics"
+)
+
+// LossParams configures the loss sweep: D-GMC over the reliable flooding
+// transport while the fault injector drops (and occasionally duplicates)
+// link transmissions at increasing rates. The sweep measures what loss
+// costs the protocol — extra retransmissions and slower convergence — and
+// demonstrates that it still converges everywhere.
+type LossParams struct {
+	// N is the network size. Defaults to 30.
+	N int
+	// DropRates lists the per-transmission drop probabilities to sweep.
+	// Defaults to {0, 0.01, 0.05, 0.1, 0.2}.
+	DropRates []float64
+	// RunsPerPoint is the number of independent runs (graph + workload +
+	// fault draw) per drop rate. Defaults to 10.
+	RunsPerPoint int
+	// BaseSeed makes the whole sweep reproducible.
+	BaseSeed int64
+	// PerHop is the per-hop LSA transmission/processing time. Defaults to
+	// 10µs (Experiment 1's ATM figure).
+	PerHop time.Duration
+	// Tc is the topology computation time. Defaults to 500µs.
+	Tc time.Duration
+	// Events is the number of membership events per run. Defaults to 10.
+	Events int
+	// Dup is the per-transmission duplication probability (exercises the
+	// duplicate-suppression path alongside loss). Defaults to 0.02.
+	Dup float64
+	// RetryBudget bounds retransmission attempts per link copy. Defaults
+	// to the flood package default (8).
+	RetryBudget int
+	// ResyncTimeoutRounds sets the gap-recovery timeout in rounds (Tf+Tc).
+	// Defaults to 4.
+	ResyncTimeoutRounds float64
+}
+
+func (p LossParams) normalized() LossParams {
+	if p.N == 0 {
+		p.N = 30
+	}
+	if len(p.DropRates) == 0 {
+		p.DropRates = []float64{0, 0.01, 0.05, 0.1, 0.2}
+	}
+	if p.RunsPerPoint == 0 {
+		p.RunsPerPoint = 10
+	}
+	if p.PerHop == 0 {
+		p.PerHop = 10 * time.Microsecond
+	}
+	if p.Tc == 0 {
+		p.Tc = 500 * time.Microsecond
+	}
+	if p.Events == 0 {
+		p.Events = 10
+	}
+	if p.Dup == 0 {
+		p.Dup = 0.02
+	}
+	if p.ResyncTimeoutRounds == 0 {
+		p.ResyncTimeoutRounds = 4
+	}
+	return p
+}
+
+// Loss runs the loss sweep and reports, per drop rate, the convergence time
+// in rounds, link-level retransmissions per event, and flooding operations
+// per event (means with 95% CIs across RunsPerPoint runs). Every run must
+// converge — R = E = C and identical topologies network-wide — or the sweep
+// fails; surviving injected loss is the experiment's claim, not a best
+// effort.
+func Loss(p LossParams) (*metrics.Table, error) {
+	p = p.normalized()
+	t := &metrics.Table{
+		Title: fmt.Sprintf(
+			"Loss sweep — D-GMC over reliable flooding (n=%d, dup=%.2g, %d runs/point)",
+			p.N, p.Dup, p.RunsPerPoint),
+		XLabel:  "drop-rate",
+		Columns: []string{"conv-rounds", "retransmits/event", "floodings/event"},
+	}
+	for ri, rate := range p.DropRates {
+		var conv, retr, fld metrics.Sample
+		for run := 0; run < p.RunsPerPoint; run++ {
+			seed := p.BaseSeed*104_729 + int64(ri)*10_007 + int64(run)
+			rp := Params{
+				Sizes:               []int{p.N},
+				GraphsPerSize:       1,
+				BaseSeed:            seed,
+				PerHop:              p.PerHop,
+				Tc:                  p.Tc,
+				Events:              p.Events,
+				Bursty:              true,
+				Mode:                flood.Reliable,
+				RetryBudget:         p.RetryBudget,
+				ResyncTimeoutRounds: p.ResyncTimeoutRounds,
+			}.normalized()
+			if rate > 0 || p.Dup > 0 {
+				rp.Faults = &faults.Plan{
+					Seed:    seed ^ 0x6c62_272e,
+					Default: faults.LinkFaults{Drop: rate, Dup: p.Dup},
+				}
+			}
+			g, err := buildGraph(rp, p.N, run)
+			if err != nil {
+				return nil, err
+			}
+			tf, err := probeTf(g, p.PerHop)
+			if err != nil {
+				return nil, err
+			}
+			events, err := buildEvents(rp, p.N, run, tf+p.Tc)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunDGMC(rp, g, events)
+			if err != nil {
+				return nil, fmt.Errorf("drop rate %g run %d: %w", rate, run, err)
+			}
+			conv.Add(res.ConvergenceRounds)
+			retr.Add(res.RetransmitsPerEvent())
+			fld.Add(res.FloodingsPerEvent())
+		}
+		cs, err := conv.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		rs, err := retr.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		fs, err := fld.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(rate, cs, rs, fs); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

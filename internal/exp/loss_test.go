@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dgmc/internal/flood"
+)
+
+func smallLossParams() LossParams {
+	return LossParams{
+		N:            12,
+		DropRates:    []float64{0, 0.2},
+		RunsPerPoint: 3,
+		BaseSeed:     4,
+		Events:       6,
+	}
+}
+
+// TestLossSweepDeterministic runs the same sweep twice and requires
+// identical tables: faults, workloads, and graphs are all seeded.
+func TestLossSweepDeterministic(t *testing.T) {
+	a, err := Loss(smallLossParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Loss(smallLossParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("loss sweep not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+	if len(a.Rows) != 2 || len(a.Rows[0].Cells) != 3 {
+		t.Fatalf("table shape wrong: %+v", a)
+	}
+	if zero := a.Rows[0].Cells[1]; zero.Mean != 0 {
+		t.Errorf("retransmits/event at drop rate 0 = %v, want 0", zero)
+	}
+	if lossy := a.Rows[1].Cells[1]; lossy.Mean == 0 {
+		t.Error("retransmits/event at drop rate 0.2 is zero; faults not injected")
+	}
+}
+
+// TestReliableMatchesHopByHopResults is the byte-identical guarantee at the
+// experiment level: a fault-free Reliable run must report exactly the same
+// RunResult as a HopByHop run of the same scenario, with zero retransmits.
+func TestReliableMatchesHopByHopResults(t *testing.T) {
+	base := Params{
+		Sizes:         []int{15},
+		GraphsPerSize: 1,
+		BaseSeed:      2,
+		PerHop:        10 * time.Microsecond,
+		Tc:            500 * time.Microsecond,
+		Events:        8,
+		Bursty:        true,
+	}
+	run := func(mode flood.Mode) RunResult {
+		p := base
+		p.Mode = mode
+		p = p.normalized()
+		g, err := buildGraph(p, 15, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := probeTf(g, p.PerHop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := buildEvents(p, 15, 0, tf+p.Tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunDGMC(p, g, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hop := run(flood.HopByHop)
+	rel := run(flood.Reliable)
+	if rel.Retransmits != 0 {
+		t.Errorf("fault-free reliable run retransmitted %d times", rel.Retransmits)
+	}
+	if hop != rel {
+		t.Errorf("results diverge:\nhop-by-hop: %+v\nreliable:   %+v", hop, rel)
+	}
+}

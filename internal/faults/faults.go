@@ -1,0 +1,217 @@
+// Package faults provides deterministic fault injection for the simulated
+// network fabric: per-link message loss, duplication, extra delay jitter,
+// and scheduled transient link flaps. A Plan describes what can go wrong;
+// an Injector, bound to a simulation kernel, turns the plan into concrete
+// per-transmission outcomes drawn from a seeded RNG, so every faulty run is
+// exactly reproducible from (plan, seed).
+//
+// Faults act at the transport level: a flapped link stays up in the
+// topology (no link-state event is generated), it just silently eats every
+// message during its outage window — the hardest case for a flooding
+// protocol, since nothing tells the routing layer to route around it. The
+// reliable flooding mode (flood.Reliable) plus the resync machinery in
+// internal/core exist to mask exactly these faults.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"dgmc/internal/sim"
+	"dgmc/internal/topo"
+)
+
+// LinkFaults describes the fault behaviour of one link (or the plan-wide
+// default): each transmission over the link is independently dropped with
+// probability Drop, duplicated with probability Dup, and delayed by an
+// extra uniform amount in [0, Jitter].
+type LinkFaults struct {
+	Drop   float64
+	Dup    float64
+	Jitter time.Duration
+}
+
+// clean reports whether the faults are all zero (a perfect link).
+func (lf LinkFaults) clean() bool { return lf.Drop == 0 && lf.Dup == 0 && lf.Jitter == 0 }
+
+func (lf LinkFaults) validate() error {
+	if lf.Drop < 0 || lf.Drop > 1 {
+		return fmt.Errorf("faults: drop probability %v outside [0,1]", lf.Drop)
+	}
+	if lf.Dup < 0 || lf.Dup > 1 {
+		return fmt.Errorf("faults: duplication probability %v outside [0,1]", lf.Dup)
+	}
+	if lf.Jitter < 0 {
+		return fmt.Errorf("faults: negative jitter %v", lf.Jitter)
+	}
+	return nil
+}
+
+func (lf LinkFaults) String() string {
+	return fmt.Sprintf("drop=%.3f dup=%.3f jitter=%v", lf.Drop, lf.Dup, lf.Jitter)
+}
+
+// Flap is a scheduled transient outage of the link (A,B): every
+// transmission in either direction during [DownAt, UpAt) is dropped. The
+// topology is not informed — the flap models an undetected outage.
+type Flap struct {
+	A, B   topo.SwitchID
+	DownAt sim.Time
+	UpAt   sim.Time
+}
+
+func (f Flap) String() string {
+	return fmt.Sprintf("flap(%d,%d) down %v..%v", f.A, f.B, f.DownAt, f.UpAt)
+}
+
+func linkKey(a, b topo.SwitchID) [2]topo.SwitchID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topo.SwitchID{a, b}
+}
+
+// Plan is a complete, declarative fault scenario. The zero Plan is a
+// perfect network.
+type Plan struct {
+	// Seed drives every random draw the injector makes.
+	Seed int64
+	// Default applies to every link without a per-link override.
+	Default LinkFaults
+	// Flaps lists scheduled transient outages.
+	Flaps []Flap
+
+	links map[[2]topo.SwitchID]LinkFaults
+}
+
+// SetLink overrides the fault behaviour of the link (a,b); direction is
+// ignored.
+func (p *Plan) SetLink(a, b topo.SwitchID, lf LinkFaults) {
+	if p.links == nil {
+		p.links = make(map[[2]topo.SwitchID]LinkFaults)
+	}
+	p.links[linkKey(a, b)] = lf
+}
+
+// Link returns the fault behaviour in effect for link (a,b).
+func (p *Plan) Link(a, b topo.SwitchID) LinkFaults {
+	if lf, ok := p.links[linkKey(a, b)]; ok {
+		return lf
+	}
+	return p.Default
+}
+
+// Validate checks that probabilities are in [0,1], jitters are non-negative,
+// and flap windows are well-ordered.
+func (p *Plan) Validate() error {
+	if err := p.Default.validate(); err != nil {
+		return err
+	}
+	for k, lf := range p.links {
+		if err := lf.validate(); err != nil {
+			return fmt.Errorf("link (%d,%d): %w", k[0], k[1], err)
+		}
+	}
+	for _, f := range p.Flaps {
+		if f.DownAt < 0 || f.UpAt <= f.DownAt {
+			return fmt.Errorf("faults: bad flap window %v", f)
+		}
+	}
+	return nil
+}
+
+// Describe renders the plan for traces and experiment logs.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault plan (seed %d): default %s", p.Seed, p.Default)
+	keys := make([][2]topo.SwitchID, 0, len(p.links))
+	for k := range p.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "; link(%d,%d) %s", k[0], k[1], p.links[k])
+	}
+	for _, f := range p.Flaps {
+		fmt.Fprintf(&b, "; %s", f)
+	}
+	return b.String()
+}
+
+// Outcome is the injector's verdict for one transmission.
+type Outcome struct {
+	// Drop means the transmission is lost.
+	Drop bool
+	// Flapped means the loss was caused by a flap window, not random loss.
+	Flapped bool
+	// Duplicate means a second, independent copy is also delivered.
+	Duplicate bool
+	// Jitter is the extra delay added to the (primary) delivery.
+	Jitter time.Duration
+	// DupJitter is the extra delay added to the duplicate delivery.
+	DupJitter time.Duration
+}
+
+// Injector applies a Plan to individual transmissions. It must only be used
+// from kernel context (simulation events and processes); the kernel's
+// deterministic scheduling then makes the draw sequence — and hence the
+// whole faulty run — reproducible.
+type Injector struct {
+	k    *sim.Kernel
+	plan Plan
+	rng  *rand.Rand
+
+	applied uint64
+}
+
+// New binds plan to kernel k after validating it.
+func New(k *sim.Kernel, plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{k: k, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}, nil
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() *Plan { return &in.plan }
+
+// Applied returns how many transmissions have been subjected to the plan.
+func (in *Injector) Applied() uint64 { return in.applied }
+
+// Apply decides the fate of one transmission over link (a,b) at the current
+// virtual time.
+func (in *Injector) Apply(a, b topo.SwitchID) Outcome {
+	in.applied++
+	now := in.k.Now()
+	for _, f := range in.plan.Flaps {
+		if linkKey(f.A, f.B) == linkKey(a, b) && now >= f.DownAt && now < f.UpAt {
+			return Outcome{Drop: true, Flapped: true}
+		}
+	}
+	lf := in.plan.Link(a, b)
+	if lf.clean() {
+		return Outcome{}
+	}
+	var o Outcome
+	if lf.Drop > 0 && in.rng.Float64() < lf.Drop {
+		o.Drop = true
+	}
+	if lf.Dup > 0 && in.rng.Float64() < lf.Dup {
+		o.Duplicate = true
+	}
+	if lf.Jitter > 0 {
+		o.Jitter = time.Duration(in.rng.Int63n(int64(lf.Jitter) + 1))
+		if o.Duplicate {
+			o.DupJitter = time.Duration(in.rng.Int63n(int64(lf.Jitter) + 1))
+		}
+	}
+	return o
+}

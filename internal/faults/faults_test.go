@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dgmc/internal/sim"
+	"dgmc/internal/topo"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"drop above one", Plan{Default: LinkFaults{Drop: 1.5}}},
+		{"negative drop", Plan{Default: LinkFaults{Drop: -0.1}}},
+		{"dup above one", Plan{Default: LinkFaults{Dup: 2}}},
+		{"negative jitter", Plan{Default: LinkFaults{Jitter: -time.Microsecond}}},
+		{"inverted flap window", Plan{Flaps: []Flap{{A: 0, B: 1, DownAt: 10, UpAt: 5}}}},
+		{"empty flap window", Plan{Flaps: []Flap{{A: 0, B: 1, DownAt: 10, UpAt: 10}}}},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.plan)
+		}
+	}
+	var bad Plan
+	bad.SetLink(2, 3, LinkFaults{Drop: 7})
+	if err := bad.Validate(); err == nil {
+		t.Error("per-link override with bad drop accepted")
+	}
+	good := Plan{Default: LinkFaults{Drop: 0.5, Dup: 0.1, Jitter: time.Microsecond},
+		Flaps: []Flap{{A: 0, B: 1, DownAt: 0, UpAt: 5}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, Default: LinkFaults{Drop: 0.3, Dup: 0.2, Jitter: 10 * time.Microsecond}}
+	draw := func() []Outcome {
+		k := sim.NewKernel()
+		defer k.Shutdown()
+		in, err := New(k, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Outcome, 0, 100)
+		for i := 0; i < 100; i++ {
+			out = append(out, in.Apply(topo.SwitchID(i%5), topo.SwitchID((i+1)%5)))
+		}
+		if in.Applied() != 100 {
+			t.Fatalf("Applied = %d, want 100", in.Applied())
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	var drops, dups, jitters int
+	for _, o := range a {
+		if o.Drop {
+			drops++
+		}
+		if o.Duplicate {
+			dups++
+		}
+		if o.Jitter > 0 {
+			jitters++
+		}
+		if o.Flapped {
+			t.Error("flap reported by a plan without flaps")
+		}
+		if o.Jitter > 10*time.Microsecond || o.DupJitter > 10*time.Microsecond {
+			t.Errorf("jitter above bound: %+v", o)
+		}
+	}
+	if drops == 0 || dups == 0 || jitters == 0 {
+		t.Errorf("fault mix unexercised: drops=%d dups=%d jitters=%d", drops, dups, jitters)
+	}
+}
+
+func TestFlapWindow(t *testing.T) {
+	plan := Plan{Flaps: []Flap{{A: 1, B: 2, DownAt: sim.Time(10 * time.Microsecond), UpAt: sim.Time(20 * time.Microsecond)}}}
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	in, err := New(k, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type probe struct {
+		at      sim.Time
+		a, b    topo.SwitchID
+		flapped bool
+	}
+	probes := []probe{
+		{at: sim.Time(5 * time.Microsecond), a: 1, b: 2, flapped: false},  // before the window
+		{at: sim.Time(10 * time.Microsecond), a: 1, b: 2, flapped: true},  // window start is inclusive
+		{at: sim.Time(15 * time.Microsecond), a: 2, b: 1, flapped: true},  // direction ignored
+		{at: sim.Time(15 * time.Microsecond), a: 0, b: 1, flapped: false}, // other links unaffected
+		{at: sim.Time(20 * time.Microsecond), a: 1, b: 2, flapped: false}, // window end is exclusive
+	}
+	k.Spawn("probe", func(p *sim.Process) {
+		for _, pr := range probes {
+			p.Hold(pr.at - p.Now())
+			o := in.Apply(pr.a, pr.b)
+			if o.Flapped != pr.flapped || o.Drop != pr.flapped {
+				t.Errorf("t=%v link(%d,%d): outcome %+v, want flapped=%v", pr.at, pr.a, pr.b, o, pr.flapped)
+			}
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerLinkOverrideAndDescribe(t *testing.T) {
+	plan := Plan{Seed: 7, Default: LinkFaults{Drop: 0.1}}
+	plan.SetLink(3, 1, LinkFaults{Drop: 0.9, Jitter: time.Microsecond})
+	if lf := plan.Link(1, 3); lf.Drop != 0.9 {
+		t.Errorf("override not canonicalized across direction: %+v", lf)
+	}
+	if lf := plan.Link(0, 1); lf.Drop != 0.1 {
+		t.Errorf("default not applied: %+v", lf)
+	}
+	desc := plan.Describe()
+	for _, want := range []string{"seed 7", "drop=0.100", "link(1,3)", "drop=0.900"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe() = %q, missing %q", desc, want)
+		}
+	}
+}

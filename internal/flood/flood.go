@@ -4,7 +4,7 @@
 // switch, with per-switch arrival times determined by link delays plus a
 // per-hop store-and-forward cost.
 //
-// Two delivery modes are provided:
+// Four delivery modes are provided:
 //
 //   - Direct computes each switch's arrival time analytically (a Dijkstra
 //     over delay+perHop weights) and schedules one delivery event per
@@ -14,6 +14,12 @@
 //     suppresses duplicates by (origin, sequence), and relays to its other
 //     neighbors. It exists to validate the Direct model and to exercise
 //     the simulator under realistic message loads.
+//   - TreeBased forwards only along a shortest-path tree (see below).
+//   - Reliable is HopByHop hardened for lossy fabrics: every link
+//     transmission is acknowledged and retransmitted with exponential
+//     backoff up to a bounded retry budget, so the flood survives the
+//     message loss, duplication, jitter, and link flaps injected by an
+//     internal/faults plan (see reliable.go).
 package flood
 
 import (
@@ -21,6 +27,7 @@ import (
 	"math"
 	"time"
 
+	"dgmc/internal/faults"
 	"dgmc/internal/sim"
 	"dgmc/internal/topo"
 )
@@ -40,6 +47,10 @@ const (
 	// flooding" work: identical arrival times to HopByHop, but exactly
 	// n−1 transmissions per flood.
 	TreeBased
+	// Reliable is HopByHop with per-link acknowledgements and bounded
+	// retransmission, for use over a faulty fabric. With no faults injected
+	// it produces exactly HopByHop's arrivals with zero retransmissions.
+	Reliable
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +62,8 @@ func (m Mode) String() string {
 		return "hop-by-hop"
 	case TreeBased:
 		return "tree-based"
+	case Reliable:
+		return "reliable"
 	default:
 		return fmt.Sprintf("Mode(%d)", uint8(m))
 	}
@@ -66,10 +79,22 @@ type Delivery struct {
 	Payload any
 }
 
-// copyMsg is the inter-forwarder message in HopByHop mode.
+// Unicast is what client mailboxes receive for a point-to-point message
+// sent between neighbors with Network.Unicast (the resync exchanges of
+// internal/core ride on this).
+type Unicast struct {
+	From, To topo.SwitchID
+	Payload  any
+}
+
+// copyMsg is the inter-forwarder message in HopByHop and Reliable modes.
 type copyMsg struct {
 	Delivery
 	from topo.SwitchID
+	// unicast marks a point-to-point message for dst: it is acknowledged
+	// and delivered but never relayed.
+	unicast bool
+	dst     topo.SwitchID
 }
 
 // Network is the flooding fabric over a graph inside one kernel. Create it
@@ -82,9 +107,15 @@ type Network struct {
 
 	inboxes []*sim.Mailbox // client-visible, one per switch
 
-	// HopByHop plumbing.
+	// HopByHop/Reliable plumbing.
 	transport []*sim.Mailbox
 	seen      []map[floodID]bool
+
+	// Reliable plumbing.
+	injector    *faults.Injector
+	retryBudget int
+	pending     []map[pendKey]*pendingTx
+	rstats      ReliabilityStats
 
 	seq       uint64
 	floodings uint64
@@ -96,30 +127,71 @@ type floodID struct {
 	seq    uint64
 }
 
+// Option configures a Network beyond the required parameters.
+type Option func(*Network)
+
+// WithFaults injects a fault plan into the fabric. Requires Reliable mode:
+// the unreliable modes assume a perfect network by construction.
+func WithFaults(in *faults.Injector) Option {
+	return func(n *Network) { n.injector = in }
+}
+
+// WithRetryBudget bounds how many times a Reliable transmission is
+// retransmitted before the sender gives up (default 8). Zero means no
+// retransmission at all — plain lossy flooding, useful as an experimental
+// control.
+func WithRetryBudget(budget int) Option {
+	return func(n *Network) { n.retryBudget = budget }
+}
+
+// defaultRetryBudget bounds retransmissions per (message, link); at a drop
+// rate of 0.2, eight retries leave ~5e-7 residual loss per transmission,
+// which the resync layer above mops up.
+const defaultRetryBudget = 8
+
 // New builds a flooding network. perHop is the per-hop LSA processing and
 // transmission time added on top of each link's propagation delay (the
 // paper's "per-hop LSA transmission time").
-func New(k *sim.Kernel, g *topo.Graph, perHop time.Duration, mode Mode) (*Network, error) {
+func New(k *sim.Kernel, g *topo.Graph, perHop time.Duration, mode Mode, opts ...Option) (*Network, error) {
 	if perHop < 0 {
 		return nil, fmt.Errorf("flood: negative per-hop time %v", perHop)
 	}
-	if mode != Direct && mode != HopByHop && mode != TreeBased {
+	if mode != Direct && mode != HopByHop && mode != TreeBased && mode != Reliable {
 		return nil, fmt.Errorf("flood: invalid mode %d", mode)
 	}
-	n := &Network{k: k, g: g, perHop: perHop, mode: mode}
+	n := &Network{k: k, g: g, perHop: perHop, mode: mode, retryBudget: defaultRetryBudget}
+	for _, o := range opts {
+		o(n)
+	}
+	if n.injector != nil && mode != Reliable {
+		return nil, fmt.Errorf("flood: fault injection requires Reliable mode, got %s", mode)
+	}
+	if n.retryBudget < 0 {
+		return nil, fmt.Errorf("flood: negative retry budget %d", n.retryBudget)
+	}
 	n.inboxes = make([]*sim.Mailbox, g.NumSwitches())
 	for i := range n.inboxes {
 		n.inboxes[i] = sim.NewMailbox(k, fmt.Sprintf("lsa-inbox-%d", i))
 	}
-	if mode == HopByHop {
+	if mode == HopByHop || mode == Reliable {
 		n.transport = make([]*sim.Mailbox, g.NumSwitches())
 		n.seen = make([]map[floodID]bool, g.NumSwitches())
+		if mode == Reliable {
+			n.pending = make([]map[pendKey]*pendingTx, g.NumSwitches())
+		}
 		for i := range n.transport {
 			n.transport[i] = sim.NewMailbox(k, fmt.Sprintf("flood-transport-%d", i))
 			n.seen[i] = make(map[floodID]bool)
+			if mode == Reliable {
+				n.pending[i] = make(map[pendKey]*pendingTx)
+			}
 			s := topo.SwitchID(i)
+			body := n.forward
+			if mode == Reliable {
+				body = n.forwardReliable
+			}
 			k.Spawn(fmt.Sprintf("forwarder-%d", i), func(p *sim.Process) {
-				n.forward(p, s)
+				body(p, s)
 			})
 		}
 	}
@@ -168,6 +240,11 @@ func (n *Network) Flood(origin topo.SwitchID, payload any) uint64 {
 			n.copies++
 			n.transport[nb].Send(copyMsg{Delivery: d, from: origin}, l.Delay+n.perHop)
 		}
+	case Reliable:
+		n.seen[origin][floodID{origin, d.Seq}] = true
+		for _, nb := range n.g.Neighbors(origin) {
+			n.sendReliable(origin, nb, copyMsg{Delivery: d, from: origin})
+		}
 	case TreeBased:
 		for dst, delay := range n.arrivalDelays(origin) {
 			if topo.SwitchID(dst) == origin || delay < 0 {
@@ -189,6 +266,28 @@ func (n *Network) Flood(origin topo.SwitchID, payload any) uint64 {
 		}
 	}
 	return n.seq
+}
+
+// Unicast sends payload point-to-point from switch `from` to its direct
+// neighbor `to`; the receiver's mailbox gets a Unicast envelope. Over a
+// Reliable fabric the message is acknowledged and retransmitted like any
+// flood copy; in the other modes it is delivered after one link delay.
+// Messages to non-neighbors or over administratively-down links are
+// silently discarded (callers retry at the protocol level, exactly as they
+// must for injected loss).
+func (n *Network) Unicast(from, to topo.SwitchID, payload any) {
+	l, ok := n.g.Link(from, to)
+	if !ok || l.Down {
+		return
+	}
+	n.seq++
+	u := Unicast{From: from, To: to, Payload: payload}
+	if n.mode == Reliable {
+		d := Delivery{Origin: from, Seq: n.seq, Payload: payload}
+		n.sendReliable(from, to, copyMsg{Delivery: d, from: from, unicast: true, dst: to})
+		return
+	}
+	n.inboxes[to].Send(u, l.Delay+n.perHop)
 }
 
 // arrivalDelays computes, for every switch, the earliest flooding arrival

@@ -1,0 +1,103 @@
+package sim
+
+import "testing"
+
+// The retransmission machinery in internal/flood leans on the non-blocking
+// mailbox operations; these tests pin down their edge cases.
+
+func TestMailboxEmptyNonBlockingOps(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	m := NewMailbox(k, "empty")
+	if msg, ok := m.TryRecv(); ok || msg != nil {
+		t.Errorf("TryRecv on empty box = (%v, %v), want (nil, false)", msg, ok)
+	}
+	if msg, ok := m.Peek(); ok || msg != nil {
+		t.Errorf("Peek on empty box = (%v, %v), want (nil, false)", msg, ok)
+	}
+	if got := m.Drain(); got != nil {
+		t.Errorf("Drain on empty box = %v, want nil", got)
+	}
+	if got := m.Snapshot(); len(got) != 0 {
+		t.Errorf("Snapshot on empty box = %v, want empty", got)
+	}
+	if m.Len() != 0 {
+		t.Errorf("Len on empty box = %d", m.Len())
+	}
+}
+
+func TestMailboxDrainOrderingUnderSameTimeDeliveries(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	m := NewMailbox(k, "ties")
+	// Three messages delivered at the same virtual time: FIFO must follow
+	// send order (the kernel's (time, seq) tie-break).
+	m.Send("a", 5)
+	m.Send("b", 5)
+	m.Send("c", 5)
+	// And one earlier message sent last.
+	m.Send("first", 1)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Drain()
+	want := []string{"first", "a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Drain returned %d messages, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Drain[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if msg, ok := m.TryRecv(); ok {
+		t.Errorf("TryRecv after Drain returned %v", msg)
+	}
+}
+
+func TestMailboxPeekDoesNotConsume(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	m := NewMailbox(k, "peek")
+	m.Send(42, 0)
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if msg, ok := m.Peek(); !ok || msg != 42 {
+			t.Fatalf("Peek #%d = (%v, %v), want (42, true)", i, msg, ok)
+		}
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len after Peek = %d, want 1", m.Len())
+	}
+	if msg, ok := m.TryRecv(); !ok || msg != 42 {
+		t.Errorf("TryRecv = (%v, %v), want (42, true)", msg, ok)
+	}
+}
+
+func TestTimerStopAndFire(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	fired := 0
+	tm := k.After(10, func() { fired++ })
+	stopped := k.After(5, func() { t.Error("stopped timer fired") })
+	if !stopped.Stop() {
+		t.Error("Stop before firing returned false")
+	}
+	if stopped.Stop() {
+		t.Error("second Stop returned true")
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("live timer fired %d times, want 1", fired)
+	}
+	if !tm.Fired() {
+		t.Error("Fired() false after firing")
+	}
+	if tm.Stop() {
+		t.Error("Stop after firing returned true")
+	}
+}

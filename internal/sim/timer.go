@@ -1,0 +1,40 @@
+package sim
+
+// Timer is a cancellable one-shot timer created with Kernel.After. It exists
+// for protocol machinery like retransmission timers, where the common case
+// is that the awaited condition arrives first and the timer must then do
+// nothing. Stopping a timer does not remove its kernel event; the event
+// fires as a no-op, so quiescence is still reached after boundedly many
+// events.
+type Timer struct {
+	stopped bool
+	fired   bool
+}
+
+// After schedules fn to run once at now+delay unless the returned timer is
+// stopped first. Like Schedule, it may be called from kernel context or from
+// a running process.
+func (k *Kernel) After(delay Time, fn func()) *Timer {
+	t := &Timer{}
+	k.Schedule(delay, func() {
+		if t.stopped {
+			return
+		}
+		t.fired = true
+		fn()
+	})
+	return t
+}
+
+// Stop cancels the timer. It reports whether the cancellation was in time:
+// false means the timer had already fired (or was already stopped).
+func (t *Timer) Stop() bool {
+	if t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Fired reports whether the timer's function has run.
+func (t *Timer) Fired() bool { return t.fired }

@@ -164,6 +164,70 @@ func Sparse(cfg Config) ([]Event, error) {
 	return generate(cfg, times), nil
 }
 
+// Churn generates cfg.Events membership events with exponential
+// inter-arrival gaps of mean cfg.MeanGap where switches may rejoin after
+// leaving — the long-lived connection-maintenance scenario (soak testing)
+// rather than a single conversation setup. Unlike Bursty and Sparse,
+// cfg.Events may exceed cfg.N.
+func Churn(cfg Config) ([]Event, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("workload: network size %d too small", cfg.N)
+	}
+	if cfg.Events < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 event, got %d", cfg.Events)
+	}
+	if cfg.JoinBias == 0 {
+		cfg.JoinBias = 0.7
+	}
+	if cfg.JoinBias < 0 || cfg.JoinBias > 1 {
+		return nil, fmt.Errorf("workload: join bias %.2f outside [0,1]", cfg.JoinBias)
+	}
+	if cfg.Role == 0 {
+		cfg.Role = mctree.SenderReceiver
+	}
+	if cfg.MeanGap <= 0 {
+		return nil, fmt.Errorf("workload: churn mean gap must be positive, got %v", cfg.MeanGap)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))
+	members := map[topo.SwitchID]bool{}
+	events := make([]Event, 0, cfg.Events)
+	at := cfg.Start
+	for i := 0; i < cfg.Events; i++ {
+		gap := sim.Time(float64(cfg.MeanGap) * expVariate(rng))
+		if gap < cfg.MeanGap/2 {
+			gap = cfg.MeanGap / 2
+		}
+		at += gap
+		join := true
+		if len(members) > 0 && rng.Float64() > cfg.JoinBias {
+			join = false
+		}
+		if len(members) == cfg.N {
+			join = false // everyone is in; only a leave is a genuine change
+		}
+		var s topo.SwitchID
+		if join {
+			for {
+				s = topo.SwitchID(rng.Intn(cfg.N))
+				if !members[s] {
+					break
+				}
+			}
+			members[s] = true
+		} else {
+			ids := make([]topo.SwitchID, 0, len(members))
+			for m := range members {
+				ids = append(ids, m)
+			}
+			sortSwitches(ids)
+			s = ids[rng.Intn(len(ids))]
+			delete(members, s)
+		}
+		events = append(events, Event{At: at, Switch: s, Join: join, Role: cfg.Role})
+	}
+	return events, nil
+}
+
 // expVariate returns an Exp(1) sample.
 func expVariate(rng *rand.Rand) float64 {
 	u := rng.Float64()

@@ -191,3 +191,59 @@ func TestCustomRole(t *testing.T) {
 		}
 	}
 }
+
+func TestChurnAllowsRejoin(t *testing.T) {
+	cfg := Config{N: 5, Events: 60, Seed: 3, MeanGap: sim.Time(time.Millisecond)}
+	events, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 60 {
+		t.Fatalf("generated %d events, want 60", len(events))
+	}
+	members := map[topo.SwitchID]bool{}
+	joined := map[topo.SwitchID]int{}
+	var prev sim.Time
+	for i, e := range events {
+		if e.At <= prev {
+			t.Fatalf("event %d at %v not after %v", i, e.At, prev)
+		}
+		prev = e.At
+		if e.Join {
+			if members[e.Switch] {
+				t.Fatalf("event %d: member %d joined twice", i, e.Switch)
+			}
+			members[e.Switch] = true
+			joined[e.Switch]++
+		} else {
+			if !members[e.Switch] {
+				t.Fatalf("event %d: non-member %d left", i, e.Switch)
+			}
+			delete(members, e.Switch)
+		}
+	}
+	rejoins := 0
+	for _, n := range joined {
+		if n > 1 {
+			rejoins++
+		}
+	}
+	if rejoins == 0 {
+		t.Error("60 events over 5 switches produced no rejoin")
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	if _, err := Churn(Config{N: 1, Events: 5, MeanGap: 1}); err == nil {
+		t.Error("tiny network accepted")
+	}
+	if _, err := Churn(Config{N: 5, Events: 0, MeanGap: 1}); err == nil {
+		t.Error("zero events accepted")
+	}
+	if _, err := Churn(Config{N: 5, Events: 5}); err == nil {
+		t.Error("zero mean gap accepted")
+	}
+	if _, err := Churn(Config{N: 5, Events: 5, MeanGap: 1, JoinBias: 2}); err == nil {
+		t.Error("bad join bias accepted")
+	}
+}
