@@ -1,0 +1,250 @@
+// Command dgmcd runs one live D-GMC switch daemon: one process per switch,
+// speaking the wire protocol of internal/lsa over UDP to its neighbors.
+// Every daemon in a fabric loads the same topology file, which fixes the
+// graph and each switch's address:
+//
+//	switches 3
+//	link 0 1 2ms
+//	link 1 2 2ms
+//	addr 0 127.0.0.1:7700
+//	addr 1 127.0.0.1:7701
+//	addr 2 127.0.0.1:7702
+//
+// Start one daemon per switch and drive membership from stdin:
+//
+//	dgmcd -topo fabric.topo -id 0
+//	> join 7 both
+//	> show 7
+//	> quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/rt"
+	"dgmc/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dgmcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dgmcd", flag.ContinueOnError)
+	topoPath := fs.String("topo", "", "topology file shared by every daemon in the fabric (required)")
+	id := fs.Int("id", -1, "this daemon's switch ID (required)")
+	listen := fs.String("listen", "", "listen address override (default: this switch's addr directive)")
+	algName := fs.String("algorithm", "sph", "topology algorithm: sph, kmb, spt, cbt, incremental")
+	resync := fs.Duration("resync", 500*time.Millisecond, "gap-recovery timeout; 0 disables (not recommended over UDP)")
+	reopt := fs.Float64("reopt", 0, "re-optimization threshold for link recoveries (0 = off)")
+	verbose := fs.Bool("v", false, "log the protocol trace to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *topoPath == "" {
+		return fmt.Errorf("-topo is required")
+	}
+	if *resync < 0 {
+		return fmt.Errorf("negative -resync %v", *resync)
+	}
+	if *reopt < 0 {
+		return fmt.Errorf("negative -reopt %v", *reopt)
+	}
+	alg, err := route.ByName(*algName)
+	if err != nil {
+		return err
+	}
+	tf, err := rt.LoadTopology(*topoPath)
+	if err != nil {
+		return err
+	}
+	if *id < 0 || *id >= tf.Graph.NumSwitches() {
+		return fmt.Errorf("-id %d outside [0,%d)", *id, tf.Graph.NumSwitches())
+	}
+	cfg := daemonConfig{
+		id:        topo.SwitchID(*id),
+		topology:  tf,
+		listen:    *listen,
+		algorithm: alg,
+		resync:    *resync,
+		reopt:     *reopt,
+	}
+	if *verbose {
+		cfg.logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	d, err := newDaemon(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Fprintf(stdout, "dgmcd: switch %d on %s, %d neighbors, %d-switch fabric\n",
+		d.node.ID(), d.tr.LocalAddr(), len(tf.Graph.Neighbors(d.node.ID())), tf.Graph.NumSwitches())
+	return d.repl(stdin, stdout)
+}
+
+type daemonConfig struct {
+	id        topo.SwitchID
+	topology  *rt.Topology
+	listen    string // overrides the topology file's addr when non-empty
+	algorithm route.Algorithm
+	resync    time.Duration
+	reopt     float64
+	logf      func(format string, args ...any)
+}
+
+// daemon is one live switch: a UDP transport plus its rt.Node.
+type daemon struct {
+	cfg  daemonConfig
+	tr   *rt.UDPTransport
+	node *rt.Node
+}
+
+func newDaemon(cfg daemonConfig) (*daemon, error) {
+	listen := cfg.listen
+	if listen == "" {
+		var ok bool
+		listen, ok = cfg.topology.Addrs[cfg.id]
+		if !ok {
+			return nil, fmt.Errorf("topology file has no addr for switch %d (and no -listen given)", cfg.id)
+		}
+	}
+	peers, err := cfg.topology.NeighborAddrs(cfg.id)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := rt.NewUDPTransport(listen, peers)
+	if err != nil {
+		return nil, err
+	}
+	node, err := rt.NewNode(rt.NodeConfig{
+		ID:                  cfg.id,
+		Graph:               cfg.topology.Graph,
+		Algorithm:           cfg.algorithm,
+		ReoptimizeThreshold: cfg.reopt,
+		ResyncTimeout:       cfg.resync,
+		Logf:                cfg.logf,
+	}, tr)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	return &daemon{cfg: cfg, tr: tr, node: node}, nil
+}
+
+func (d *daemon) Close() error { return d.node.Close() }
+
+// repl reads commands from r until EOF or quit.
+func (d *daemon) repl(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		quit, err := d.exec(sc.Text(), w)
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+		if quit {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// exec runs one command line.
+func (d *daemon) exec(line string, w io.Writer) (quit bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false, nil
+	}
+	switch fields[0] {
+	case "join":
+		if len(fields) < 2 || len(fields) > 3 {
+			return false, fmt.Errorf("usage: join <conn> [sender|receiver|both]")
+		}
+		conn, err := parseConn(fields[1])
+		if err != nil {
+			return false, err
+		}
+		role := mctree.SenderReceiver
+		if len(fields) == 3 {
+			switch fields[2] {
+			case "sender":
+				role = mctree.Sender
+			case "receiver":
+				role = mctree.Receiver
+			case "both":
+				role = mctree.SenderReceiver
+			default:
+				return false, fmt.Errorf("unknown role %q", fields[2])
+			}
+		}
+		if err := d.node.Join(conn, role); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "ok: join conn %d as %s\n", conn, role)
+	case "leave":
+		if len(fields) != 2 {
+			return false, fmt.Errorf("usage: leave <conn>")
+		}
+		conn, err := parseConn(fields[1])
+		if err != nil {
+			return false, err
+		}
+		if err := d.node.Leave(conn); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "ok: leave conn %d\n", conn)
+	case "show":
+		if len(fields) != 2 {
+			return false, fmt.Errorf("usage: show <conn>")
+		}
+		conn, err := parseConn(fields[1])
+		if err != nil {
+			return false, err
+		}
+		snap, ok := d.node.Connection(conn)
+		if !ok {
+			fmt.Fprintf(w, "conn %d: no state\n", conn)
+			return false, nil
+		}
+		ids := snap.Members.IDs()
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		fmt.Fprintf(w, "conn %d: members=%v R=%s E=%s C=%s\n", conn, ids, snap.R, snap.E, snap.C)
+		if snap.Topology != nil {
+			fmt.Fprintf(w, "conn %d: topology=%s\n", conn, snap.Topology)
+		}
+	case "conns":
+		fmt.Fprintf(w, "connections: %v\n", d.node.Connections())
+	case "metrics":
+		m := d.node.Metrics()
+		fmt.Fprintf(w, "events=%d computations=%d installs=%d mc-lsas=%d withdrawn=%d resync-req=%d decode-errs=%d\n",
+			m.Events, m.Computations, m.Installs, m.MCLSAs, m.Withdrawn, m.ResyncRequests, d.node.DecodeErrors())
+	case "help":
+		fmt.Fprint(w, "commands: join <conn> [sender|receiver|both], leave <conn>, show <conn>, conns, metrics, quit\n")
+	case "quit", "exit":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown command %q (try help)", fields[0])
+	}
+	return false, nil
+}
+
+func parseConn(s string) (lsa.ConnID, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("invalid connection ID %q", s)
+	}
+	return lsa.ConnID(v), nil
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dgmc/internal/route"
+	"dgmc/internal/rt"
+	"dgmc/internal/topo"
+)
+
+// reservePorts grabs n distinct loopback UDP ports. The sockets are closed
+// before the daemons bind, so a tiny reuse race exists — fine for a test.
+func reservePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	conns := make([]*net.UDPConn, n)
+	for i := range ports {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		ports[i] = c.LocalAddr().(*net.UDPAddr).Port
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return ports
+}
+
+func writeTopoFile(t *testing.T, ports []int) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "switches %d\n", len(ports))
+	for i := 0; i+1 < len(ports); i++ {
+		fmt.Fprintf(&b, "link %d %d 1ms\n", i, i+1)
+	}
+	for i, p := range ports {
+		fmt.Fprintf(&b, "addr %d 127.0.0.1:%d\n", i, p)
+	}
+	path := filepath.Join(t.TempDir(), "fabric.topo")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestThreeDaemonFabric boots three daemons in one process over real UDP
+// loopback sockets, joins an MC at the two ends of the line, and waits for
+// all three switches to agree.
+func TestThreeDaemonFabric(t *testing.T) {
+	ports := reservePorts(t, 3)
+	path := writeTopoFile(t, ports)
+	tf, err := rt.LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	daemons := make([]*daemon, 3)
+	for i := range daemons {
+		d, err := newDaemon(daemonConfig{
+			id:        topo.SwitchID(i),
+			topology:  tf,
+			algorithm: route.SPH{},
+			resync:    100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		daemons[i] = d
+	}
+
+	var out strings.Builder
+	if _, err := daemons[0].exec("join 7 both", &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := daemons[2].exec("join 7 both", &out); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		agreed := true
+		for _, d := range daemons {
+			snap, ok := d.node.Connection(7)
+			if !ok || len(snap.Members) != 2 || snap.Topology == nil ||
+				!snap.R.Equal(snap.C) || !snap.R.Geq(snap.E) {
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, d := range daemons {
+				snap, ok := d.node.Connection(7)
+				t.Logf("switch %d: ok=%v snap=%+v", d.node.ID(), ok, snap)
+			}
+			t.Fatal("daemons did not agree on conn 7 within 15s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The installed tree must span 0 and 2 — on a line, through 1.
+	snap, _ := daemons[1].node.Connection(7)
+	if !snap.Topology.On(0) || !snap.Topology.On(2) || !snap.Topology.On(1) {
+		t.Fatalf("tree does not span the line: %s", snap.Topology)
+	}
+
+	// Command-layer sanity on a live daemon.
+	out.Reset()
+	if _, err := daemons[0].exec("show 7", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "members=[0 2]") {
+		t.Fatalf("show output: %q", out.String())
+	}
+	out.Reset()
+	if _, err := daemons[0].exec("metrics", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "events=1") {
+		t.Fatalf("metrics output: %q", out.String())
+	}
+	if quit, _ := daemons[0].exec("quit", &out); !quit {
+		t.Fatal("quit did not quit")
+	}
+	if _, err := daemons[0].exec("frobnicate", &out); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if _, err := daemons[0].exec("join x", &out); err == nil {
+		t.Fatal("bad connection ID accepted")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		{},                          // missing -topo
+		{"-topo", "/nonexistent"},   // unreadable file
+		{"-topo", "x", "-id", "-2"}, // parse order: topo fails first, still an error
+	}
+	for _, args := range cases {
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+
+	ports := reservePorts(t, 2)
+	path := writeTopoFile(t, ports)
+	if err := run([]string{"-topo", path, "-id", "9"}, strings.NewReader(""), &out); err == nil {
+		t.Error("out-of-range -id accepted")
+	}
+	if err := run([]string{"-topo", path, "-id", "0", "-resync", "-1s"}, strings.NewReader(""), &out); err == nil {
+		t.Error("negative -resync accepted")
+	}
+	if err := run([]string{"-topo", path, "-id", "0", "-algorithm", "magic"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unknown -algorithm accepted")
+	}
+
+	// A well-formed invocation with EOF on stdin starts and exits cleanly.
+	out.Reset()
+	if err := run([]string{"-topo", path, "-id", "0"}, strings.NewReader("help\nconns\n"), &out); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "dgmcd: switch 0") {
+		t.Fatalf("banner missing: %q", out.String())
+	}
+}

@@ -52,6 +52,40 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *n < 2 {
+		return fmt.Errorf("-n %d: need at least 2 switches", *n)
+	}
+	if *events < 1 {
+		return fmt.Errorf("-events %d: need at least one membership event", *events)
+	}
+	if *tc < 0 {
+		return fmt.Errorf("-tc %v: computation time cannot be negative", *tc)
+	}
+	if *perHop <= 0 {
+		return fmt.Errorf("-perhop %v: per-hop time must be positive", *perHop)
+	}
+	if *reopt < 0 {
+		return fmt.Errorf("-reopt %g: threshold cannot be negative", *reopt)
+	}
+	if *drop < 0 || *drop > 1 {
+		return fmt.Errorf("-drop %g: probability outside [0,1]", *drop)
+	}
+	if *dup < 0 || *dup > 1 {
+		return fmt.Errorf("-dup %g: probability outside [0,1]", *dup)
+	}
+	if *jitter < 0 {
+		return fmt.Errorf("-jitter %v: jitter cannot be negative", *jitter)
+	}
+	if *resync < 0 {
+		return fmt.Errorf("-resync %g: timeout in rounds cannot be negative", *resync)
+	}
+	lossy := *drop > 0 || *dup > 0 || *jitter > 0
+	if lossy && *modeName != "reliable" {
+		return fmt.Errorf("-drop/-dup/-jitter inject transport faults, which only the reliable transport survives; add -mode reliable")
+	}
+	if *resync > 0 && !lossy {
+		return fmt.Errorf("-resync %g: gap recovery only fires under loss; combine with -mode reliable and -drop/-dup/-jitter", *resync)
+	}
 	var mode flood.Mode
 	switch *modeName {
 	case "direct":

@@ -44,15 +44,45 @@ func TestRunAllAlgorithmsAndKinds(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
+	cases := map[string][]string{
+		"bad algorithm":        {"-algorithm", "bogus"},
+		"bad kind":             {"-kind", "bogus"},
+		"unknown flag":         {"-nonsense"},
+		"bad mode":             {"-mode", "carrier-pigeon"},
+		"too few switches":     {"-n", "1"},
+		"no events":            {"-events", "0"},
+		"negative tc":          {"-tc", "-1ms"},
+		"zero perhop":          {"-perhop", "0"},
+		"negative reopt":       {"-reopt", "-0.5"},
+		"negative drop":        {"-drop", "-0.1", "-mode", "reliable"},
+		"drop above one":       {"-drop", "1.5", "-mode", "reliable"},
+		"negative dup":         {"-dup", "-0.1", "-mode", "reliable"},
+		"dup above one":        {"-dup", "2", "-mode", "reliable"},
+		"negative jitter":      {"-jitter", "-1ms", "-mode", "reliable"},
+		"negative resync":      {"-resync", "-4", "-mode", "reliable", "-drop", "0.1"},
+		"faults without mode":  {"-drop", "0.1"},
+		"jitter without mode":  {"-jitter", "1ms", "-mode", "tree"},
+		"resync without lossy": {"-resync", "4"},
+		"resync fault-free":    {"-resync", "4", "-mode", "reliable"},
+	}
+	for name, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%s: run(%v) accepted", name, args)
+		}
+	}
+}
+
+func TestRunReliableLossyWithResync(t *testing.T) {
+	// The combination the validation is steering users toward must work.
 	var sb strings.Builder
-	if err := run([]string{"-algorithm", "bogus"}, &sb); err == nil {
-		t.Error("bad algorithm accepted")
+	err := run([]string{"-n", "12", "-events", "4", "-mode", "reliable",
+		"-drop", "0.05", "-dup", "0.02", "-resync", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := run([]string{"-kind", "bogus"}, &sb); err == nil {
-		t.Error("bad kind accepted")
-	}
-	if err := run([]string{"-nonsense"}, &sb); err == nil {
-		t.Error("unknown flag accepted")
+	if !strings.Contains(sb.String(), "transport:") {
+		t.Errorf("reliable run missing transport summary:\n%s", sb.String())
 	}
 }
 

@@ -186,22 +186,22 @@ func (d *Domain) noteInstall() { d.lastInstall = d.k.Now() }
 // Join schedules a host-driven join of connection conn at ingress switch s
 // with the given role, at virtual time at.
 func (d *Domain) Join(at sim.Time, s topo.SwitchID, conn lsa.ConnID, role mctree.Role) {
-	d.switches[s].events.Send(localEvent{conn: conn, kind: lsa.Join, role: role}, at-d.k.Now())
+	d.switches[s].events.Send(LocalEvent{Conn: conn, Kind: lsa.Join, Role: role}, at-d.k.Now())
 }
 
 // Leave schedules a host-driven leave of connection conn at switch s.
 func (d *Domain) Leave(at sim.Time, s topo.SwitchID, conn lsa.ConnID) {
-	d.switches[s].events.Send(localEvent{conn: conn, kind: lsa.Leave}, at-d.k.Now())
+	d.switches[s].events.Send(LocalEvent{Conn: conn, Kind: lsa.Leave}, at-d.k.Now())
 }
 
 // FailLink schedules a failure of link (a,b), detected by switch a.
 func (d *Domain) FailLink(at sim.Time, a, b topo.SwitchID) {
-	d.switches[a].events.Send(localEvent{kind: lsa.Link, link: lsa.LinkChange{A: a, B: b, Down: true}}, at-d.k.Now())
+	d.switches[a].events.Send(LocalEvent{Kind: lsa.Link, Link: lsa.LinkChange{A: a, B: b, Down: true}}, at-d.k.Now())
 }
 
 // RestoreLink schedules a recovery of link (a,b), detected by switch a.
 func (d *Domain) RestoreLink(at sim.Time, a, b topo.SwitchID) {
-	d.switches[a].events.Send(localEvent{kind: lsa.Link, link: lsa.LinkChange{A: a, B: b, Down: false}}, at-d.k.Now())
+	d.switches[a].events.Send(LocalEvent{Kind: lsa.Link, Link: lsa.LinkChange{A: a, B: b, Down: false}}, at-d.k.Now())
 }
 
 // FailSwitch schedules a nodal failure of switch s at time at: every link
@@ -211,7 +211,7 @@ func (d *Domain) RestoreLink(at sim.Time, a, b topo.SwitchID) {
 func (d *Domain) FailSwitch(at sim.Time, s topo.SwitchID) {
 	for _, nb := range d.net.Graph().Neighbors(s) {
 		d.switches[nb].events.Send(
-			localEvent{kind: lsa.Link, link: lsa.LinkChange{A: nb, B: s, Down: true}},
+			LocalEvent{Kind: lsa.Link, Link: lsa.LinkChange{A: nb, B: s, Down: true}},
 			at-d.k.Now())
 	}
 }

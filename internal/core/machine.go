@@ -1,0 +1,598 @@
+package core
+
+import (
+	"fmt"
+
+	"dgmc/internal/flood"
+	"dgmc/internal/lsa"
+	"dgmc/internal/lsr"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/topo"
+)
+
+// This file is the pure D-GMC state machine: one switch's EventHandler and
+// ReceiveLSA entities (Figures 4 and 5 of the paper) plus gap recovery,
+// with every runtime dependency — flooding, unicast, timers, the cost of a
+// topology computation — abstracted behind the Host interface. The same
+// Machine runs under the discrete-event simulator (internal/sim via the
+// Switch adapter in this package) and under the live concurrent runtime
+// (internal/rt), so the protocol is exercised, never forked.
+
+// LocalEvent is what the hosting runtime injects into a switch's event
+// path: a membership change for a connection, or a locally detected link
+// event (Kind == lsa.Link, with Link describing the change).
+type LocalEvent struct {
+	Conn lsa.ConnID
+	Kind lsa.Event // Join, Leave, or Link
+	Role mctree.Role
+	Link lsa.LinkChange // for Link events
+}
+
+// ResyncNudge is a self-addressed receive-path entry: it runs ReceiveLSA
+// with an empty batch, giving Figure 5 line 19 a chance to fire after gap
+// recovery set makeProposal (commit-lag recovery). Runtimes deliver it to
+// their own switch's receive path when Host.SelfNudge is called.
+type ResyncNudge struct{ Conn lsa.ConnID }
+
+// Host abstracts everything a Machine needs from its runtime. The
+// simulator implements it with virtual time and the flood.Network fabric;
+// the live runtime (internal/rt) implements it with goroutines, real
+// timers, and a wire transport.
+//
+// All methods are invoked synchronously from within Machine calls; a Host
+// must not call back into the Machine from them (except from the deferred
+// callbacks it schedules for ArmResync and SelfNudge).
+type Host interface {
+	// FloodMC floods an MC LSA network-wide.
+	FloodMC(m *lsa.MC)
+	// FloodNonMC floods a non-MC (link-state) LSA network-wide.
+	FloodNonMC(nm *lsa.NonMC)
+	// SendUnicast sends a resync message point-to-point to a neighbor.
+	SendUnicast(to topo.SwitchID, payload any)
+	// HoldCompute charges the cost of one topology computation (the
+	// paper's Tc). The simulator suspends the calling process for Tc of
+	// virtual time — other entities run meanwhile, which is exactly the
+	// window the protocol's withdraw checks exist for. Live runtimes
+	// usually make this a no-op: the real computation takes real time.
+	// ctx is the opaque token passed into HandleLocalEvent/ReceiveBatch.
+	HoldCompute(ctx any)
+	// PendingMC reports whether the switch's receive queue currently
+	// holds an MC LSA for conn (Figure 5 line 22).
+	PendingMC(conn lsa.ConnID) bool
+	// Neighbors lists the switch's current direct neighbors.
+	Neighbors() []topo.SwitchID
+	// FabricLinkChanged tells the runtime a locally detected link event
+	// was applied. The simulator mirrors it into the shared fabric graph
+	// so floods route around failures; live runtimes, where each node
+	// owns only its image, may ignore it.
+	FabricLinkChanged(change lsa.LinkChange)
+	// ArmResync schedules Machine.ResyncFired(conn) to run once after the
+	// runtime's resync timeout. Called only when the Machine was built
+	// with Resync enabled.
+	ArmResync(conn lsa.ConnID)
+	// SelfNudge delivers ResyncNudge{conn} to this switch's own receive
+	// path (a future ReceiveBatch).
+	SelfNudge(conn lsa.ConnID)
+	// NoteInstall records that a topology was installed (convergence
+	// bookkeeping).
+	NoteInstall()
+	// Trace observes protocol activity; implementations may drop entries.
+	Trace(kind TraceKind, conn lsa.ConnID, format string, args ...any)
+}
+
+// MachineConfig configures one switch's protocol state machine.
+type MachineConfig struct {
+	// ID is the switch's network ID. Required to be in [0, Graph.NumSwitches()).
+	ID topo.SwitchID
+	// Graph is the configured network topology; the machine clones it
+	// into its local LSR image. Required.
+	Graph *topo.Graph
+	// Algorithm computes MC topologies. Required.
+	Algorithm route.Algorithm
+	// Kinds maps connection IDs to their MC type (default Symmetric).
+	Kinds map[lsa.ConnID]mctree.Kind
+	// ReoptimizeThreshold enables §3.5 re-optimization on link recovery
+	// (see Config.ReoptimizeThreshold). Zero disables.
+	ReoptimizeThreshold float64
+	// Resync enables gap recovery; the timeout itself lives in the Host
+	// (virtual for the simulator, wall-clock for live runtimes).
+	Resync bool
+	// ResyncMaxRounds bounds resync requests per connection per gap
+	// (default 64 when resync is enabled).
+	ResyncMaxRounds int
+	// Metrics receives protocol counters. The simulator shares one
+	// Metrics across the domain; live runtimes keep one per node. A nil
+	// Metrics is allocated internally.
+	Metrics *Metrics
+}
+
+// Machine is one switch's D-GMC protocol state: its unicast LSR instance,
+// its per-connection protocol state, and the EventHandler/ReceiveLSA
+// logic. A Machine is not safe for concurrent use; the hosting runtime
+// must serialize calls into it (the simulator by running one process at a
+// time, the live runtime with a per-node mutex).
+type Machine struct {
+	id        topo.SwitchID
+	host      Host
+	uni       *lsr.Instance
+	conns     map[lsa.ConnID]*connState
+	n         int
+	alg       route.Algorithm
+	kinds     map[lsa.ConnID]mctree.Kind
+	reopt     float64
+	resync    bool
+	resyncMax int
+	metrics   *Metrics
+}
+
+// NewMachine builds a switch's protocol state machine bound to host.
+func NewMachine(cfg MachineConfig, host Host) (*Machine, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("core: MachineConfig.Graph is required")
+	}
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("core: MachineConfig.Algorithm is required")
+	}
+	if host == nil {
+		return nil, fmt.Errorf("core: nil Host")
+	}
+	if cfg.ReoptimizeThreshold < 0 {
+		return nil, fmt.Errorf("core: negative re-optimization threshold %v", cfg.ReoptimizeThreshold)
+	}
+	if cfg.ResyncMaxRounds < 0 {
+		return nil, fmt.Errorf("core: negative resync round limit %d", cfg.ResyncMaxRounds)
+	}
+	if cfg.ResyncMaxRounds == 0 {
+		cfg.ResyncMaxRounds = 64
+	}
+	uni, err := lsr.NewInstance(cfg.ID, cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &Metrics{}
+	}
+	return &Machine{
+		id:        cfg.ID,
+		host:      host,
+		uni:       uni,
+		conns:     make(map[lsa.ConnID]*connState),
+		n:         cfg.Graph.NumSwitches(),
+		alg:       cfg.Algorithm,
+		kinds:     cfg.Kinds,
+		reopt:     cfg.ReoptimizeThreshold,
+		resync:    cfg.Resync,
+		resyncMax: cfg.ResyncMaxRounds,
+		metrics:   cfg.Metrics,
+	}, nil
+}
+
+// ID returns the switch's network ID.
+func (m *Machine) ID() topo.SwitchID { return m.id }
+
+// Unicast returns the switch's LSR instance (its local network image).
+func (m *Machine) Unicast() *lsr.Instance { return m.uni }
+
+// Metrics returns the machine's counters.
+func (m *Machine) Metrics() *Metrics { return m.metrics }
+
+// Connection returns a snapshot of the switch's state for conn, or
+// ok=false if the switch holds no state for it.
+func (m *Machine) Connection(conn lsa.ConnID) (Snapshot, bool) {
+	cs, ok := m.conns[conn]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return cs.snapshot(), true
+}
+
+// Connections lists the IDs of live (non-dormant) connections at this
+// switch.
+func (m *Machine) Connections() []lsa.ConnID {
+	out := make([]lsa.ConnID, 0, len(m.conns))
+	for id, cs := range m.conns {
+		if !cs.dormant {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// kindOf returns the declared MC type for conn (default Symmetric).
+func (m *Machine) kindOf(conn lsa.ConnID) mctree.Kind {
+	if k, ok := m.kinds[conn]; ok {
+		return k
+	}
+	return mctree.Symmetric
+}
+
+// conn returns (allocating if needed) the state for connection id. Per
+// §3.4, switches allocate MC data structures when they first hear of the
+// connection.
+func (m *Machine) conn(id lsa.ConnID) *connState {
+	cs, ok := m.conns[id]
+	if !ok {
+		cs = newConnState(id, m.kindOf(id), m.n)
+		m.conns[id] = cs
+	}
+	return cs
+}
+
+// updateDormancy destroys the connection's heavy state when the member
+// list has emptied and no LSAs are known to be outstanding (§3.4). The
+// event counters persist (see connState.dormant); a later event resurrects
+// the connection.
+func (m *Machine) updateDormancy(cs *connState) {
+	if len(cs.members) == 0 && cs.r.Geq(cs.e) {
+		if !cs.dormant {
+			cs.dormant = true
+			cs.topology = nil
+			cs.lastDelta = nil
+			m.host.Trace(TraceDestroy, cs.id, "connection state destroyed")
+		}
+		return
+	}
+	if cs.dormant && len(cs.members) > 0 {
+		cs.dormant = false
+	}
+}
+
+// HandleLocalEvent dispatches one injected event. A membership event
+// invokes EventHandler once; a link event floods one non-MC LSA and then
+// invokes EventHandler once per affected connection (Figure 2). ctx is an
+// opaque token handed through to Host.HoldCompute (the simulator threads
+// its *sim.Process here; live runtimes may pass nil).
+func (m *Machine) HandleLocalEvent(ctx any, ev LocalEvent) {
+	switch ev.Kind {
+	case lsa.Join, lsa.Leave:
+		m.eventHandler(ctx, ev.Kind, ev.Role, m.conn(ev.Conn))
+	case lsa.Link:
+		nm, err := m.uni.ApplyLocalEvent(ev.Link)
+		if err != nil {
+			m.host.Trace(TraceError, ev.Conn, "local link event: %v", err)
+			return
+		}
+		// Keep the runtime's fabric in sync so floods route around the
+		// failure (the physical network changed, not just images).
+		m.host.FabricLinkChanged(ev.Link)
+		m.host.FloodNonMC(nm)
+		m.metrics.NonMCLSAs++
+		// One MC LSA per connection whose topology uses the affected link.
+		for _, cs := range m.affectedConns(ev.Link) {
+			cs.lastDelta = nil
+			m.eventHandler(ctx, lsa.Link, 0, cs)
+		}
+		// §3.5 re-optimization: a recovered link may offer better trees.
+		if !ev.Link.Down && m.reopt > 0 {
+			m.reoptimize(ctx)
+		}
+	}
+}
+
+// reoptimize implements §3.5's policy for non-adverse changes: estimate a
+// fresh topology for each live connection on the improved image, and
+// signal a link event (re-converging the network) only when the installed
+// tree deviates from the fresh one by more than the configured threshold.
+func (m *Machine) reoptimize(ctx any) {
+	for _, id := range sortedConnIDs(m.conns) {
+		cs := m.conns[id]
+		if cs.dormant || cs.topology == nil || len(cs.members) < 2 {
+			continue
+		}
+		m.metrics.ReoptChecks++
+		m.metrics.Computations++
+		members := m.filterReachable(cs.members.Clone())
+		m.host.HoldCompute(ctx)
+		fresh, err := m.alg.Compute(m.uni.Image(), cs.kind, members)
+		if err != nil || cs.topology == nil {
+			continue
+		}
+		cur := float64(cs.topology.Cost(m.uni.Image()))
+		if cur <= float64(fresh.Cost(m.uni.Image()))*(1+m.reopt) {
+			continue // within tolerance of optimal: leave the tree alone
+		}
+		m.host.Trace(TraceCompute, cs.id, "re-optimizing (%.0f%% over fresh cost)",
+			100*(cur/float64(fresh.Cost(m.uni.Image()))-1))
+		cs.lastDelta = nil
+		m.eventHandler(ctx, lsa.Link, 0, cs)
+	}
+}
+
+// affectedConns returns connections whose installed topology uses the
+// changed link, in ascending connection order for determinism.
+func (m *Machine) affectedConns(change lsa.LinkChange) []*connState {
+	var out []*connState
+	for _, id := range sortedConnIDs(m.conns) {
+		cs := m.conns[id]
+		if cs.topology != nil && cs.topology.Has(change.A, change.B) {
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+func sortedConnIDs(m map[lsa.ConnID]*connState) []lsa.ConnID {
+	out := make([]lsa.ConnID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// eventHandler is Figure 4 of the paper: handle one local event for one
+// connection.
+func (m *Machine) eventHandler(ctx any, event lsa.Event, role mctree.Role, cs *connState) {
+	x := int(m.id)
+	m.metrics.Events++
+	m.host.Trace(TraceEvent, cs.id, "local %s event", event)
+
+	// Line 1: R[x]++, E[x]++.
+	cs.r.Inc(x)
+	cs.e.Inc(x)
+	// Apply the membership change locally (remote switches learn it from
+	// the flooded LSA; Figure 5 line 8 is the receiving-side mirror).
+	cs.applyMembership(event, x, role)
+
+	// Line 2: any known outstanding LSAs?
+	if cs.r.Geq(cs.e) {
+		// Lines 4-5: snapshot R, compute a proposal (takes Tc).
+		oldR := cs.r.Clone()
+		proposal, err := m.computeTopology(ctx, cs)
+		if err != nil {
+			m.host.Trace(TraceError, cs.id, "compute: %v", err)
+			proposal = nil
+		}
+		// Line 6: is the proposal still valid?
+		if proposal != nil && cs.r.Equal(oldR) {
+			// Lines 7-10: flood proposal, install it.
+			msg := &lsa.MC{Src: m.id, Event: event, Role: role, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()}
+			m.floodMC(msg)
+			cs.logEvent(msg)
+			cs.c.CopyFrom(oldR)
+			cs.makeProposal = false
+			m.install(cs, proposal, "event-handler")
+		} else {
+			// Lines 12-13: withdraw; flood the bare event, defer to
+			// ReceiveLSA.
+			msg := &lsa.MC{Src: m.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: oldR.Clone()}
+			m.floodMC(msg)
+			cs.logEvent(msg)
+			cs.makeProposal = true
+			m.metrics.Withdrawn++
+			m.host.Trace(TraceWithdraw, cs.id, "event-handler proposal withdrawn")
+		}
+	} else {
+		// Lines 16-17: outstanding LSAs exist; flood the bare event and
+		// defer to ReceiveLSA.
+		msg := &lsa.MC{Src: m.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: cs.r.Clone()}
+		m.floodMC(msg)
+		cs.logEvent(msg)
+		cs.makeProposal = true
+	}
+	m.updateDormancy(cs)
+	m.maybeScheduleResync(cs)
+}
+
+// ReceiveBatch demultiplexes a drained receive-queue batch: non-MC LSAs go
+// to the unicast substrate; MC LSAs are grouped per connection and handed
+// to ReceiveLSA (which the paper presents per-MC). Resync traffic (unicast
+// requests/replays between neighbors, and self-addressed nudges) rides the
+// same queue: replayed LSAs join the per-connection groups, requests are
+// served after ReceiveLSA has consumed the batch.
+//
+// Accepted batch entries: flood.Delivery (payload *lsa.MC, *lsa.NonMC, or
+// their []byte wire encoding), flood.Unicast (payload *lsa.ResyncRequest
+// or *lsa.ResyncResponse), bare *lsa.MC / *lsa.NonMC / *lsa.ResyncRequest /
+// *lsa.ResyncResponse, and ResyncNudge. Anything else is ignored.
+func (m *Machine) ReceiveBatch(ctx any, batch []any) {
+	perConn := make(map[lsa.ConnID][]*lsa.MC)
+	var order []lsa.ConnID
+	var requests []*lsa.ResyncRequest
+	addMC := func(mc *lsa.MC) {
+		if _, seen := perConn[mc.Conn]; !seen {
+			order = append(order, mc.Conn)
+		}
+		perConn[mc.Conn] = append(perConn[mc.Conn], mc)
+	}
+	handleNonMC := func(nm *lsa.NonMC) {
+		if _, err := m.uni.HandleLSA(nm); err != nil {
+			m.host.Trace(TraceError, 0, "unicast LSA: %v", err)
+		}
+	}
+	var consume func(raw any)
+	consume = func(raw any) {
+		switch v := raw.(type) {
+		case ResyncNudge:
+			if _, seen := perConn[v.Conn]; !seen {
+				order = append(order, v.Conn)
+				perConn[v.Conn] = nil
+			}
+		case *lsa.ResyncRequest:
+			requests = append(requests, v)
+		case *lsa.ResyncResponse:
+			for _, mc := range v.Batch {
+				addMC(mc)
+			}
+		case flood.Unicast:
+			consume(v.Payload)
+		case flood.Delivery:
+			payload := v.Payload
+			if wire, ok := payload.([]byte); ok {
+				mc, nm, err := lsa.Unmarshal(wire)
+				if err != nil {
+					m.host.Trace(TraceError, 0, "decode LSA: %v", err)
+					return
+				}
+				if mc != nil {
+					payload = mc
+				} else {
+					payload = nm
+				}
+			}
+			consume(payload)
+		case *lsa.NonMC:
+			handleNonMC(v)
+		case *lsa.MC:
+			addMC(v)
+		}
+	}
+	for _, raw := range batch {
+		consume(raw)
+	}
+	for _, conn := range order {
+		m.receiveLSA(ctx, m.conn(conn), perConn[conn])
+	}
+	for _, req := range requests {
+		m.handleResyncRequest(req)
+	}
+}
+
+// receiveLSA is Figure 5 of the paper: process a batch of LSAs for one
+// connection, then decide whether to compute and flood a proposal.
+func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
+	x := int(m.id)
+
+	// Lines 1-2.
+	var candidate *mctree.Tree
+	candidateStamp := cs.c.Clone()
+
+	// Lines 3-18: consume the LSAs.
+	for _, msg := range batch {
+		m.host.Trace(TraceRecv, cs.id, "recv %s", msg)
+		// Lines 5-9: an event LSA advances R and the member list. A lossy
+		// transport can deliver copies duplicated or out of per-origin
+		// order, so application is ordered: stale copies are dropped, early
+		// ones buffered, and applying one event can release buffered
+		// successors — which are then consumed as if freshly received. On a
+		// loss-free transport this degenerates to the paper's lines 5-9.
+		for _, a := range m.applyEventLSA(cs, msg) {
+			// Line 10: merge any new expectations.
+			cs.e.MaxInPlace(a.Stamp)
+			// Lines 11-17.
+			if a.Stamp.Geq(cs.e) && a.Proposal != nil {
+				// The proposal is based on every event known to this switch.
+				candidate = a.Proposal
+				candidateStamp = a.Stamp.Clone()
+				cs.makeProposal = false
+			} else if cs.r[x] > a.Stamp[x] {
+				// Inconsistency: the sender did not know about all our local
+				// events; we owe the network a proposal.
+				cs.makeProposal = true
+			}
+		}
+	}
+
+	// Line 19: compute a proposal if owed, expectations met, and the basis
+	// would be fresher than the installed topology.
+	if cs.makeProposal && cs.r.Geq(cs.e) && cs.r.Greater(cs.c) {
+		// Line 20-21: snapshot R, compute (takes Tc).
+		oldR := cs.r.Clone()
+		proposal, err := m.computeTopology(ctx, cs)
+		if err != nil {
+			m.host.Trace(TraceError, cs.id, "compute: %v", err)
+			proposal = nil
+		}
+		// Line 22: still current, and nothing new queued for this MC?
+		if proposal != nil && !m.host.PendingMC(cs.id) && cs.r.Equal(oldR) {
+			// Lines 23-27: flood as a triggered LSA (V = none).
+			m.floodMC(&lsa.MC{Src: m.id, Event: lsa.None, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()})
+			cs.e.CopyFrom(cs.r) // line 24: bring E up to date
+			candidate = proposal
+			candidateStamp = oldR
+			cs.makeProposal = false
+		} else {
+			// Lines 28-30: withdraw.
+			candidate = nil
+			m.metrics.Withdrawn++
+			m.host.Trace(TraceWithdraw, cs.id, "triggered proposal withdrawn")
+		}
+	}
+
+	// Lines 32-35: accept the best proposal seen.
+	if candidate != nil {
+		cs.c.CopyFrom(candidateStamp)
+		m.install(cs, candidate, "receive-lsa")
+	}
+	m.updateDormancy(cs)
+	m.maybeScheduleResync(cs)
+}
+
+// filterReachable restricts a member set to switches this switch can
+// currently reach in its local image. Members cut off by link or nodal
+// failures are excluded from topology computations so the reachable part
+// of the network still converges on a serviceable tree — each partition
+// proceeds with the members it can see (full partition *recovery* remains
+// out of scope, as in the paper §6).
+func (m *Machine) filterReachable(members mctree.Members) mctree.Members {
+	out := make(mctree.Members, len(members))
+	var reach map[topo.SwitchID]bool
+	for mem, role := range members {
+		if mem == m.id {
+			out[mem] = role
+			continue
+		}
+		if reach == nil {
+			reach = make(map[topo.SwitchID]bool)
+			for _, r := range m.uni.Image().Component(m.id) {
+				reach[r] = true
+			}
+		}
+		if reach[mem] {
+			out[mem] = role
+		}
+	}
+	return out
+}
+
+// computeTopology runs the configured algorithm over this switch's local
+// image, charging Tc via the host (the computation is the protocol's
+// dominant cost, Figure 4 line 5 / Figure 5 line 21).
+func (m *Machine) computeTopology(ctx any, cs *connState) (*mctree.Tree, error) {
+	m.metrics.Computations++
+	m.host.Trace(TraceCompute, cs.id, "computing topology (members=%d)", len(cs.members))
+	members := cs.members.Clone() // membership snapshot: may change during Tc
+	delta := cs.lastDelta
+	prev := cs.topology
+	m.host.HoldCompute(ctx)
+	// Reachability is evaluated against the image as of the end of the
+	// computation: link/nodal LSAs applied during Tc must not leave us
+	// asking the algorithm to span a switch the network can no longer
+	// reach (members cut off by failures are served again after repair or
+	// timed out by the application; the paper defers partition recovery).
+	members = m.filterReachable(members)
+	t, err := m.alg.Update(m.uni.Image(), cs.kind, members, prev, delta)
+	if err != nil {
+		return nil, err
+	}
+	// An incremental update is only a hint about the latest change; when
+	// several changes accumulated since the previous topology (e.g. two
+	// joins in one LSA batch) the result may not span every member. Fall
+	// back to a from-scratch computation in that case.
+	if t.Validate(m.uni.Image(), members) != nil {
+		return m.alg.Compute(m.uni.Image(), cs.kind, members)
+	}
+	return t, nil
+}
+
+// floodMC floods an MC LSA network-wide via the host.
+func (m *Machine) floodMC(msg *lsa.MC) {
+	m.metrics.MCLSAs++
+	m.host.Trace(TraceFlood, msg.Conn, "flood %s", msg)
+	m.host.FloodMC(msg)
+}
+
+// install records the accepted topology and updates the switch's MC routing
+// entries (its tree-adjacent links).
+func (m *Machine) install(cs *connState, t *mctree.Tree, via string) {
+	cs.topology = t
+	cs.installs++
+	m.metrics.Installs++
+	m.host.NoteInstall()
+	m.host.Trace(TraceInstall, cs.id, "installed %s via %s", t, via)
+}

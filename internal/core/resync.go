@@ -2,8 +2,6 @@ package core
 
 import (
 	"dgmc/internal/lsa"
-	"dgmc/internal/stamp"
-	"dgmc/internal/topo"
 )
 
 // Gap recovery for lossy fabrics (the OSPF database-exchange analogue).
@@ -19,11 +17,12 @@ import (
 //     dropped, early arrivals buffered until the gap before them fills.
 //
 //  2. A lost event LSA leaves R < E (or events buffered out of order)
-//     forever. When that persists past Config.ResyncTimeout the switch asks
-//     a neighbor to replay the per-origin suffixes beyond its R; neighbors
-//     rotate across rounds so a single equally-gapped peer cannot wedge
-//     recovery. The request's R also advertises the requester's knowledge:
-//     the peer merges it into its own E, so gap detection is symmetric.
+//     forever. When that persists past the host's resync timeout the switch
+//     asks a neighbor to replay the per-origin suffixes beyond its R;
+//     neighbors rotate across rounds so a single equally-gapped peer cannot
+//     wedge recovery. The request's R also advertises the requester's
+//     knowledge: the peer merges it into its own E, so gap detection is
+//     symmetric.
 //
 //  3. A lost *proposal* flood leaves R = E but C behind on some switches —
 //     the protocol is quiescent but unconverged. The replay response ends
@@ -36,32 +35,10 @@ import (
 // Everything travels through the ordinary ReceiveLSA path and the ordinary
 // acceptance rules (a proposal is accepted only if its stamp dominates E),
 // so resync can never regress C or install a stale topology. Rounds are
-// bounded by Config.ResyncMaxRounds to guarantee quiescence.
-
-// resyncRequest asks a neighbor to replay the event LSAs the requester is
-// missing. R is the requester's received stamp; the peer replays exactly
-// the per-origin suffixes beyond it.
-type resyncRequest struct {
-	Conn lsa.ConnID
-	From topo.SwitchID
-	R    stamp.Stamp
-}
-
-// resyncResponse carries the replayed LSAs (in the peer's application
-// order, ending with a pseudo-proposal when the peer has an installed
-// topology). The batch is consumed by the ordinary ReceiveLSA path.
-type resyncResponse struct {
-	Conn  lsa.ConnID
-	From  topo.SwitchID
-	Batch []*lsa.MC
-}
-
-// resyncNudge is a self-addressed mailbox entry that runs ReceiveLSA with
-// an empty batch, giving Figure 5 line 19 a chance to fire after
-// resyncCheck set makeProposal (commit-lag recovery).
-type resyncNudge struct {
-	conn lsa.ConnID
-}
+// bounded by MachineConfig.ResyncMaxRounds to guarantee quiescence.
+//
+// The wire messages themselves (lsa.ResyncRequest, lsa.ResyncResponse) live
+// in internal/lsa so live transports can frame them.
 
 // applyEventLSA performs Figure 5 lines 5-9 under per-origin ordering and
 // returns the LSAs the caller should continue processing: nil for a stale
@@ -70,23 +47,23 @@ type resyncNudge struct {
 // Non-event (triggered) LSAs pass through untouched. On a loss-free fabric
 // every event arrives exactly once and in order, so this reduces to the
 // paper's unconditional apply.
-func (s *Switch) applyEventLSA(cs *connState, m *lsa.MC) []*lsa.MC {
-	if !m.Event.IsEvent() {
-		return []*lsa.MC{m}
+func (m *Machine) applyEventLSA(cs *connState, msg *lsa.MC) []*lsa.MC {
+	if !msg.Event.IsEvent() {
+		return []*lsa.MC{msg}
 	}
-	src := m.Src
+	src := msg.Src
 	x := int(src)
-	idx := m.Stamp[x]
+	idx := msg.Stamp[x]
 	switch {
 	case idx <= cs.r[x]:
 		// Already applied: a retransmitted, fault-duplicated, or replayed
 		// copy. Its stamp was merged into E when the first copy arrived.
 		return nil
 	case idx == cs.r[x]+1:
-		out := []*lsa.MC{m}
+		out := []*lsa.MC{msg}
 		cs.r.Inc(x)
-		cs.applyMembership(m.Event, x, m.Role)
-		cs.logEvent(m)
+		cs.applyMembership(msg.Event, x, msg.Role)
+		cs.logEvent(msg)
 		// Applying this event may release buffered successors.
 		for {
 			next, ok := cs.takeBuffered(src, cs.r[x]+1)
@@ -104,10 +81,10 @@ func (s *Switch) applyEventLSA(cs *connState, m *lsa.MC) []*lsa.MC {
 		// the LSA, but merge its stamp into E now — it is hard evidence the
 		// missing events exist, and the R < E it creates is what arms gap
 		// recovery.
-		if cs.buffer(m) {
-			cs.e.MaxInPlace(m.Stamp)
-			s.d.metrics.OutOfOrderLSAs++
-			s.d.trace(TraceResync, s.id, cs.id,
+		if cs.buffer(msg) {
+			cs.e.MaxInPlace(msg.Stamp)
+			m.metrics.OutOfOrderLSAs++
+			m.host.Trace(TraceResync, cs.id,
 				"buffered out-of-order event from %d (idx %d, applied %d)", src, idx, cs.r[x])
 		}
 		return nil
@@ -119,37 +96,46 @@ func (s *Switch) applyEventLSA(cs *connState, m *lsa.MC) []*lsa.MC {
 // Called after every EventHandler and ReceiveLSA invocation; a no-op when
 // the connection is healthy (it then also resets the round budget, so each
 // new gap starts fresh).
-func (s *Switch) maybeScheduleResync(cs *connState) {
-	if s.d.resyncAfter <= 0 || cs.resyncScheduled {
+func (m *Machine) maybeScheduleResync(cs *connState) {
+	if !m.resync || cs.resyncScheduled {
 		return
 	}
 	if !cs.gapped() {
 		cs.resyncRounds = 0
 		return
 	}
-	if cs.resyncRounds > s.d.resyncMax {
+	if cs.resyncRounds > m.resyncMax {
 		return // gave up on this gap; only new healthy state resets it
 	}
 	cs.resyncScheduled = true
-	s.d.k.After(s.d.resyncAfter, func() {
-		cs.resyncScheduled = false
-		s.resyncCheck(cs)
-	})
+	m.host.ArmResync(cs.id)
+}
+
+// ResyncFired is the gap-check timer callback: the host calls it once per
+// ArmResync, after its resync timeout has elapsed. The hosting runtime
+// must serialize it with every other Machine call.
+func (m *Machine) ResyncFired(conn lsa.ConnID) {
+	cs, ok := m.conns[conn]
+	if !ok {
+		return
+	}
+	cs.resyncScheduled = false
+	m.resyncCheck(cs)
 }
 
 // resyncCheck runs when the gap-check timer fires: if the gap healed in the
 // meantime it does nothing; otherwise it spends one resync round on the
 // appropriate recovery action and re-arms.
-func (s *Switch) resyncCheck(cs *connState) {
+func (m *Machine) resyncCheck(cs *connState) {
 	if !cs.gapped() {
 		cs.resyncRounds = 0
 		return
 	}
-	if cs.resyncRounds >= s.d.resyncMax {
-		cs.resyncRounds = s.d.resyncMax + 1 // block further arming for this gap
-		s.d.metrics.ResyncGiveUps++
-		s.d.trace(TraceResync, s.id, cs.id,
-			"giving up after %d resync rounds (R=%s E=%s C=%s)", s.d.resyncMax, cs.r, cs.e, cs.c)
+	if cs.resyncRounds >= m.resyncMax {
+		cs.resyncRounds = m.resyncMax + 1 // block further arming for this gap
+		m.metrics.ResyncGiveUps++
+		m.host.Trace(TraceResync, cs.id,
+			"giving up after %d resync rounds (R=%s E=%s C=%s)", m.resyncMax, cs.r, cs.e, cs.c)
 		return
 	}
 	cs.resyncRounds++
@@ -158,45 +144,45 @@ func (s *Switch) resyncCheck(cs *connState) {
 		// proposal's flood was lost. Owe the network a proposal and nudge
 		// ReceiveLSA so line 19 recomputes and floods a triggered one.
 		cs.makeProposal = true
-		s.d.trace(TraceResync, s.id, cs.id,
+		m.host.Trace(TraceResync, cs.id,
 			"commit lag (R=%s C=%s): self-nudging a proposal (round %d)", cs.r, cs.c, cs.resyncRounds)
-		s.d.net.Mailbox(s.id).Send(resyncNudge{conn: cs.id}, 0)
-	} else if nbs := s.d.net.Graph().Neighbors(s.id); len(nbs) > 0 {
+		m.host.SelfNudge(cs.id)
+	} else if nbs := m.host.Neighbors(); len(nbs) > 0 {
 		nb := nbs[cs.resyncNext%len(nbs)]
 		cs.resyncNext++
-		s.d.metrics.ResyncRequests++
-		s.d.trace(TraceResync, s.id, cs.id,
+		m.metrics.ResyncRequests++
+		m.host.Trace(TraceResync, cs.id,
 			"requesting resync from %d (round %d, R=%s E=%s ooo=%d)", nb, cs.resyncRounds, cs.r, cs.e, cs.oooCount)
-		s.d.net.Unicast(s.id, nb, resyncRequest{Conn: cs.id, From: s.id, R: cs.r.Clone()})
+		m.host.SendUnicast(nb, &lsa.ResyncRequest{Conn: cs.id, From: m.id, R: cs.r.Clone()})
 	}
-	s.maybeScheduleResync(cs)
+	m.maybeScheduleResync(cs)
 }
 
 // handleResyncRequest serves a neighbor's resync request from this switch's
 // event log: replay every logged event beyond the requester's R, close with
 // a pseudo-proposal carrying the installed topology, and let the request's
 // R advertise any events the requester has seen that we have not.
-func (s *Switch) handleResyncRequest(req resyncRequest) {
-	cs := s.conn(req.Conn)
+func (m *Machine) handleResyncRequest(req *lsa.ResyncRequest) {
+	cs := m.conn(req.Conn)
 	if len(req.R) == len(cs.e) {
 		cs.e.MaxInPlace(req.R)
 	}
 	var batch []*lsa.MC
-	for _, m := range cs.eventLog {
-		if m.Stamp[int(m.Src)] > req.R[int(m.Src)] {
-			batch = append(batch, m)
+	for _, msg := range cs.eventLog {
+		if int(msg.Src) < len(req.R) && msg.Stamp[int(msg.Src)] > req.R[int(msg.Src)] {
+			batch = append(batch, msg)
 		}
 	}
 	if cs.topology != nil {
 		batch = append(batch, &lsa.MC{
-			Src: s.id, Event: lsa.None, Conn: cs.id,
+			Src: m.id, Event: lsa.None, Conn: cs.id,
 			Proposal: cs.topology, Stamp: cs.c.Clone(),
 		})
 	}
 	if len(batch) > 0 {
-		s.d.metrics.ResyncResponses++
-		s.d.trace(TraceResync, s.id, cs.id, "replaying %d LSAs to %d", len(batch), req.From)
-		s.d.net.Unicast(s.id, req.From, resyncResponse{Conn: cs.id, From: s.id, Batch: batch})
+		m.metrics.ResyncResponses++
+		m.host.Trace(TraceResync, cs.id, "replaying %d LSAs to %d", len(batch), req.From)
+		m.host.SendUnicast(req.From, &lsa.ResyncResponse{Conn: cs.id, From: m.id, Batch: batch})
 	}
-	s.maybeScheduleResync(cs) // the E merge may have revealed our own gap
+	m.maybeScheduleResync(cs) // the E merge may have revealed our own gap
 }

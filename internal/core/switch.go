@@ -6,267 +6,81 @@ import (
 	"dgmc/internal/flood"
 	"dgmc/internal/lsa"
 	"dgmc/internal/lsr"
-	"dgmc/internal/mctree"
 	"dgmc/internal/sim"
 	"dgmc/internal/topo"
 )
 
 func switchID(x int) topo.SwitchID { return topo.SwitchID(x) }
 
-// localEvent is what the host side injects into a switch's event mailbox.
-type localEvent struct {
-	conn lsa.ConnID
-	kind lsa.Event // Join, Leave, or Link
-	role mctree.Role
-	link lsa.LinkChange // for Link events
-}
-
-// Switch is one network switch running the D-GMC protocol: its unicast LSR
-// instance, its per-connection protocol state, and the two protocol
-// entities (EventHandler and ReceiveLSA) as simulated processes.
+// Switch is one simulated network switch running the D-GMC protocol: the
+// runtime-agnostic state machine (Machine) plus the simulation adapter that
+// drives it — the two protocol entities (EventHandler and ReceiveLSA) as
+// simulated processes, virtual-time compute costs, and the flood.Network
+// fabric. It implements Host. The live runtime equivalent is
+// internal/rt.Node, driving the exact same Machine.
 type Switch struct {
 	id     topo.SwitchID
 	d      *Domain
-	uni    *lsr.Instance
-	conns  map[lsa.ConnID]*connState
+	m      *Machine
 	events *sim.Mailbox
+	// cur is the process currently executing machine code, so HoldCompute
+	// suspends the right entity. Only ever mutated from kernel context.
+	cur *sim.Process
 }
 
 func newSwitch(d *Domain, id topo.SwitchID) (*Switch, error) {
-	uni, err := lsr.NewInstance(id, d.net.Graph())
-	if err != nil {
-		return nil, err
-	}
 	s := &Switch{
 		id:     id,
 		d:      d,
-		uni:    uni,
-		conns:  make(map[lsa.ConnID]*connState),
 		events: sim.NewMailbox(d.k, fmt.Sprintf("events-%d", id)),
 	}
+	m, err := NewMachine(MachineConfig{
+		ID:                  id,
+		Graph:               d.net.Graph(),
+		Algorithm:           d.algorithm,
+		Kinds:               d.kinds,
+		ReoptimizeThreshold: d.reoptThresh,
+		Resync:              d.resyncAfter > 0,
+		ResyncMaxRounds:     d.resyncMax,
+		Metrics:             d.metrics,
+	}, s)
+	if err != nil {
+		return nil, err
+	}
+	s.m = m
 	return s, nil
 }
 
 // ID returns the switch's network ID.
 func (s *Switch) ID() topo.SwitchID { return s.id }
 
+// Machine returns the switch's protocol state machine.
+func (s *Switch) Machine() *Machine { return s.m }
+
 // Unicast returns the switch's LSR instance (its local network image).
-func (s *Switch) Unicast() *lsr.Instance { return s.uni }
+func (s *Switch) Unicast() *lsr.Instance { return s.m.Unicast() }
 
 // Connection returns a snapshot of the switch's state for conn, or ok=false
 // if the switch holds no state for it.
 func (s *Switch) Connection(conn lsa.ConnID) (Snapshot, bool) {
-	cs, ok := s.conns[conn]
-	if !ok {
-		return Snapshot{}, false
-	}
-	return cs.snapshot(), true
+	return s.m.Connection(conn)
 }
 
 // Connections lists the IDs of live (non-dormant) connections at this
 // switch.
-func (s *Switch) Connections() []lsa.ConnID {
-	out := make([]lsa.ConnID, 0, len(s.conns))
-	for id, cs := range s.conns {
-		if !cs.dormant {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// conn returns (allocating if needed) the state for connection id. Per
-// §3.4, switches allocate MC data structures when they first hear of the
-// connection.
-func (s *Switch) conn(id lsa.ConnID) *connState {
-	cs, ok := s.conns[id]
-	if !ok {
-		cs = newConnState(id, s.d.kindOf(id), s.d.n)
-		s.conns[id] = cs
-	}
-	return cs
-}
-
-// updateDormancy destroys the connection's heavy state when the member
-// list has emptied and no LSAs are known to be outstanding (§3.4). The
-// event counters persist (see connState.dormant); a later event resurrects
-// the connection.
-func (s *Switch) updateDormancy(cs *connState) {
-	if len(cs.members) == 0 && cs.r.Geq(cs.e) {
-		if !cs.dormant {
-			cs.dormant = true
-			cs.topology = nil
-			cs.lastDelta = nil
-			s.d.trace(TraceDestroy, s.id, cs.id, "connection state destroyed")
-		}
-		return
-	}
-	if cs.dormant && len(cs.members) > 0 {
-		cs.dormant = false
-	}
-}
+func (s *Switch) Connections() []lsa.ConnID { return s.m.Connections() }
 
 // eventLoop is the process body that invokes EventHandler for each injected
 // local event, in arrival order.
 func (s *Switch) eventLoop(p *sim.Process) {
 	for {
-		ev, ok := s.events.Recv(p).(localEvent)
+		ev, ok := s.events.Recv(p).(LocalEvent)
 		if !ok {
 			continue
 		}
-		s.handleLocalEvent(p, ev)
+		s.cur = p
+		s.m.HandleLocalEvent(p, ev)
 	}
-}
-
-// handleLocalEvent dispatches one injected event. A membership event
-// invokes EventHandler once; a link event floods one non-MC LSA and then
-// invokes EventHandler once per affected connection (Figure 2).
-func (s *Switch) handleLocalEvent(p *sim.Process, ev localEvent) {
-	switch ev.kind {
-	case lsa.Join, lsa.Leave:
-		s.eventHandler(p, ev.kind, ev.role, s.conn(ev.conn))
-	case lsa.Link:
-		nm, err := s.uni.ApplyLocalEvent(ev.link)
-		if err != nil {
-			s.d.trace(TraceError, s.id, ev.conn, "local link event: %v", err)
-			return
-		}
-		if ev.link.Down {
-			// Keep the shared fabric in sync so floods route around the
-			// failure (the physical network changed, not just images).
-			if err := s.d.net.Graph().SetLinkDown(ev.link.A, ev.link.B, true); err != nil {
-				s.d.trace(TraceError, s.id, ev.conn, "fabric: %v", err)
-			}
-		} else {
-			if err := s.d.net.Graph().SetLinkDown(ev.link.A, ev.link.B, false); err != nil {
-				s.d.trace(TraceError, s.id, ev.conn, "fabric: %v", err)
-			}
-		}
-		if s.d.encodeLSAs {
-			s.d.net.Flood(s.id, nm.Marshal())
-		} else {
-			s.d.net.Flood(s.id, nm)
-		}
-		s.d.metrics.NonMCLSAs++
-		// One MC LSA per connection whose topology uses the affected link.
-		for _, cs := range s.affectedConns(ev.link) {
-			cs.lastDelta = nil
-			s.eventHandler(p, lsa.Link, 0, cs)
-		}
-		// §3.5 re-optimization: a recovered link may offer better trees.
-		if !ev.link.Down && s.d.reoptThresh > 0 {
-			s.reoptimize(p)
-		}
-	}
-}
-
-// reoptimize implements §3.5's policy for non-adverse changes: estimate a
-// fresh topology for each live connection on the improved image, and
-// signal a link event (re-converging the network) only when the installed
-// tree deviates from the fresh one by more than the configured threshold.
-func (s *Switch) reoptimize(p *sim.Process) {
-	for _, id := range sortedConnIDs(s.conns) {
-		cs := s.conns[id]
-		if cs.dormant || cs.topology == nil || len(cs.members) < 2 {
-			continue
-		}
-		s.d.metrics.ReoptChecks++
-		s.d.metrics.Computations++
-		members := s.filterReachable(cs.members.Clone())
-		p.Hold(s.d.computeTime)
-		fresh, err := s.d.algorithm.Compute(s.uni.Image(), cs.kind, members)
-		if err != nil || cs.topology == nil {
-			continue
-		}
-		cur := float64(cs.topology.Cost(s.uni.Image()))
-		if cur <= float64(fresh.Cost(s.uni.Image()))*(1+s.d.reoptThresh) {
-			continue // within tolerance of optimal: leave the tree alone
-		}
-		s.d.trace(TraceCompute, s.id, cs.id, "re-optimizing (%.0f%% over fresh cost)",
-			100*(cur/float64(fresh.Cost(s.uni.Image()))-1))
-		cs.lastDelta = nil
-		s.eventHandler(p, lsa.Link, 0, cs)
-	}
-}
-
-// affectedConns returns connections whose installed topology uses the
-// changed link, in ascending connection order for determinism.
-func (s *Switch) affectedConns(change lsa.LinkChange) []*connState {
-	var out []*connState
-	for _, id := range sortedConnIDs(s.conns) {
-		cs := s.conns[id]
-		if cs.topology != nil && cs.topology.Has(change.A, change.B) {
-			out = append(out, cs)
-		}
-	}
-	return out
-}
-
-func sortedConnIDs(m map[lsa.ConnID]*connState) []lsa.ConnID {
-	out := make([]lsa.ConnID, 0, len(m))
-	for id := range m {
-		out = append(out, id)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
-
-// eventHandler is Figure 4 of the paper: handle one local event for one
-// connection.
-func (s *Switch) eventHandler(p *sim.Process, event lsa.Event, role mctree.Role, cs *connState) {
-	x := int(s.id)
-	s.d.metrics.Events++
-	s.d.trace(TraceEvent, s.id, cs.id, "local %s event", event)
-
-	// Line 1: R[x]++, E[x]++.
-	cs.r.Inc(x)
-	cs.e.Inc(x)
-	// Apply the membership change locally (remote switches learn it from
-	// the flooded LSA; Figure 5 line 8 is the receiving-side mirror).
-	cs.applyMembership(event, x, role)
-
-	// Line 2: any known outstanding LSAs?
-	if cs.r.Geq(cs.e) {
-		// Lines 4-5: snapshot R, compute a proposal (takes Tc).
-		oldR := cs.r.Clone()
-		proposal, err := s.computeTopology(p, cs)
-		if err != nil {
-			s.d.trace(TraceError, s.id, cs.id, "compute: %v", err)
-			proposal = nil
-		}
-		// Line 6: is the proposal still valid?
-		if proposal != nil && cs.r.Equal(oldR) {
-			// Lines 7-10: flood proposal, install it.
-			m := &lsa.MC{Src: s.id, Event: event, Role: role, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()}
-			s.floodMC(m)
-			cs.logEvent(m)
-			cs.c.CopyFrom(oldR)
-			cs.makeProposal = false
-			s.install(cs, proposal, "event-handler")
-		} else {
-			// Lines 12-13: withdraw; flood the bare event, defer to
-			// ReceiveLSA.
-			m := &lsa.MC{Src: s.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: oldR.Clone()}
-			s.floodMC(m)
-			cs.logEvent(m)
-			cs.makeProposal = true
-			s.d.metrics.Withdrawn++
-			s.d.trace(TraceWithdraw, s.id, cs.id, "event-handler proposal withdrawn")
-		}
-	} else {
-		// Lines 16-17: outstanding LSAs exist; flood the bare event and
-		// defer to ReceiveLSA.
-		m := &lsa.MC{Src: s.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: cs.r.Clone()}
-		s.floodMC(m)
-		cs.logEvent(m)
-		cs.makeProposal = true
-	}
-	s.updateDormancy(cs)
-	s.maybeScheduleResync(cs)
 }
 
 // lsaLoop is the process body for the ReceiveLSA entity: it wakes whenever
@@ -276,179 +90,56 @@ func (s *Switch) lsaLoop(p *sim.Process) {
 	for {
 		first := inbox.Recv(p)
 		batch := append([]any{first}, inbox.Drain()...)
-		s.receiveBatch(p, batch)
+		s.cur = p
+		s.m.ReceiveBatch(p, batch)
 	}
 }
 
-// receiveBatch demultiplexes a drained mailbox batch: non-MC LSAs go to the
-// unicast substrate; MC LSAs are grouped per connection and handed to
-// ReceiveLSA (which the paper presents per-MC). Resync traffic (unicast
-// requests/replays between neighbors, and self-addressed nudges) rides the
-// same mailbox: replayed LSAs join the per-connection groups, requests are
-// served after ReceiveLSA has consumed the batch.
-func (s *Switch) receiveBatch(p *sim.Process, batch []any) {
-	perConn := make(map[lsa.ConnID][]*lsa.MC)
-	var order []lsa.ConnID
-	var requests []resyncRequest
-	addMC := func(m *lsa.MC) {
-		if _, seen := perConn[m.Conn]; !seen {
-			order = append(order, m.Conn)
-		}
-		perConn[m.Conn] = append(perConn[m.Conn], m)
+// --- Host implementation (simulation runtime) ---
+
+var _ Host = (*Switch)(nil)
+
+// FloodMC implements Host: flood an MC LSA over the fabric, on the wire
+// when the domain is configured to encode advertisements.
+func (s *Switch) FloodMC(m *lsa.MC) {
+	if s.d.encodeLSAs {
+		s.d.net.Flood(s.id, m.Marshal())
+		return
 	}
-	for _, raw := range batch {
-		switch v := raw.(type) {
-		case resyncNudge:
-			if _, seen := perConn[v.conn]; !seen {
-				order = append(order, v.conn)
-				perConn[v.conn] = nil
-			}
-			continue
-		case flood.Unicast:
-			switch pl := v.Payload.(type) {
-			case resyncRequest:
-				requests = append(requests, pl)
-			case resyncResponse:
-				for _, m := range pl.Batch {
-					addMC(m)
-				}
-			}
-			continue
-		}
-		del, ok := raw.(flood.Delivery)
-		if !ok {
-			continue
-		}
-		payload := del.Payload
-		if wire, ok := payload.([]byte); ok {
-			mc, nm, err := lsa.Unmarshal(wire)
-			if err != nil {
-				s.d.trace(TraceError, s.id, 0, "decode LSA: %v", err)
-				continue
-			}
-			if mc != nil {
-				payload = mc
-			} else {
-				payload = nm
-			}
-		}
-		switch m := payload.(type) {
-		case *lsa.NonMC:
-			if _, err := s.uni.HandleLSA(m); err != nil {
-				s.d.trace(TraceError, s.id, 0, "unicast LSA: %v", err)
-			}
-		case *lsa.MC:
-			addMC(m)
-		}
+	s.d.net.Flood(s.id, m)
+}
+
+// FloodNonMC implements Host.
+func (s *Switch) FloodNonMC(nm *lsa.NonMC) {
+	if s.d.encodeLSAs {
+		s.d.net.Flood(s.id, nm.Marshal())
+		return
 	}
-	for _, conn := range order {
-		s.receiveLSA(p, s.conn(conn), perConn[conn])
+	s.d.net.Flood(s.id, nm)
+}
+
+// SendUnicast implements Host: resync traffic rides the fabric's neighbor
+// unicast service.
+func (s *Switch) SendUnicast(to topo.SwitchID, payload any) {
+	s.d.net.Unicast(s.id, to, payload)
+}
+
+// HoldCompute implements Host: charge Tc of virtual time to the entity
+// that is computing. ctx is the *sim.Process threaded through the machine
+// entry point; it falls back to the process currently driving the machine.
+func (s *Switch) HoldCompute(ctx any) {
+	p, ok := ctx.(*sim.Process)
+	if !ok {
+		p = s.cur
 	}
-	for _, req := range requests {
-		s.handleResyncRequest(req)
+	if p != nil && s.d.computeTime > 0 {
+		p.Hold(s.d.computeTime)
 	}
 }
 
-// receiveLSA is Figure 5 of the paper: process a batch of LSAs for one
-// connection, then decide whether to compute and flood a proposal.
-func (s *Switch) receiveLSA(p *sim.Process, cs *connState, batch []*lsa.MC) {
-	x := int(s.id)
-
-	// Lines 1-2.
-	var candidate *mctree.Tree
-	candidateStamp := cs.c.Clone()
-
-	// Lines 3-18: consume the LSAs.
-	for _, m := range batch {
-		s.d.trace(TraceRecv, s.id, cs.id, "recv %s", m)
-		// Lines 5-9: an event LSA advances R and the member list. A lossy
-		// transport can deliver copies duplicated or out of per-origin
-		// order, so application is ordered: stale copies are dropped, early
-		// ones buffered, and applying one event can release buffered
-		// successors — which are then consumed as if freshly received. On a
-		// loss-free transport this degenerates to the paper's lines 5-9.
-		for _, a := range s.applyEventLSA(cs, m) {
-			// Line 10: merge any new expectations.
-			cs.e.MaxInPlace(a.Stamp)
-			// Lines 11-17.
-			if a.Stamp.Geq(cs.e) && a.Proposal != nil {
-				// The proposal is based on every event known to this switch.
-				candidate = a.Proposal
-				candidateStamp = a.Stamp.Clone()
-				cs.makeProposal = false
-			} else if cs.r[x] > a.Stamp[x] {
-				// Inconsistency: the sender did not know about all our local
-				// events; we owe the network a proposal.
-				cs.makeProposal = true
-			}
-		}
-	}
-
-	// Line 19: compute a proposal if owed, expectations met, and the basis
-	// would be fresher than the installed topology.
-	if cs.makeProposal && cs.r.Geq(cs.e) && cs.r.Greater(cs.c) {
-		// Line 20-21: snapshot R, compute (takes Tc).
-		oldR := cs.r.Clone()
-		proposal, err := s.computeTopology(p, cs)
-		if err != nil {
-			s.d.trace(TraceError, s.id, cs.id, "compute: %v", err)
-			proposal = nil
-		}
-		// Line 22: still current, and nothing new queued for this MC?
-		if proposal != nil && !s.pendingMCLSAs(cs.id) && cs.r.Equal(oldR) {
-			// Lines 23-27: flood as a triggered LSA (V = none).
-			s.floodMC(&lsa.MC{Src: s.id, Event: lsa.None, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()})
-			cs.e.CopyFrom(cs.r) // line 24: bring E up to date
-			candidate = proposal
-			candidateStamp = oldR
-			cs.makeProposal = false
-		} else {
-			// Lines 28-30: withdraw.
-			candidate = nil
-			s.d.metrics.Withdrawn++
-			s.d.trace(TraceWithdraw, s.id, cs.id, "triggered proposal withdrawn")
-		}
-	}
-
-	// Lines 32-35: accept the best proposal seen.
-	if candidate != nil {
-		cs.c.CopyFrom(candidateStamp)
-		s.install(cs, candidate, "receive-lsa")
-	}
-	s.updateDormancy(cs)
-	s.maybeScheduleResync(cs)
-}
-
-// filterReachable restricts a member set to switches this switch can
-// currently reach in its local image. Members cut off by link or nodal
-// failures are excluded from topology computations so the reachable part
-// of the network still converges on a serviceable tree — each partition
-// proceeds with the members it can see (full partition *recovery* remains
-// out of scope, as in the paper §6).
-func (s *Switch) filterReachable(members mctree.Members) mctree.Members {
-	out := make(mctree.Members, len(members))
-	var reach map[topo.SwitchID]bool
-	for m, role := range members {
-		if m == s.id {
-			out[m] = role
-			continue
-		}
-		if reach == nil {
-			reach = make(map[topo.SwitchID]bool)
-			for _, r := range s.uni.Image().Component(s.id) {
-				reach[r] = true
-			}
-		}
-		if reach[m] {
-			out[m] = role
-		}
-	}
-	return out
-}
-
-// pendingMCLSAs reports whether the switch's mailbox currently holds an MC
-// LSA for conn (Figure 5 line 22).
-func (s *Switch) pendingMCLSAs(conn lsa.ConnID) bool {
+// PendingMC implements Host: report whether the switch's mailbox currently
+// holds an MC LSA for conn (Figure 5 line 22).
+func (s *Switch) PendingMC(conn lsa.ConnID) bool {
 	for _, raw := range s.d.net.Mailbox(s.id).Snapshot() {
 		del, ok := raw.(flood.Delivery)
 		if !ok {
@@ -469,53 +160,35 @@ func (s *Switch) pendingMCLSAs(conn lsa.ConnID) bool {
 	return false
 }
 
-// computeTopology runs the configured algorithm over this switch's local
-// image, charging Tc of virtual time (the computation is the protocol's
-// dominant cost, Figure 4 line 5 / Figure 5 line 21).
-func (s *Switch) computeTopology(p *sim.Process, cs *connState) (*mctree.Tree, error) {
-	s.d.metrics.Computations++
-	s.d.trace(TraceCompute, s.id, cs.id, "computing topology (members=%d)", len(cs.members))
-	members := cs.members.Clone() // membership snapshot: may change during Tc
-	delta := cs.lastDelta
-	prev := cs.topology
-	p.Hold(s.d.computeTime)
-	// Reachability is evaluated against the image as of the end of the
-	// computation: link/nodal LSAs applied during Tc must not leave us
-	// asking the algorithm to span a switch the network can no longer
-	// reach (members cut off by failures are served again after repair or
-	// timed out by the application; the paper defers partition recovery).
-	members = s.filterReachable(members)
-	t, err := s.d.algorithm.Update(s.uni.Image(), cs.kind, members, prev, delta)
-	if err != nil {
-		return nil, err
-	}
-	// An incremental update is only a hint about the latest change; when
-	// several changes accumulated since the previous topology (e.g. two
-	// joins in one LSA batch) the result may not span every member. Fall
-	// back to a from-scratch computation in that case.
-	if t.Validate(s.uni.Image(), members) != nil {
-		return s.d.algorithm.Compute(s.uni.Image(), cs.kind, members)
-	}
-	return t, nil
+// Neighbors implements Host.
+func (s *Switch) Neighbors() []topo.SwitchID {
+	return s.d.net.Graph().Neighbors(s.id)
 }
 
-// floodMC floods an MC LSA network-wide, on the wire when configured.
-func (s *Switch) floodMC(m *lsa.MC) {
-	s.d.metrics.MCLSAs++
-	s.d.trace(TraceFlood, s.id, m.Conn, "flood %s", m)
-	if s.d.encodeLSAs {
-		s.d.net.Flood(s.id, m.Marshal())
-		return
+// FabricLinkChanged implements Host: mirror a locally detected link event
+// into the shared fabric graph so floods route around the failure.
+func (s *Switch) FabricLinkChanged(change lsa.LinkChange) {
+	if err := s.d.net.Graph().SetLinkDown(change.A, change.B, change.Down); err != nil {
+		s.d.trace(TraceError, s.id, 0, "fabric: %v", err)
 	}
-	s.d.net.Flood(s.id, m)
 }
 
-// install records the accepted topology and updates the switch's MC routing
-// entries (its tree-adjacent links).
-func (s *Switch) install(cs *connState, t *mctree.Tree, via string) {
-	cs.topology = t
-	cs.installs++
-	s.d.metrics.Installs++
-	s.d.noteInstall()
-	s.d.trace(TraceInstall, s.id, cs.id, "installed %s via %s", t, via)
+// ArmResync implements Host: schedule the machine's gap check after the
+// domain's resync timeout of virtual time.
+func (s *Switch) ArmResync(conn lsa.ConnID) {
+	s.d.k.After(s.d.resyncAfter, func() { s.m.ResyncFired(conn) })
+}
+
+// SelfNudge implements Host: deliver a ResyncNudge through the switch's
+// own LSA mailbox.
+func (s *Switch) SelfNudge(conn lsa.ConnID) {
+	s.d.net.Mailbox(s.id).Send(ResyncNudge{Conn: conn}, 0)
+}
+
+// NoteInstall implements Host.
+func (s *Switch) NoteInstall() { s.d.noteInstall() }
+
+// Trace implements Host.
+func (s *Switch) Trace(kind TraceKind, conn lsa.ConnID, format string, args ...any) {
+	s.d.trace(kind, s.id, conn, format, args...)
 }

@@ -108,36 +108,45 @@ func Baselines(p Params, overrides func(*Params)) (*metrics.Table, error) {
 		XLabel:  "switches",
 		Columns: []string{"D-GMC", "MOSPF", "brute force"},
 	}
+	type baselinePoint struct {
+		dg, mo, bf float64
+	}
 	for _, n := range p.Sizes {
-		var dg, mo, bf metrics.Sample
-		for i := 0; i < p.GraphsPerSize; i++ {
+		points, err := parallelMap(p.GraphsPerSize, func(i int) (baselinePoint, error) {
 			g, err := buildGraph(p, n, i)
 			if err != nil {
-				return nil, err
+				return baselinePoint{}, err
 			}
 			tf, err := probeTf(g, p.PerHop)
 			if err != nil {
-				return nil, err
+				return baselinePoint{}, err
 			}
 			events, err := buildEvents(p, n, i, tf+p.Tc)
 			if err != nil {
-				return nil, err
+				return baselinePoint{}, err
 			}
 			res, err := RunDGMC(p, g, events)
 			if err != nil {
-				return nil, fmt.Errorf("dgmc size %d graph %d: %w", n, i, err)
+				return baselinePoint{}, fmt.Errorf("dgmc size %d graph %d: %w", n, i, err)
 			}
-			dg.Add(res.ProposalsPerEvent())
 			mv, err := RunMOSPF(p, g, events)
 			if err != nil {
-				return nil, fmt.Errorf("mospf size %d graph %d: %w", n, i, err)
+				return baselinePoint{}, fmt.Errorf("mospf size %d graph %d: %w", n, i, err)
 			}
-			mo.Add(mv)
 			bv, err := RunBruteForce(p, g, events)
 			if err != nil {
-				return nil, fmt.Errorf("bruteforce size %d graph %d: %w", n, i, err)
+				return baselinePoint{}, fmt.Errorf("bruteforce size %d graph %d: %w", n, i, err)
 			}
-			bf.Add(bv)
+			return baselinePoint{dg: res.ProposalsPerEvent(), mo: mv, bf: bv}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var dg, mo, bf metrics.Sample
+		for _, pt := range points {
+			dg.Add(pt.dg)
+			mo.Add(pt.mo)
+			bf.Add(pt.bf)
 		}
 		ds, err := dg.Summarize()
 		if err != nil {

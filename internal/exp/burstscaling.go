@@ -66,18 +66,17 @@ func BurstScaling(p BurstScalingParams) (*metrics.Table, error) {
 		Bursty: true,
 	}.normalized()
 	for _, burst := range p.BurstSizes {
-		var prop, fld, wdr, conv metrics.Sample
-		for run := 0; run < p.RunsPerPoint; run++ {
+		results, err := parallelMap(p.RunsPerPoint, func(run int) (RunResult, error) {
 			pp := base
 			pp.Events = burst
 			pp.BaseSeed = p.BaseSeed*131 + int64(burst)*17 + int64(run)
 			g, err := buildGraph(pp, p.N, run)
 			if err != nil {
-				return nil, err
+				return RunResult{}, err
 			}
 			tf, err := probeTf(g, pp.PerHop)
 			if err != nil {
-				return nil, err
+				return RunResult{}, err
 			}
 			events, err := workload.Bursty(workload.Config{
 				N:      p.N,
@@ -87,12 +86,19 @@ func BurstScaling(p BurstScalingParams) (*metrics.Table, error) {
 				Window: tf + pp.Tc,
 			})
 			if err != nil {
-				return nil, err
+				return RunResult{}, err
 			}
 			res, err := RunDGMC(pp, g, events)
 			if err != nil {
-				return nil, fmt.Errorf("burst=%d run=%d: %w", burst, run, err)
+				return RunResult{}, fmt.Errorf("burst=%d run=%d: %w", burst, run, err)
 			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var prop, fld, wdr, conv metrics.Sample
+		for _, res := range results {
 			prop.Add(res.ProposalsPerEvent())
 			fld.Add(res.FloodingsPerEvent())
 			wdr.Add(float64(res.Withdrawn) / float64(res.Events))

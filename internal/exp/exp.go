@@ -290,25 +290,33 @@ func Sweep(name string, p Params) (FigureSet, error) {
 		}
 	}
 	for _, n := range p.Sizes {
-		var prop, fld, conv metrics.Sample
-		for i := 0; i < p.GraphsPerSize; i++ {
+		// The replications are independent — each derives its graph and
+		// workload from (n, i) — so they fan out across the worker pool.
+		results, err := parallelMap(p.GraphsPerSize, func(i int) (RunResult, error) {
 			g, err := buildGraph(p, n, i)
 			if err != nil {
-				return FigureSet{}, err
+				return RunResult{}, err
 			}
 			// Round length depends on the graph; probe Tf first.
 			tf, err := probeTf(g, p.PerHop)
 			if err != nil {
-				return FigureSet{}, err
+				return RunResult{}, err
 			}
 			events, err := buildEvents(p, n, i, tf+p.Tc)
 			if err != nil {
-				return FigureSet{}, err
+				return RunResult{}, err
 			}
 			res, err := RunDGMC(p, g, events)
 			if err != nil {
-				return FigureSet{}, fmt.Errorf("size %d graph %d: %w", n, i, err)
+				return RunResult{}, fmt.Errorf("size %d graph %d: %w", n, i, err)
 			}
+			return res, nil
+		})
+		if err != nil {
+			return FigureSet{}, err
+		}
+		var prop, fld, conv metrics.Sample
+		for _, res := range results {
 			prop.Add(res.ProposalsPerEvent())
 			fld.Add(res.FloodingsPerEvent())
 			conv.Add(res.ConvergenceRounds)

@@ -156,13 +156,15 @@ func Hierarchy(p HierarchyParams) (*metrics.Table, error) {
 			"comp/event hier",
 		},
 	}
+	type hierPoint struct {
+		flatCopies, hierCopies, flatComp, hierComp float64
+	}
 	for _, areaCount := range p.AreaCounts {
-		var flatCopies, hierCopies, flatComp, hierComp metrics.Sample
-		for run := 0; run < p.RunsPerPoint; run++ {
+		points, err := parallelMap(p.RunsPerPoint, func(run int) (hierPoint, error) {
 			seed := p.BaseSeed*31337 + int64(areaCount)*101 + int64(run)
 			g, specs, err := buildHierNetwork(p, areaCount, seed)
 			if err != nil {
-				return nil, err
+				return hierPoint{}, err
 			}
 			events := hierEvents(p, areaCount, seed)
 
@@ -173,54 +175,62 @@ func Hierarchy(p HierarchyParams) (*metrics.Table, error) {
 			})
 			if err != nil {
 				k1.Shutdown()
-				return nil, err
+				return hierPoint{}, err
 			}
 			for _, e := range events {
 				if err := hd.Join(e.At, e.S, 1, mctree.SenderReceiver); err != nil {
 					k1.Shutdown()
-					return nil, err
+					return hierPoint{}, err
 				}
 			}
 			if _, err := k1.Run(); err != nil {
 				k1.Shutdown()
-				return nil, err
+				return hierPoint{}, err
 			}
 			if err := hd.CheckConverged(); err != nil {
 				k1.Shutdown()
-				return nil, fmt.Errorf("hier areas=%d run=%d: %w", areaCount, run, err)
+				return hierPoint{}, fmt.Errorf("hier areas=%d run=%d: %w", areaCount, run, err)
 			}
 			hs := hd.Stats()
 			k1.Shutdown()
 
 			// Flat run.
 			k2 := sim.NewKernel()
+			defer k2.Shutdown()
 			net, err := flood.New(k2, g, p.PerHop, flood.Direct)
 			if err != nil {
-				k2.Shutdown()
-				return nil, err
+				return hierPoint{}, err
 			}
 			fd, err := core.NewDomain(k2, core.Config{Net: net, ComputeTime: p.Tc, Algorithm: route.SPH{}})
 			if err != nil {
-				k2.Shutdown()
-				return nil, err
+				return hierPoint{}, err
 			}
 			for _, e := range events {
 				fd.Join(e.At, e.S, lsa.ConnID(1), mctree.SenderReceiver)
 			}
 			if _, err := k2.Run(); err != nil {
-				k2.Shutdown()
-				return nil, err
+				return hierPoint{}, err
 			}
 			if err := fd.CheckConverged(); err != nil {
-				k2.Shutdown()
-				return nil, fmt.Errorf("flat areas=%d run=%d: %w", areaCount, run, err)
+				return hierPoint{}, fmt.Errorf("flat areas=%d run=%d: %w", areaCount, run, err)
 			}
 			nEvents := float64(len(events))
-			flatCopies.Add(float64(net.Copies()) / nEvents)
-			hierCopies.Add(float64(hs.Copies) / nEvents)
-			flatComp.Add(float64(fd.Metrics().Computations) / nEvents)
-			hierComp.Add(float64(hs.Computations) / nEvents)
-			k2.Shutdown()
+			return hierPoint{
+				flatCopies: float64(net.Copies()) / nEvents,
+				hierCopies: float64(hs.Copies) / nEvents,
+				flatComp:   float64(fd.Metrics().Computations) / nEvents,
+				hierComp:   float64(hs.Computations) / nEvents,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var flatCopies, hierCopies, flatComp, hierComp metrics.Sample
+		for _, pt := range points {
+			flatCopies.Add(pt.flatCopies)
+			hierCopies.Add(pt.hierCopies)
+			flatComp.Add(pt.flatComp)
+			hierComp.Add(pt.hierComp)
 		}
 		cells := make([]metrics.Summary, 0, 4)
 		for _, s := range []*metrics.Sample{&flatCopies, &hierCopies, &flatComp, &hierComp} {

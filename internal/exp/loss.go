@@ -87,8 +87,7 @@ func Loss(p LossParams) (*metrics.Table, error) {
 		Columns: []string{"conv-rounds", "retransmits/event", "floodings/event"},
 	}
 	for ri, rate := range p.DropRates {
-		var conv, retr, fld metrics.Sample
-		for run := 0; run < p.RunsPerPoint; run++ {
+		results, err := parallelMap(p.RunsPerPoint, func(run int) (RunResult, error) {
 			seed := p.BaseSeed*104_729 + int64(ri)*10_007 + int64(run)
 			rp := Params{
 				Sizes:               []int{p.N},
@@ -110,20 +109,27 @@ func Loss(p LossParams) (*metrics.Table, error) {
 			}
 			g, err := buildGraph(rp, p.N, run)
 			if err != nil {
-				return nil, err
+				return RunResult{}, err
 			}
 			tf, err := probeTf(g, p.PerHop)
 			if err != nil {
-				return nil, err
+				return RunResult{}, err
 			}
 			events, err := buildEvents(rp, p.N, run, tf+p.Tc)
 			if err != nil {
-				return nil, err
+				return RunResult{}, err
 			}
 			res, err := RunDGMC(rp, g, events)
 			if err != nil {
-				return nil, fmt.Errorf("drop rate %g run %d: %w", rate, run, err)
+				return RunResult{}, fmt.Errorf("drop rate %g run %d: %w", rate, run, err)
 			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var conv, retr, fld metrics.Sample
+		for _, res := range results {
 			conv.Add(res.ConvergenceRounds)
 			retr.Add(res.RetransmitsPerEvent())
 			fld.Add(res.FloodingsPerEvent())

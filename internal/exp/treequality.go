@@ -52,13 +52,20 @@ func TreeQuality(p TreeQualityParams) (*metrics.Table, error) {
 			"max load source trees",
 		},
 	}
+	// hasRatio records whether the Steiner tree had positive cost — a
+	// degenerate graph yields no cost-ratio sample but still contributes
+	// load samples, exactly as the sequential loop did.
+	type qualityPoint struct {
+		ratio            float64
+		hasRatio         bool
+		cbtLoad, srcLoad float64
+	}
 	for _, n := range p.Sizes {
-		var costRatio, cbtLoad, srcLoad metrics.Sample
-		for i := 0; i < p.GraphsPerSize; i++ {
+		points, err := parallelMap(p.GraphsPerSize, func(i int) (qualityPoint, error) {
 			seed := p.BaseSeed*2_654_435 + int64(n)*97 + int64(i)
 			g, err := topo.Waxman(topo.DefaultGenConfig(n, seed))
 			if err != nil {
-				return nil, err
+				return qualityPoint{}, err
 			}
 			rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
 			members := mctree.Members{}
@@ -74,36 +81,50 @@ func TreeQuality(p TreeQualityParams) (*metrics.Table, error) {
 
 			steiner, err := (route.SPH{}).Compute(g, mctree.Symmetric, members)
 			if err != nil {
-				return nil, fmt.Errorf("sph size %d graph %d: %w", n, i, err)
+				return qualityPoint{}, fmt.Errorf("sph size %d graph %d: %w", n, i, err)
 			}
 			cb := route.NewCoreBased()
 			core, err := cb.SelectCore(g, members)
 			if err != nil {
-				return nil, err
+				return qualityPoint{}, err
 			}
 			shared, err := cbt.New(g, core)
 			if err != nil {
-				return nil, err
+				return qualityPoint{}, err
 			}
 			for _, m := range ids {
 				if err := shared.Join(m); err != nil {
-					return nil, fmt.Errorf("cbt join size %d graph %d: %w", n, i, err)
+					return qualityPoint{}, fmt.Errorf("cbt join size %d graph %d: %w", n, i, err)
 				}
 			}
 			sharedTree := shared.MCTree()
+			var pt qualityPoint
 			if c := steiner.Cost(g); c > 0 {
-				costRatio.Add(float64(sharedTree.Cost(g)) / float64(c))
+				pt.ratio = float64(sharedTree.Cost(g)) / float64(c)
+				pt.hasRatio = true
 			}
 			loads, err := shared.SharedTreeLoads(ids)
 			if err != nil {
-				return nil, err
+				return qualityPoint{}, err
 			}
-			cbtLoad.Add(loads.Max())
+			pt.cbtLoad = loads.Max()
 			src, err := cbt.SourceTreeLoads(g, ids, ids)
 			if err != nil {
-				return nil, err
+				return qualityPoint{}, err
 			}
-			srcLoad.Add(src.Max())
+			pt.srcLoad = src.Max()
+			return pt, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var costRatio, cbtLoad, srcLoad metrics.Sample
+		for _, pt := range points {
+			if pt.hasRatio {
+				costRatio.Add(pt.ratio)
+			}
+			cbtLoad.Add(pt.cbtLoad)
+			srcLoad.Add(pt.srcLoad)
 		}
 		cr, err := costRatio.Summarize()
 		if err != nil {

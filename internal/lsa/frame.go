@@ -1,0 +1,148 @@
+package lsa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"dgmc/internal/topo"
+)
+
+// FrameVersion is the current wire-framing version. Receivers reject other
+// versions: the framing carries no negotiation, so a version skew between
+// daemons is a deployment error to surface, not to paper over.
+const FrameVersion = 1
+
+// FrameKind says what a frame's payload is and how it travels.
+type FrameKind uint8
+
+const (
+	// FrameFlood carries a Marshal'd MC or non-MC LSA being flooded
+	// network-wide: receivers deliver it locally and re-forward it to
+	// their other neighbors, suppressing duplicates by (Origin, Seq).
+	FrameFlood FrameKind = 1
+	// FrameResyncReq carries a point-to-point ResyncRequest.
+	FrameResyncReq FrameKind = 2
+	// FrameResyncResp carries a point-to-point ResyncResponse.
+	FrameResyncResp FrameKind = 3
+)
+
+// Valid reports whether k is a defined frame kind.
+func (k FrameKind) Valid() bool {
+	return k == FrameFlood || k == FrameResyncReq || k == FrameResyncResp
+}
+
+// String implements fmt.Stringer.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameFlood:
+		return "flood"
+	case FrameResyncReq:
+		return "resync-req"
+	case FrameResyncResp:
+		return "resync-resp"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", uint8(k))
+	}
+}
+
+// Frame is the unit a live transport sends on the wire: a small header
+// (version, kind, flood identity, link-level sender, payload length, CRC)
+// around one encoded advertisement or resync message.
+//
+// Origin and Seq identify a flood network-wide for duplicate suppression;
+// From is the link-level sender, updated at each store-and-forward hop so
+// receivers know which neighbor not to forward back to. For point-to-point
+// resync frames Origin == From and Seq is the sender's next flood sequence
+// (unused by receivers beyond tracing).
+type Frame struct {
+	Version uint8
+	Kind    FrameKind
+	Origin  topo.SwitchID
+	From    topo.SwitchID
+	Seq     uint64
+	Payload []byte
+}
+
+// frameHeaderLen is version(1) + kind(1) + origin(4) + from(4) + seq(8) +
+// length(4) + crc32(4).
+const frameHeaderLen = 26
+
+// frameFromOffset is the byte offset of the From field, exported to the
+// forwarding path via PatchFrameFrom.
+const frameFromOffset = 6
+
+// MaxFramePayload bounds the payload length a decoder will accept. It is
+// far above anything the protocol produces (a proposal tree plus a stamp
+// for a few hundred switches is a few KB) while keeping a hostile length
+// field from turning into a large allocation.
+const MaxFramePayload = 1 << 20
+
+// EncodeFrame encodes f. The CRC covers the header fields and the payload,
+// so any truncation or corruption of either is detected.
+func EncodeFrame(f *Frame) []byte {
+	buf := make([]byte, 0, frameHeaderLen+len(f.Payload))
+	buf = append(buf, f.Version, byte(f.Kind))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(f.Origin)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(f.From)))
+	buf = binary.BigEndian.AppendUint64(buf, f.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Payload)))
+	buf = binary.BigEndian.AppendUint32(buf, frameCRC(buf[:frameHeaderLen-4], f.Payload))
+	buf = append(buf, f.Payload...)
+	return buf
+}
+
+// PatchFrameFrom rewrites the From field of an encoded frame in place (and
+// fixes up the CRC), so a forwarder can relay the same buffer without
+// re-encoding the payload.
+func PatchFrameFrom(buf []byte, from topo.SwitchID) error {
+	if len(buf) < frameHeaderLen {
+		return fmt.Errorf("lsa: frame too short to patch (%d bytes)", len(buf))
+	}
+	binary.BigEndian.PutUint32(buf[frameFromOffset:], uint32(int32(from)))
+	binary.BigEndian.PutUint32(buf[frameHeaderLen-4:],
+		frameCRC(buf[:frameHeaderLen-4], buf[frameHeaderLen:]))
+	return nil
+}
+
+func frameCRC(header, payload []byte) uint32 {
+	crc := crc32.ChecksumIEEE(header)
+	return crc32.Update(crc, crc32.IEEETable, payload)
+}
+
+// DecodeFrame decodes one frame from buf. It errors on truncation, version
+// skew, unknown kinds, length mismatches, and checksum failures; it never
+// panics on hostile input (see FuzzDecodeFrame). The returned payload
+// aliases buf.
+func DecodeFrame(buf []byte) (*Frame, error) {
+	if len(buf) < frameHeaderLen {
+		return nil, fmt.Errorf("lsa: truncated frame header (%d bytes, need %d)", len(buf), frameHeaderLen)
+	}
+	f := &Frame{
+		Version: buf[0],
+		Kind:    FrameKind(buf[1]),
+		Origin:  topo.SwitchID(int32(binary.BigEndian.Uint32(buf[2:]))),
+		From:    topo.SwitchID(int32(binary.BigEndian.Uint32(buf[6:]))),
+		Seq:     binary.BigEndian.Uint64(buf[10:]),
+	}
+	if f.Version != FrameVersion {
+		return nil, fmt.Errorf("lsa: frame version %d, want %d", f.Version, FrameVersion)
+	}
+	if !f.Kind.Valid() {
+		return nil, fmt.Errorf("lsa: unknown frame kind %d", buf[1])
+	}
+	length := binary.BigEndian.Uint32(buf[18:])
+	if length > MaxFramePayload {
+		return nil, fmt.Errorf("lsa: frame payload length %d exceeds limit %d", length, MaxFramePayload)
+	}
+	want := binary.BigEndian.Uint32(buf[22:])
+	payload := buf[frameHeaderLen:]
+	if uint32(len(payload)) != length {
+		return nil, fmt.Errorf("lsa: frame payload is %d bytes, header says %d", len(payload), length)
+	}
+	if got := frameCRC(buf[:frameHeaderLen-4], payload); got != want {
+		return nil, fmt.Errorf("lsa: frame checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	f.Payload = payload
+	return f, nil
+}

@@ -1,0 +1,185 @@
+package lsa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/stamp"
+)
+
+func testFrame() *Frame {
+	tree := mctree.New(mctree.Symmetric)
+	tree.AddEdge(0, 1)
+	mc := &MC{Src: 1, Event: Join, Role: mctree.SenderReceiver, Conn: 3,
+		Proposal: tree, Stamp: stamp.Stamp{1, 0, 2}}
+	return &Frame{Version: FrameVersion, Kind: FrameFlood, Origin: 1, From: 1, Seq: 42, Payload: mc.Marshal()}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := testFrame()
+	enc := EncodeFrame(f)
+	got, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if got.Version != f.Version || got.Kind != f.Kind || got.Origin != f.Origin ||
+		got.From != f.From || got.Seq != f.Seq || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, f)
+	}
+}
+
+func TestFrameRejectsTruncation(t *testing.T) {
+	enc := EncodeFrame(testFrame())
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeFrame(enc[:cut]); err == nil {
+			t.Fatalf("accepted frame truncated to %d of %d bytes", cut, len(enc))
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	enc := EncodeFrame(testFrame())
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x41
+		if _, err := DecodeFrame(mut); err == nil {
+			t.Fatalf("accepted frame with byte %d corrupted", i)
+		}
+	}
+}
+
+func TestFrameRejectsVersionSkew(t *testing.T) {
+	f := testFrame()
+	f.Version = FrameVersion + 1
+	if _, err := DecodeFrame(EncodeFrame(f)); err == nil {
+		t.Fatal("accepted frame with future version")
+	}
+}
+
+func TestFrameRejectsUnknownKind(t *testing.T) {
+	f := testFrame()
+	f.Kind = FrameKind(200)
+	if _, err := DecodeFrame(EncodeFrame(f)); err == nil {
+		t.Fatal("accepted frame with unknown kind")
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	enc := EncodeFrame(testFrame())
+	binary.BigEndian.PutUint32(enc[18:], MaxFramePayload+1)
+	if _, err := DecodeFrame(enc); err == nil {
+		t.Fatal("accepted frame with oversized length field")
+	}
+}
+
+func TestPatchFrameFrom(t *testing.T) {
+	enc := EncodeFrame(testFrame())
+	if err := PatchFrameFrom(enc, 7); err != nil {
+		t.Fatalf("PatchFrameFrom: %v", err)
+	}
+	got, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatalf("decode after patch: %v", err)
+	}
+	if got.From != 7 {
+		t.Fatalf("patched From = %d, want 7", got.From)
+	}
+	if got.Origin != 1 || got.Seq != 42 {
+		t.Fatalf("patch disturbed other fields: %+v", got)
+	}
+	if err := PatchFrameFrom(enc[:10], 3); err == nil {
+		t.Fatal("patched a truncated frame")
+	}
+}
+
+func TestResyncRequestRoundTrip(t *testing.T) {
+	r := &ResyncRequest{Conn: 9, From: 4, R: stamp.Stamp{3, 0, 1, 2}}
+	got, err := DecodeResyncRequest(r.Marshal())
+	if err != nil {
+		t.Fatalf("DecodeResyncRequest: %v", err)
+	}
+	if got.Conn != r.Conn || got.From != r.From || !got.R.Equal(r.R) {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, r)
+	}
+	if _, err := DecodeResyncRequest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted truncated resync request")
+	}
+}
+
+func TestResyncResponseRoundTrip(t *testing.T) {
+	tree := mctree.New(mctree.Symmetric)
+	tree.AddEdge(1, 2)
+	r := &ResyncResponse{Conn: 9, From: 4, Batch: []*MC{
+		{Src: 1, Event: Join, Role: mctree.Receiver, Conn: 9, Stamp: stamp.Stamp{1, 0, 0}},
+		{Src: 2, Event: None, Conn: 9, Proposal: tree, Stamp: stamp.Stamp{1, 1, 0}},
+	}}
+	got, err := DecodeResyncResponse(r.Marshal())
+	if err != nil {
+		t.Fatalf("DecodeResyncResponse: %v", err)
+	}
+	if got.Conn != r.Conn || got.From != r.From || len(got.Batch) != 2 {
+		t.Fatalf("round trip mismatch: got %+v", got)
+	}
+	if got.Batch[0].Src != 1 || got.Batch[1].Proposal == nil {
+		t.Fatalf("batch content mismatch: %v / %v", got.Batch[0], got.Batch[1])
+	}
+	if _, err := DecodeResyncResponse([]byte{0, 0, 0, 1}); err == nil {
+		t.Fatal("accepted truncated resync response")
+	}
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes to the frame decoder. Truncation,
+// bad checksums, and version skew must come back as errors — never panics —
+// and any accepted frame must re-encode byte-identically.
+func FuzzDecodeFrame(f *testing.F) {
+	fr := testFrame()
+	f.Add(EncodeFrame(fr))
+	req := &ResyncRequest{Conn: 1, From: 0, R: stamp.Stamp{1, 2}}
+	f.Add(EncodeFrame(&Frame{Version: FrameVersion, Kind: FrameResyncReq, Origin: 0, From: 0, Seq: 1, Payload: req.Marshal()}))
+	f.Add(EncodeFrame(&Frame{Version: FrameVersion, Kind: FrameFlood, Origin: 2, From: 3, Seq: 7}))
+	f.Add([]byte{})
+	f.Add([]byte{FrameVersion})
+	f.Add([]byte{FrameVersion + 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return // rejection is fine; panics and false accepts are not
+		}
+		if fr.Version != FrameVersion {
+			t.Fatalf("accepted frame with version %d", fr.Version)
+		}
+		if !fr.Kind.Valid() {
+			t.Fatalf("accepted frame with invalid kind %d", fr.Kind)
+		}
+		re := EncodeFrame(fr)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame does not re-encode identically:\n in=%x\nout=%x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeResyncResponse guards the batch decoder against hostile counts
+// and truncated inner LSAs.
+func FuzzDecodeResyncResponse(f *testing.F) {
+	r := &ResyncResponse{Conn: 9, From: 4, Batch: []*MC{
+		{Src: 1, Event: Join, Role: mctree.Receiver, Conn: 9, Stamp: stamp.Stamp{1, 0}},
+	}}
+	f.Add(r.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 9, 0, 0, 0, 4, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeResyncResponse(data)
+		if err != nil {
+			return
+		}
+		re := got.Marshal()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted response does not re-encode identically:\n in=%x\nout=%x", data, re)
+		}
+	})
+}

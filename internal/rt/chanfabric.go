@@ -1,0 +1,129 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dgmc/internal/topo"
+)
+
+// ChanFabric is an in-process Transport fabric: one unbounded queue per
+// switch, shared-memory delivery. It is the loss-free, reorder-free fabric
+// used by the live test harness and the sim-vs-live equivalence test.
+//
+// Queues are unbounded on purpose: a flood storm makes every node send to
+// every neighbor while holding its machine lock, and a bounded channel
+// there is a recipe for distributed deadlock. Memory is bounded in practice
+// by the protocol's own quiescence.
+type ChanFabric struct {
+	queues []*frameQueue
+	// inflight counts frames enqueued but not yet returned by Recv, letting
+	// the harness distinguish "quiescent" from "packets still in flight".
+	inflight atomic.Int64
+}
+
+// NewChanFabric builds a fabric for switches 0..n-1.
+func NewChanFabric(n int) *ChanFabric {
+	f := &ChanFabric{queues: make([]*frameQueue, n)}
+	for i := range f.queues {
+		f.queues[i] = newFrameQueue()
+	}
+	return f
+}
+
+// Transport returns switch id's attachment to the fabric.
+func (f *ChanFabric) Transport(id topo.SwitchID) Transport {
+	return &chanPort{fabric: f, id: id}
+}
+
+// InFlight returns the number of frames sent but not yet received.
+func (f *ChanFabric) InFlight() int64 { return f.inflight.Load() }
+
+// Close closes every queue.
+func (f *ChanFabric) Close() error {
+	for _, q := range f.queues {
+		q.close()
+	}
+	return nil
+}
+
+// chanPort is one switch's view of a ChanFabric.
+type chanPort struct {
+	fabric *ChanFabric
+	id     topo.SwitchID
+}
+
+func (p *chanPort) Send(to topo.SwitchID, data []byte) error {
+	if int(to) < 0 || int(to) >= len(p.fabric.queues) {
+		return fmt.Errorf("rt: send to unknown switch %d", to)
+	}
+	// Copy: the wire would; and the caller is free to patch its buffer for
+	// the next neighbor while this copy sits queued.
+	buf := append([]byte(nil), data...)
+	if !p.fabric.queues[to].push(buf) {
+		return ErrClosed
+	}
+	p.fabric.inflight.Add(1)
+	return nil
+}
+
+func (p *chanPort) Recv() ([]byte, error) {
+	buf, ok := p.fabric.queues[p.id].pop()
+	if !ok {
+		return nil, ErrClosed
+	}
+	p.fabric.inflight.Add(-1)
+	return buf, nil
+}
+
+func (p *chanPort) Close() error {
+	p.fabric.queues[p.id].close()
+	return nil
+}
+
+// frameQueue is an unbounded FIFO of frames with blocking pop.
+type frameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  [][]byte
+	closed bool
+}
+
+func newFrameQueue() *frameQueue {
+	q := &frameQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *frameQueue) push(buf []byte) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, buf)
+	q.cond.Signal()
+	return true
+}
+
+func (q *frameQueue) pop() ([]byte, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	buf := q.items[0]
+	q.items = q.items[1:]
+	return buf, true
+}
+
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,240 @@
+package rt
+
+import (
+	"fmt"
+	"time"
+
+	"dgmc/internal/core"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/topo"
+)
+
+// Fabric hands out per-switch transports. ChanFabric and UDPFabric
+// implement it.
+type Fabric interface {
+	Transport(id topo.SwitchID) Transport
+	Close() error
+}
+
+// ClusterConfig configures a live N-switch fabric in one process.
+type ClusterConfig struct {
+	// Graph is the fabric topology. Required, and must be connected.
+	Graph *topo.Graph
+	// Algorithm computes MC topologies (default route.SPH).
+	Algorithm route.Algorithm
+	// Kinds maps connection IDs to their MC type.
+	Kinds map[lsa.ConnID]mctree.Kind
+	// ReoptimizeThreshold, ResyncTimeout, ResyncMaxRounds, ComputeDelay,
+	// and Logf are applied to every node; see NodeConfig.
+	ReoptimizeThreshold float64
+	ResyncTimeout       time.Duration
+	ResyncMaxRounds     int
+	ComputeDelay        time.Duration
+	Logf                func(format string, args ...any)
+}
+
+// Cluster boots one Node per switch of a graph over a shared fabric: the
+// live-runtime counterpart of core.Domain, used by the live harness tests
+// and the sim-vs-live equivalence test.
+type Cluster struct {
+	graph   *topo.Graph
+	fabric  Fabric
+	chanFab *ChanFabric // non-nil when fabric supports in-flight counting
+	nodes   []*Node
+}
+
+// NewCluster starts one node per switch. It takes ownership of fabric and
+// closes it (and any started nodes) on failure.
+func NewCluster(cfg ClusterConfig, fabric Fabric) (*Cluster, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("rt: ClusterConfig.Graph is required")
+	}
+	if !cfg.Graph.Connected() {
+		fabric.Close()
+		return nil, fmt.Errorf("rt: fabric graph is not connected")
+	}
+	c := &Cluster{graph: cfg.Graph, fabric: fabric}
+	c.chanFab, _ = fabric.(*ChanFabric)
+	for i := 0; i < cfg.Graph.NumSwitches(); i++ {
+		n, err := NewNode(NodeConfig{
+			ID:                  topo.SwitchID(i),
+			Graph:               cfg.Graph,
+			Algorithm:           cfg.Algorithm,
+			Kinds:               cfg.Kinds,
+			ReoptimizeThreshold: cfg.ReoptimizeThreshold,
+			ResyncTimeout:       cfg.ResyncTimeout,
+			ResyncMaxRounds:     cfg.ResyncMaxRounds,
+			ComputeDelay:        cfg.ComputeDelay,
+			Logf:                cfg.Logf,
+		}, fabric.Transport(topo.SwitchID(i)))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Node returns the node for switch id.
+func (c *Cluster) Node(id topo.SwitchID) *Node { return c.nodes[id] }
+
+// Nodes returns the cluster's nodes, indexed by switch ID.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Join injects a join at switch sw for conn.
+func (c *Cluster) Join(sw topo.SwitchID, conn lsa.ConnID, role mctree.Role) error {
+	if int(sw) < 0 || int(sw) >= len(c.nodes) {
+		return fmt.Errorf("rt: no switch %d", sw)
+	}
+	return c.nodes[sw].Join(conn, role)
+}
+
+// Leave injects a leave at switch sw for conn.
+func (c *Cluster) Leave(sw topo.SwitchID, conn lsa.ConnID) error {
+	if int(sw) < 0 || int(sw) >= len(c.nodes) {
+		return fmt.Errorf("rt: no switch %d", sw)
+	}
+	return c.nodes[sw].Leave(conn)
+}
+
+// activity sums the nodes' work counters.
+func (c *Cluster) activity() uint64 {
+	var sum uint64
+	for _, n := range c.nodes {
+		sum += n.activity.Load()
+	}
+	return sum
+}
+
+// quiet reports whether every node is idle and (when countable) no frames
+// are in flight.
+func (c *Cluster) quiet() bool {
+	for _, n := range c.nodes {
+		if !n.idle() {
+			return false
+		}
+	}
+	return c.chanFab == nil || c.chanFab.InFlight() == 0
+}
+
+// Settle blocks until the cluster has been quiescent — every node idle, no
+// countable frames in flight, and no work completed anywhere — for idleFor,
+// or errors after timeout. Over UDP, in-flight datagrams are invisible, so
+// idleFor must comfortably exceed the fabric's delivery latency (loopback:
+// sub-millisecond; the defaults used by tests are far above it).
+func (c *Cluster) Settle(idleFor, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	last := c.activity()
+	lastChange := time.Now()
+	for {
+		time.Sleep(2 * time.Millisecond)
+		now := time.Now()
+		if act := c.activity(); act != last || !c.quiet() {
+			last = act
+			lastChange = now
+		} else if now.Sub(lastChange) >= idleFor {
+			return nil
+		}
+		if now.After(deadline) {
+			return fmt.Errorf("rt: cluster did not settle within %v", timeout)
+		}
+	}
+}
+
+// CheckAgreement verifies the cluster-wide convergence invariant, the live
+// counterpart of core.Domain.CheckConverged: for every live connection,
+// every node agrees on the member list and the committed stamp, each node's
+// stamps are mutually consistent (R = C, R ≥ E), and with two or more
+// members all nodes have installed the same valid topology spanning them.
+func (c *Cluster) CheckAgreement() error {
+	conns := map[lsa.ConnID]bool{}
+	for _, n := range c.nodes {
+		for _, id := range n.Connections() {
+			conns[id] = true
+		}
+	}
+	for conn := range conns {
+		var ref core.Snapshot
+		var refNode topo.SwitchID
+		first := true
+		for _, n := range c.nodes {
+			snap, ok := n.Connection(conn)
+			if !ok {
+				return fmt.Errorf("conn %d: switch %d has no state", conn, n.ID())
+			}
+			if !snap.R.Equal(snap.C) {
+				return fmt.Errorf("conn %d: switch %d uncommitted (R=%s C=%s)", conn, n.ID(), snap.R, snap.C)
+			}
+			if !snap.R.Geq(snap.E) {
+				return fmt.Errorf("conn %d: switch %d still expects LSAs (R=%s E=%s)", conn, n.ID(), snap.R, snap.E)
+			}
+			if first {
+				ref, refNode, first = snap, n.ID(), false
+				continue
+			}
+			if !snap.Members.Equal(ref.Members) {
+				return fmt.Errorf("conn %d: members disagree between switches %d and %d", conn, refNode, n.ID())
+			}
+			if !snap.C.Equal(ref.C) {
+				return fmt.Errorf("conn %d: commit stamps disagree between switches %d and %d (%s vs %s)",
+					conn, refNode, n.ID(), ref.C, snap.C)
+			}
+			if (snap.Topology == nil) != (ref.Topology == nil) ||
+				(snap.Topology != nil && !snap.Topology.Equal(ref.Topology)) {
+				return fmt.Errorf("conn %d: topologies disagree between switches %d and %d", conn, refNode, n.ID())
+			}
+		}
+		if len(ref.Members) >= 2 {
+			if ref.Topology == nil {
+				return fmt.Errorf("conn %d: %d members but no installed topology", conn, len(ref.Members))
+			}
+			if err := ref.Topology.Validate(c.graph, ref.Members); err != nil {
+				return fmt.Errorf("conn %d: installed topology invalid: %v", conn, err)
+			}
+		}
+	}
+	return nil
+}
+
+// WaitConverged settles and checks agreement repeatedly until it holds or
+// timeout elapses. Over lossy transports convergence can require resync
+// rounds, so a failed check is retried, not fatal.
+func (c *Cluster) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	idleFor := 25 * time.Millisecond
+	if c.chanFab == nil {
+		idleFor = 100 * time.Millisecond // UDP: cover in-flight datagrams
+	}
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("rt: never settled")
+			}
+			return fmt.Errorf("rt: cluster did not converge within %v: %w", timeout, lastErr)
+		}
+		if err := c.Settle(idleFor, remain); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.CheckAgreement(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+}
+
+// Close shuts down every node, then the fabric.
+func (c *Cluster) Close() error {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+	return c.fabric.Close()
+}

@@ -1,0 +1,519 @@
+package rt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgmc/internal/core"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/topo"
+)
+
+// NodeConfig configures one live switch.
+type NodeConfig struct {
+	// ID is the switch's network ID in [0, Graph.NumSwitches()).
+	ID topo.SwitchID
+	// Graph is the configured fabric topology; the node's neighbor set and
+	// its protocol machine's initial image both come from it. Required.
+	Graph *topo.Graph
+	// Algorithm computes MC topologies (default route.SPH).
+	Algorithm route.Algorithm
+	// Kinds maps connection IDs to their MC type (default Symmetric).
+	Kinds map[lsa.ConnID]mctree.Kind
+	// ReoptimizeThreshold enables §3.5 re-optimization (zero disables).
+	ReoptimizeThreshold float64
+	// ResyncTimeout enables gap recovery with the given wall-clock timeout;
+	// zero disables. Mandatory in practice over lossy transports (UDP).
+	ResyncTimeout time.Duration
+	// ResyncMaxRounds bounds resync rounds per gap (default 64).
+	ResyncMaxRounds int
+	// ComputeDelay, when positive, makes HoldCompute sleep that long —
+	// widening the protocol's withdraw windows the way the simulator's
+	// virtual Tc does. Zero (the default) lets computation take the real
+	// time it takes.
+	ComputeDelay time.Duration
+	// EventBuffer sizes the local-event queue (default 256).
+	EventBuffer int
+	// Logf, when set, receives protocol trace lines.
+	Logf func(format string, args ...any)
+}
+
+// Node is one live switch: a core.Machine guarded by a mutex, driven by the
+// goroutine cluster NewNode starts — a transport receive loop (decode,
+// duplicate-suppress, store-and-forward re-flood, enqueue), an LSA loop
+// (drain the inbox, run ReceiveLSA batches), an event loop (run
+// EventHandler per injected local event), and wall-clock resync timers.
+type Node struct {
+	id        topo.SwitchID
+	tr        Transport
+	neighbors []topo.SwitchID
+	logf      func(format string, args ...any)
+
+	// mu serializes all access to machine (it is not concurrency-safe).
+	// Lock order: mu before inMu — the machine calls PendingMC/SelfNudge
+	// (which take inMu) while mu is held, and the LSA loop never acquires
+	// mu while holding inMu.
+	mu      sync.Mutex
+	machine *core.Machine
+
+	// inbox is the receive queue feeding the LSA loop: decoded LSAs and
+	// resync messages. Unbounded — backpressure on the receive path would
+	// deadlock flood storms (see ChanFabric).
+	inMu     sync.Mutex
+	inCond   *sync.Cond
+	inbox    []any
+	inClosed bool
+
+	events chan core.LocalEvent
+
+	// seq numbers this node's originated floods; seen suppresses duplicate
+	// flood deliveries by (origin, seq). The seen set grows with total
+	// floods originated network-wide; entries are a few words each, so a
+	// soak of 10^5 floods costs a few MB — acceptable for the intended
+	// deployments (long-lived daemons would age it out).
+	seq    atomic.Uint64
+	seenMu sync.Mutex
+	seen   map[floodKey]struct{}
+
+	computeDelay time.Duration
+	resyncAfter  time.Duration
+
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{}
+
+	// busy counts in-flight protocol handlers; activity counts completed
+	// units of work (frames handled, batches processed, events handled).
+	// The harness polls both to detect quiescence.
+	busy       atomic.Int64
+	activity   atomic.Uint64
+	decodeErrs atomic.Uint64
+	installs   atomic.Uint64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type floodKey struct {
+	origin topo.SwitchID
+	seq    uint64
+}
+
+// NewNode builds the node, binds it to tr, and starts its goroutines.
+func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("rt: NodeConfig.Graph is required")
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("rt: nil Transport")
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = route.SPH{}
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	n := &Node{
+		id:           cfg.ID,
+		tr:           tr,
+		neighbors:    cfg.Graph.Neighbors(cfg.ID),
+		logf:         cfg.Logf,
+		events:       make(chan core.LocalEvent, cfg.EventBuffer),
+		seen:         make(map[floodKey]struct{}),
+		computeDelay: cfg.ComputeDelay,
+		resyncAfter:  cfg.ResyncTimeout,
+		timers:       make(map[*time.Timer]struct{}),
+		closed:       make(chan struct{}),
+	}
+	n.inCond = sync.NewCond(&n.inMu)
+	m, err := core.NewMachine(core.MachineConfig{
+		ID:                  cfg.ID,
+		Graph:               cfg.Graph,
+		Algorithm:           cfg.Algorithm,
+		Kinds:               cfg.Kinds,
+		ReoptimizeThreshold: cfg.ReoptimizeThreshold,
+		Resync:              cfg.ResyncTimeout > 0,
+		ResyncMaxRounds:     cfg.ResyncMaxRounds,
+	}, n)
+	if err != nil {
+		return nil, err
+	}
+	n.machine = m
+	n.wg.Add(3)
+	go n.recvLoop()
+	go n.lsaLoop()
+	go n.eventLoop()
+	return n, nil
+}
+
+// ID returns the switch's network ID.
+func (n *Node) ID() topo.SwitchID { return n.id }
+
+// Inject hands the node one local event (a join, leave, or link change),
+// as the co-resident host application would. It blocks only if the event
+// queue is full.
+func (n *Node) Inject(ev core.LocalEvent) error {
+	select {
+	case <-n.closed:
+		// Checked separately first: the select below could otherwise pick
+		// the buffered send even on a closed node.
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-n.closed:
+		return ErrClosed
+	case n.events <- ev:
+		return nil
+	}
+}
+
+// Join injects a membership join for conn with the given role.
+func (n *Node) Join(conn lsa.ConnID, role mctree.Role) error {
+	return n.Inject(core.LocalEvent{Conn: conn, Kind: lsa.Join, Role: role})
+}
+
+// Leave injects a membership leave for conn.
+func (n *Node) Leave(conn lsa.ConnID) error {
+	return n.Inject(core.LocalEvent{Conn: conn, Kind: lsa.Leave})
+}
+
+// Connection returns a snapshot of the node's state for conn.
+func (n *Node) Connection(conn lsa.ConnID) (core.Snapshot, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.machine.Connection(conn)
+}
+
+// Connections lists the node's live connections in ascending order.
+func (n *Node) Connections() []lsa.ConnID {
+	n.mu.Lock()
+	out := n.machine.Connections()
+	n.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Metrics returns a copy of the node's protocol counters.
+func (n *Node) Metrics() core.Metrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return *n.machine.Metrics()
+}
+
+// DecodeErrors counts frames dropped as undecodable (corruption, version
+// skew, truncation).
+func (n *Node) DecodeErrors() uint64 { return n.decodeErrs.Load() }
+
+// Close stops the goroutine cluster and detaches from the transport. It is
+// idempotent and waits for the loops to exit.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		n.timerMu.Lock()
+		for t := range n.timers {
+			t.Stop()
+		}
+		n.timers = nil
+		n.timerMu.Unlock()
+		n.tr.Close() // unblocks recvLoop
+		n.inMu.Lock()
+		n.inClosed = true
+		n.inCond.Broadcast()
+		n.inMu.Unlock()
+		n.wg.Wait()
+	})
+	return nil
+}
+
+// --- goroutine cluster ---
+
+// recvLoop is the transport receive loop: decode each frame, suppress
+// duplicate floods, re-forward (store-and-forward flooding), and enqueue
+// the decoded payload for the LSA loop.
+func (n *Node) recvLoop() {
+	defer n.wg.Done()
+	for {
+		buf, err := n.tr.Recv()
+		if err != nil {
+			return
+		}
+		n.handleFrame(buf)
+	}
+}
+
+func (n *Node) handleFrame(buf []byte) {
+	defer n.activity.Add(1)
+	f, err := lsa.DecodeFrame(buf)
+	if err != nil {
+		n.decodeErrs.Add(1)
+		n.tracef("sw%d: drop frame: %v", n.id, err)
+		return
+	}
+	switch f.Kind {
+	case lsa.FrameFlood:
+		if !n.markSeen(f.Origin, f.Seq) {
+			return // duplicate delivery of a flood we already handled
+		}
+		// Store-and-forward: relay to every neighbor except the one that
+		// sent it here, rewriting the link-level From in place. Receivers
+		// suppress the duplicates this simple rule creates in cycles.
+		from := f.From
+		if err := lsa.PatchFrameFrom(buf, n.id); err == nil {
+			for _, nb := range n.neighbors {
+				if nb == from || nb == f.Origin {
+					continue
+				}
+				if err := n.tr.Send(nb, buf); err != nil {
+					n.tracef("sw%d: forward to %d: %v", n.id, nb, err)
+				}
+			}
+		}
+		mc, nm, err := lsa.Unmarshal(f.Payload)
+		if err != nil {
+			n.decodeErrs.Add(1)
+			n.tracef("sw%d: drop LSA from %d: %v", n.id, f.Origin, err)
+			return
+		}
+		if mc != nil {
+			n.enqueue(mc)
+		} else {
+			n.enqueue(nm)
+		}
+	case lsa.FrameResyncReq:
+		req, err := lsa.DecodeResyncRequest(f.Payload)
+		if err != nil {
+			n.decodeErrs.Add(1)
+			return
+		}
+		n.enqueue(req)
+	case lsa.FrameResyncResp:
+		resp, err := lsa.DecodeResyncResponse(f.Payload)
+		if err != nil {
+			n.decodeErrs.Add(1)
+			return
+		}
+		n.enqueue(resp)
+	}
+}
+
+// markSeen records a flood identity, reporting whether it was new.
+func (n *Node) markSeen(origin topo.SwitchID, seq uint64) bool {
+	key := floodKey{origin, seq}
+	n.seenMu.Lock()
+	defer n.seenMu.Unlock()
+	if _, dup := n.seen[key]; dup {
+		return false
+	}
+	n.seen[key] = struct{}{}
+	return true
+}
+
+// enqueue appends one decoded message to the inbox and wakes the LSA loop.
+func (n *Node) enqueue(msg any) {
+	n.inMu.Lock()
+	if !n.inClosed {
+		n.inbox = append(n.inbox, msg)
+		n.inCond.Signal()
+	}
+	n.inMu.Unlock()
+}
+
+// lsaLoop is the ReceiveLSA entity: it drains the inbox and hands each
+// batch to the machine, mirroring the simulator's mailbox drain semantics.
+func (n *Node) lsaLoop() {
+	defer n.wg.Done()
+	for {
+		n.inMu.Lock()
+		for len(n.inbox) == 0 && !n.inClosed {
+			n.inCond.Wait()
+		}
+		if n.inClosed {
+			n.inMu.Unlock()
+			return
+		}
+		batch := n.inbox
+		n.inbox = nil
+		n.busy.Add(1) // before releasing inMu, so idle() can't see a gap
+		n.inMu.Unlock()
+
+		n.mu.Lock()
+		n.machine.ReceiveBatch(nil, batch)
+		n.mu.Unlock()
+		n.busy.Add(-1)
+		n.activity.Add(uint64(len(batch)))
+	}
+}
+
+// eventLoop is the EventHandler entity: one injected local event at a time.
+func (n *Node) eventLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case ev := <-n.events:
+			n.busy.Add(1)
+			n.mu.Lock()
+			n.machine.HandleLocalEvent(nil, ev)
+			n.mu.Unlock()
+			n.busy.Add(-1)
+			n.activity.Add(1)
+		}
+	}
+}
+
+// idle reports whether the node has no queued or in-flight work. Racy by
+// nature; the harness requires it to hold across a grace window.
+func (n *Node) idle() bool {
+	if n.busy.Load() != 0 || len(n.events) != 0 {
+		return false
+	}
+	n.inMu.Lock()
+	empty := len(n.inbox) == 0
+	n.inMu.Unlock()
+	return empty
+}
+
+// --- core.Host implementation ---
+
+var _ core.Host = (*Node)(nil)
+
+// flood originates one flood frame and sends it to every neighbor.
+func (n *Node) flood(payload []byte) {
+	seq := n.seq.Add(1)
+	n.markSeen(n.id, seq) // a copy looping back must not be re-delivered
+	buf := lsa.EncodeFrame(&lsa.Frame{
+		Version: lsa.FrameVersion, Kind: lsa.FrameFlood,
+		Origin: n.id, From: n.id, Seq: seq, Payload: payload,
+	})
+	for _, nb := range n.neighbors {
+		if err := n.tr.Send(nb, buf); err != nil {
+			n.tracef("sw%d: flood to %d: %v", n.id, nb, err)
+		}
+	}
+}
+
+// FloodMC implements core.Host.
+func (n *Node) FloodMC(m *lsa.MC) { n.flood(m.Marshal()) }
+
+// FloodNonMC implements core.Host.
+func (n *Node) FloodNonMC(nm *lsa.NonMC) { n.flood(nm.Marshal()) }
+
+// SendUnicast implements core.Host: frame a resync message point-to-point.
+func (n *Node) SendUnicast(to topo.SwitchID, payload any) {
+	var kind lsa.FrameKind
+	var data []byte
+	switch v := payload.(type) {
+	case *lsa.ResyncRequest:
+		kind, data = lsa.FrameResyncReq, v.Marshal()
+	case *lsa.ResyncResponse:
+		kind, data = lsa.FrameResyncResp, v.Marshal()
+	default:
+		n.tracef("sw%d: unicast of unframeable %T dropped", n.id, payload)
+		return
+	}
+	buf := lsa.EncodeFrame(&lsa.Frame{
+		Version: lsa.FrameVersion, Kind: kind,
+		Origin: n.id, From: n.id, Seq: n.seq.Add(1), Payload: data,
+	})
+	if err := n.tr.Send(to, buf); err != nil {
+		n.tracef("sw%d: unicast to %d: %v", n.id, to, err)
+	}
+}
+
+// HoldCompute implements core.Host: computation takes real time here, so
+// this is a no-op unless a delay was configured to widen withdraw windows.
+func (n *Node) HoldCompute(any) {
+	if n.computeDelay > 0 {
+		time.Sleep(n.computeDelay)
+	}
+}
+
+// PendingMC implements core.Host: scan the inbox for an MC LSA for conn.
+// Called with the machine lock held; takes only inMu (see the lock-order
+// note on Node.mu).
+func (n *Node) PendingMC(conn lsa.ConnID) bool {
+	n.inMu.Lock()
+	defer n.inMu.Unlock()
+	for _, raw := range n.inbox {
+		if m, ok := raw.(*lsa.MC); ok && m.Conn == conn {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors implements core.Host.
+func (n *Node) Neighbors() []topo.SwitchID {
+	return append([]topo.SwitchID(nil), n.neighbors...)
+}
+
+// FabricLinkChanged implements core.Host. The live fabric's connectivity
+// belongs to the transport (real links fail by dropping traffic, not by
+// being told), so a locally signaled link event only affects images and
+// trees; control traffic keeps using the configured neighbor set.
+func (n *Node) FabricLinkChanged(lsa.LinkChange) {}
+
+// ArmResync implements core.Host: a wall-clock timer that re-enters the
+// machine (serialized by mu) when it fires.
+func (n *Node) ArmResync(conn lsa.ConnID) {
+	select {
+	case <-n.closed:
+		return
+	default:
+	}
+	var t *time.Timer
+	t = time.AfterFunc(n.resyncAfter, func() {
+		n.timerMu.Lock()
+		if n.timers != nil {
+			delete(n.timers, t)
+		}
+		n.timerMu.Unlock()
+		select {
+		case <-n.closed:
+			return
+		default:
+		}
+		n.busy.Add(1)
+		n.mu.Lock()
+		n.machine.ResyncFired(conn)
+		n.mu.Unlock()
+		n.busy.Add(-1)
+		n.activity.Add(1)
+	})
+	n.timerMu.Lock()
+	if n.timers == nil {
+		t.Stop() // closed concurrently
+	} else {
+		n.timers[t] = struct{}{}
+	}
+	n.timerMu.Unlock()
+}
+
+// SelfNudge implements core.Host: deliver a ResyncNudge through the inbox.
+func (n *Node) SelfNudge(conn lsa.ConnID) {
+	n.enqueue(core.ResyncNudge{Conn: conn})
+}
+
+// NoteInstall implements core.Host.
+func (n *Node) NoteInstall() { n.installs.Add(1) }
+
+// Trace implements core.Host.
+func (n *Node) Trace(kind core.TraceKind, conn lsa.ConnID, format string, args ...any) {
+	if n.logf == nil {
+		return
+	}
+	n.logf("sw%d conn%d [%v] %s", n.id, conn, kind, fmt.Sprintf(format, args...))
+}
+
+func (n *Node) tracef(format string, args ...any) {
+	if n.logf != nil {
+		n.logf(format, args...)
+	}
+}

@@ -1,0 +1,41 @@
+// Package rt is the live concurrent runtime for D-GMC: each switch runs as
+// its own goroutine cluster (a transport receive loop, an LSA drain loop,
+// an event loop, and wall-clock resync timers) around the same
+// runtime-agnostic core.Machine that the discrete-event simulator drives.
+// Nodes speak to each other only through a Transport carrying the wire
+// frames of internal/lsa — an in-process channel fabric for tests and
+// equivalence checking, or UDP sockets for real deployments (cmd/dgmcd).
+//
+// The protocol logic is not forked: internal/core owns Figures 4 and 5 and
+// gap recovery; this package supplies the concurrency, the store-and-forward
+// flooding, and the wall-clock timers the simulator models virtually.
+package rt
+
+import (
+	"errors"
+
+	"dgmc/internal/topo"
+)
+
+// ErrClosed is returned by transport operations after Close.
+var ErrClosed = errors.New("rt: transport closed")
+
+// Transport is one switch's attachment to the fabric: a point-to-point
+// datagram service to each direct neighbor. Implementations must be safe
+// for concurrent use — the node's receive loop blocks in Recv while
+// protocol goroutines call Send.
+//
+// Send must not retain or mutate data after it returns (callers reuse and
+// patch buffers); Recv must return a buffer the caller owns. Both return
+// ErrClosed (possibly wrapped) after Close, which must also unblock any
+// goroutine waiting in Recv.
+type Transport interface {
+	// Send queues one frame for delivery to the named switch. Delivery is
+	// best-effort: a lossy fabric (UDP under pressure) may drop frames,
+	// which is exactly what the protocol's gap recovery exists for.
+	Send(to topo.SwitchID, data []byte) error
+	// Recv blocks until a frame arrives and returns it.
+	Recv() ([]byte, error)
+	// Close detaches from the fabric and unblocks Recv.
+	Close() error
+}

@@ -1,0 +1,166 @@
+package rt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dgmc/internal/topo"
+)
+
+// Topology is the shared deployment description every dgmcd daemon loads:
+// the fabric graph plus each switch's UDP address. One file describes the
+// whole fabric, so daemons cannot disagree about the network.
+//
+// The format is line-oriented; '#' starts a comment, blank lines are
+// ignored:
+//
+//	switches <n>                      # first non-comment line
+//	link <a> <b> <delay> [capacity]   # e.g. link 0 1 2ms 1.0
+//	addr <id> <host:port>             # e.g. addr 0 127.0.0.1:7700
+type Topology struct {
+	Graph *topo.Graph
+	Addrs map[topo.SwitchID]string
+}
+
+// ParseTopology reads a topology description from r.
+func ParseTopology(r io.Reader) (*Topology, error) {
+	tf := &Topology{Addrs: make(map[topo.SwitchID]string)}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) (*Topology, error) {
+			return nil, fmt.Errorf("topology line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "switches":
+			if tf.Graph != nil {
+				return fail("duplicate switches directive")
+			}
+			if len(fields) != 2 {
+				return fail("want: switches <n>")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return fail("invalid switch count %q", fields[1])
+			}
+			tf.Graph = topo.New(n)
+		case "link":
+			if tf.Graph == nil {
+				return fail("link before switches directive")
+			}
+			if len(fields) != 4 && len(fields) != 5 {
+				return fail("want: link <a> <b> <delay> [capacity]")
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return fail("invalid link endpoints %q %q", fields[1], fields[2])
+			}
+			delay, err := time.ParseDuration(fields[3])
+			if err != nil || delay <= 0 {
+				return fail("invalid link delay %q", fields[3])
+			}
+			capacity := 1.0
+			if len(fields) == 5 {
+				capacity, err = strconv.ParseFloat(fields[4], 64)
+				if err != nil || capacity <= 0 {
+					return fail("invalid link capacity %q", fields[4])
+				}
+			}
+			if err := tf.Graph.AddLink(topo.SwitchID(a), topo.SwitchID(b), delay, capacity); err != nil {
+				return fail("%v", err)
+			}
+		case "addr":
+			if tf.Graph == nil {
+				return fail("addr before switches directive")
+			}
+			if len(fields) != 3 {
+				return fail("want: addr <id> <host:port>")
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 || id >= tf.Graph.NumSwitches() {
+				return fail("invalid switch id %q", fields[1])
+			}
+			if _, dup := tf.Addrs[topo.SwitchID(id)]; dup {
+				return fail("duplicate addr for switch %d", id)
+			}
+			tf.Addrs[topo.SwitchID(id)] = fields[2]
+		default:
+			return fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if tf.Graph == nil {
+		return nil, fmt.Errorf("topology: missing switches directive")
+	}
+	if !tf.Graph.Connected() {
+		return nil, fmt.Errorf("topology: graph is not connected")
+	}
+	return tf, nil
+}
+
+// LoadTopology reads a topology file from disk.
+func LoadTopology(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tf, err := ParseTopology(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tf, nil
+}
+
+// NeighborAddrs returns the address table a daemon for switch id needs: one
+// entry per direct neighbor. It errors if any neighbor lacks an address.
+func (tf *Topology) NeighborAddrs(id topo.SwitchID) (map[topo.SwitchID]string, error) {
+	if int(id) < 0 || int(id) >= tf.Graph.NumSwitches() {
+		return nil, fmt.Errorf("topology: no switch %d", id)
+	}
+	out := make(map[topo.SwitchID]string)
+	for _, nb := range tf.Graph.Neighbors(id) {
+		addr, ok := tf.Addrs[nb]
+		if !ok {
+			return nil, fmt.Errorf("topology: neighbor %d of switch %d has no addr", nb, id)
+		}
+		out[nb] = addr
+	}
+	return out, nil
+}
+
+// Format renders tf back into the file format (canonical field order).
+func (tf *Topology) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "switches %d\n", tf.Graph.NumSwitches())
+	for _, l := range tf.Graph.Links() {
+		fmt.Fprintf(&b, "link %d %d %s %g\n", l.A, l.B, l.Delay, l.Capacity)
+	}
+	ids := make([]topo.SwitchID, 0, len(tf.Addrs))
+	for id := range tf.Addrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(&b, "addr %d %s\n", id, tf.Addrs[id])
+	}
+	return b.String()
+}

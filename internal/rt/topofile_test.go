@@ -1,0 +1,91 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleTopo = `
+# three switches in a line
+switches 3
+link 0 1 2ms
+link 1 2 3ms 2.5
+addr 0 127.0.0.1:7700
+addr 1 127.0.0.1:7701
+addr 2 127.0.0.1:7702
+`
+
+func TestParseTopology(t *testing.T) {
+	tf, err := ParseTopology(strings.NewReader(sampleTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Graph.NumSwitches() != 3 || tf.Graph.NumLinks() != 2 {
+		t.Fatalf("parsed %d switches / %d links", tf.Graph.NumSwitches(), tf.Graph.NumLinks())
+	}
+	l, ok := tf.Graph.Link(1, 2)
+	if !ok || l.Delay != 3*time.Millisecond || l.Capacity != 2.5 {
+		t.Fatalf("link 1-2 parsed as %+v", l)
+	}
+	if tf.Addrs[2] != "127.0.0.1:7702" {
+		t.Fatalf("addr 2 = %q", tf.Addrs[2])
+	}
+
+	peers, err := tf.NeighborAddrs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0] != "127.0.0.1:7700" || peers[2] != "127.0.0.1:7702" {
+		t.Fatalf("neighbor addrs of 1: %v", peers)
+	}
+}
+
+func TestTopologyFormatRoundTrip(t *testing.T) {
+	tf, err := ParseTopology(strings.NewReader(sampleTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseTopology(strings.NewReader(tf.Format()))
+	if err != nil {
+		t.Fatalf("reparse of Format output: %v", err)
+	}
+	if again.Format() != tf.Format() {
+		t.Fatalf("format not stable:\n%s\nvs\n%s", tf.Format(), again.Format())
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"no switches":        "link 0 1 1ms\n",
+		"bad count":          "switches zero\n",
+		"dup switches":       "switches 2\nswitches 2\nlink 0 1 1ms\n",
+		"bad delay":          "switches 2\nlink 0 1 fast\n",
+		"negative delay":     "switches 2\nlink 0 1 -1ms\n",
+		"bad capacity":       "switches 2\nlink 0 1 1ms wide\n",
+		"unknown directive":  "switches 2\nlink 0 1 1ms\nwires 3\n",
+		"addr out of range":  "switches 2\nlink 0 1 1ms\naddr 7 127.0.0.1:1\n",
+		"duplicate addr":     "switches 2\nlink 0 1 1ms\naddr 0 a:1\naddr 0 b:2\n",
+		"disconnected graph": "switches 3\nlink 0 1 1ms\n",
+		"link out of range":  "switches 2\nlink 0 9 1ms\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseTopology(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNeighborAddrsMissing(t *testing.T) {
+	tf, err := ParseTopology(strings.NewReader("switches 2\nlink 0 1 1ms\naddr 0 a:1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.NeighborAddrs(0); err == nil {
+		t.Fatal("missing neighbor addr not reported")
+	}
+	if _, err := tf.NeighborAddrs(9); err == nil {
+		t.Fatal("out-of-range switch not reported")
+	}
+}
