@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` output into JSON so
+// benchmark results can be archived and diffed across PRs:
+//
+//	go test -bench . -benchmem ./... | benchjson -label pr3 > BENCH_pr3.json
+//
+// Each benchmark line becomes one record with its iteration count and every
+// reported metric (ns/op, B/op, allocs/op, and custom b.ReportMetric units);
+// the goos/goarch/pkg/cpu context lines are carried as metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"flag"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Label      string            `json:"label,omitempty"`
+	Context    map[string]string `json:"context"`
+	Benchmarks []Result          `json:"benchmarks"`
+	Failed     bool              `json:"failed,omitempty"`
+}
+
+func run(args []string, r io.Reader, w io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(w)
+	label := fs.String("label", "", "label recorded in the output (e.g. pr3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep, err := parse(r)
+	if err != nil {
+		return err
+	}
+	rep.Label = *label
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if rep.Failed {
+		return fmt.Errorf("input contains a FAIL line")
+	}
+	return nil
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Context: map[string]string{}, Benchmarks: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			rep.Context[key] = strings.TrimSpace(val)
+		case strings.HasPrefix(line, "pkg:"):
+			_, val, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(val)
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			res.Package = pkg
+			rep.Benchmarks = append(rep.Benchmarks, *res)
+		case strings.HasPrefix(line, "FAIL"), strings.HasPrefix(line, "--- FAIL"):
+			rep.Failed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses "BenchmarkName-8  1000  123 ns/op  7 B/op ...":
+// name, iteration count, then value/unit pairs.
+func parseBenchLine(line string) (*Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the GOMAXPROCS suffix BenchmarkFoo-8 (but keep sub-bench
+		// names like BenchmarkFoo/n50-8 intact up to the final dash).
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad iteration count in %q", line)
+	}
+	res := &Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return nil, fmt.Errorf("odd value/unit fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad metric value %q in %q", rest[i], line)
+		}
+		res.Metrics[rest[i+1]] = v
+	}
+	return res, nil
+}

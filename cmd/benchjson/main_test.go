@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dgmc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMachineStep 	  500000	      1260 ns/op
+BenchmarkFrameEncode-8 	 3000000	       402.2 ns/op	       434.0 frame-bytes
+BenchmarkTopoCompute/n50-8 	   10000	    182935 ns/op
+PASS
+ok  	dgmc	0.073s
+`
+
+func TestParseAndEncode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-label", "pr3"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Label != "pr3" || rep.Failed {
+		t.Errorf("label/failed = %q/%v", rep.Label, rep.Failed)
+	}
+	if rep.Context["goos"] != "linux" || rep.Context["cpu"] == "" {
+		t.Errorf("context = %v", rep.Context)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkMachineStep" || rep.Benchmarks[0].Iterations != 500000 {
+		t.Errorf("bench 0 = %+v", rep.Benchmarks[0])
+	}
+	fe := rep.Benchmarks[1]
+	if fe.Name != "BenchmarkFrameEncode" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", fe.Name)
+	}
+	if fe.Metrics["ns/op"] != 402.2 || fe.Metrics["frame-bytes"] != 434.0 {
+		t.Errorf("metrics = %v", fe.Metrics)
+	}
+	if rep.Benchmarks[2].Name != "BenchmarkTopoCompute/n50" {
+		t.Errorf("sub-benchmark name mangled: %q", rep.Benchmarks[2].Name)
+	}
+	if rep.Benchmarks[2].Package != "dgmc" {
+		t.Errorf("package = %q", rep.Benchmarks[2].Package)
+	}
+}
+
+func TestFailDetection(t *testing.T) {
+	in := "BenchmarkX 10 5 ns/op\nFAIL\tdgmc\t0.1s\n"
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(in), &out); err == nil {
+		t.Fatal("want error on FAIL input")
+	}
+	if !strings.Contains(out.String(), `"failed": true`) {
+		t.Errorf("failed flag missing:\n%s", out.String())
+	}
+}
+
+func TestRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"",                       // no benchmarks at all
+		"BenchmarkX\n",           // no iteration count
+		"BenchmarkX ten 5 ns/op", // bad count
+		"BenchmarkX 10 5\n",      // dangling value without unit
+		"BenchmarkX 10 five ns/op",
+	} {
+		var out strings.Builder
+		if err := run(nil, strings.NewReader(in), &out); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}

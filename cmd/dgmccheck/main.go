@@ -1,0 +1,255 @@
+// Command dgmccheck model-checks the D-GMC implementation itself: it
+// drives the production core.Machine through every (bounded) interleaving
+// of LSA deliveries, local events, network faults, and resync timer
+// firings, checking invariants after every transition and at every
+// quiescent state (see internal/explore). Where dgmcmodel checks an
+// abstracted restatement of the protocol, dgmccheck checks the shipping
+// code.
+//
+//	dgmccheck -topo ring -n 4 -scenario join@0,join@2
+//	dgmccheck -topo line -n 3 -mode walk -walks 500 -seed 1 -resync -drops 1
+//	dgmccheck -mutate accept-stale            # seeded bug: must report a violation
+//	dgmccheck -replay dgmc-sched-v1:...       # re-execute a counterexample token
+//
+// On a violation it prints the minimized schedule, a replay token, and the
+// counterexample trace, then exits 1.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dgmc/internal/core"
+	"dgmc/internal/explore"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dgmccheck:", err)
+		os.Exit(1)
+	}
+}
+
+var errViolation = errors.New("invariant violation found")
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dgmccheck", flag.ContinueOnError)
+	fs.SetOutput(w)
+	topoName := fs.String("topo", "ring", "topology: ring, line, or full")
+	n := fs.Int("n", 4, "number of switches")
+	algName := fs.String("alg", "sph", "topology algorithm: sph, kmb, spt, cbt, or incremental")
+	scenario := fs.String("scenario", "join@0,join@2",
+		"comma-separated events: join@S, leave@S, fail@A-B, restore@A-B; append /C for a connection other than 1")
+	mode := fs.String("mode", "exhaustive", "search mode: exhaustive (BFS) or walk (seeded random schedules)")
+	depth := fs.Int("depth", 0, "exhaustive: max schedule depth (0 = unbounded)")
+	maxStates := fs.Int("max-states", 0, "exhaustive: max distinct states (0 = default 2000000)")
+	walks := fs.Int("walks", 256, "walk: number of random schedules")
+	seed := fs.Int64("seed", 1, "walk: RNG seed")
+	resync := fs.Bool("resync", false, "enable gap recovery (timer firings become schedule choices)")
+	resyncRounds := fs.Int("resync-rounds", 2, "resync round budget per gap")
+	drops := fs.Int("drops", 0, "message-drop budget per schedule (requires -resync)")
+	dups := fs.Int("dups", 0, "message-duplication budget per schedule")
+	mutate := fs.String("mutate", "none", "seed a known bug: none or accept-stale")
+	replay := fs.String("replay", "", "replay a counterexample token instead of searching")
+	verbose := fs.Bool("v", false, "print the full counterexample trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *replay != "" {
+		return runReplay(w, *replay, *verbose)
+	}
+
+	g, err := buildTopo(*topoName, *n)
+	if err != nil {
+		return err
+	}
+	alg, err := route.ByName(*algName)
+	if err != nil {
+		return err
+	}
+	var mutation core.Mutation
+	switch *mutate {
+	case "none":
+	case "accept-stale":
+		mutation = core.MutationAcceptStaleProposal
+	default:
+		return fmt.Errorf("unknown mutation %q (want none or accept-stale)", *mutate)
+	}
+	scn, err := parseScenario(*scenario, g)
+	if err != nil {
+		return err
+	}
+	cfg := explore.Config{
+		Graph:           g,
+		Algorithm:       alg,
+		Resync:          *resync,
+		ResyncMaxRounds: *resyncRounds,
+		MaxDrops:        *drops,
+		MaxDups:         *dups,
+		Mutation:        mutation,
+	}
+	opt := explore.Options{MaxDepth: *depth, MaxStates: *maxStates, Walks: *walks, Seed: *seed}
+
+	fmt.Fprintf(w, "checking %s on %s-%d (%s), mode %s\n", *scenario, *topoName, *n, alg.Name(), *mode)
+	start := time.Now()
+	var res *explore.Result
+	switch *mode {
+	case "exhaustive":
+		res, err = explore.Exhaustive(cfg, scn, opt)
+	case "walk":
+		res, err = explore.RandomWalk(cfg, scn, opt)
+	default:
+		return fmt.Errorf("unknown mode %q (want exhaustive or walk)", *mode)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	if v := res.Violation; v != nil {
+		// BFS counterexamples are minimal-length already; shrinking still
+		// lowers choices toward the canonical schedule, and is what makes
+		// walk-mode counterexamples readable at all.
+		shrunk := explore.Shrink(cfg, scn, v.Schedule)
+		if _, sv, rerr := explore.Replay(cfg, scn, shrunk); rerr == nil && sv != nil {
+			v = sv
+		}
+		fmt.Fprintf(w, "VIOLATION after %d states / %d transitions (%v):\n  %v\n",
+			res.Stats.States, res.Stats.Transitions, elapsed, v.Err)
+		fmt.Fprintf(w, "schedule (%d steps): %v\n", len(v.Schedule), v.Schedule)
+		fmt.Fprintf(w, "replay with:\n  dgmccheck -replay %s\n", v.Token)
+		printTrace(w, v.Trace, *verbose)
+		return errViolation
+	}
+
+	fmt.Fprintf(w, "explored: %d states, %d transitions, %d quiescent states in %v\n",
+		res.Stats.States, res.Stats.Transitions, res.Stats.Quiescent, elapsed)
+	fmt.Fprintf(w, "deepest schedule: %d steps\n", res.Stats.MaxDepthSeen)
+	if res.Stats.Truncated {
+		fmt.Fprintf(w, "WARNING: search truncated by depth/state bounds; absence of violations is not exhaustive\n")
+	} else if *mode == "exhaustive" {
+		fmt.Fprintf(w, "no invariant violations: every reachable interleaving converges\n")
+	} else {
+		fmt.Fprintf(w, "no invariant violations in %d sampled schedules\n", *walks)
+	}
+	return nil
+}
+
+func runReplay(w io.Writer, token string, verbose bool) error {
+	cfg, scn, sched, err := explore.DecodeToken(token)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replaying %d-step schedule on %d switches (%s)\n",
+		len(sched), cfg.Graph.NumSwitches(), cfg.Algorithm.Name())
+	_, v, err := explore.Replay(cfg, scn, sched)
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		fmt.Fprintf(w, "schedule completed with no invariant violation\n")
+		return nil
+	}
+	fmt.Fprintf(w, "VIOLATION reproduced:\n  %v\n", v.Err)
+	printTrace(w, v.Trace, verbose)
+	return errViolation
+}
+
+func printTrace(w io.Writer, trace []string, verbose bool) {
+	const headLines = 30
+	fmt.Fprintf(w, "trace (%d lines):\n", len(trace))
+	for i, line := range trace {
+		if !verbose && i >= headLines {
+			fmt.Fprintf(w, "  ... %d more lines (-v for the full trace)\n", len(trace)-headLines)
+			break
+		}
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+}
+
+func buildTopo(name string, n int) (*topo.Graph, error) {
+	const d = 5 * time.Microsecond
+	switch name {
+	case "ring":
+		return topo.Ring(n, d)
+	case "line":
+		return topo.Line(n, d)
+	case "full":
+		return topo.Full(n, d)
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want ring, line, or full)", name)
+	}
+}
+
+// parseScenario parses the event DSL: comma-separated join@S, leave@S,
+// fail@A-B, restore@A-B, each optionally suffixed /C to address connection
+// C (default 1). Link events are detected by their A endpoint.
+func parseScenario(s string, g *topo.Graph) (explore.Scenario, error) {
+	var scn explore.Scenario
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec := part
+		conn := lsa.ConnID(1)
+		if body, connStr, ok := strings.Cut(part, "/"); ok {
+			c, err := strconv.ParseUint(connStr, 10, 32)
+			if err != nil || c == 0 {
+				return scn, fmt.Errorf("bad connection in %q", part)
+			}
+			conn = lsa.ConnID(c)
+			spec = body
+		}
+		verb, arg, ok := strings.Cut(spec, "@")
+		if !ok {
+			return scn, fmt.Errorf("bad event %q (want verb@arg)", part)
+		}
+		switch verb {
+		case "join", "leave":
+			sw, err := strconv.Atoi(arg)
+			if err != nil {
+				return scn, fmt.Errorf("bad switch in %q", part)
+			}
+			ev := core.LocalEvent{Conn: conn, Kind: lsa.Leave}
+			if verb == "join" {
+				ev.Kind = lsa.Join
+				ev.Role = mctree.SenderReceiver
+			}
+			scn.Injects = append(scn.Injects, explore.Inject{Switch: topo.SwitchID(sw), Event: ev})
+		case "fail", "restore":
+			aStr, bStr, ok := strings.Cut(arg, "-")
+			if !ok {
+				return scn, fmt.Errorf("bad link in %q (want %s@A-B)", part, verb)
+			}
+			a, errA := strconv.Atoi(aStr)
+			b, errB := strconv.Atoi(bStr)
+			if errA != nil || errB != nil {
+				return scn, fmt.Errorf("bad link in %q", part)
+			}
+			scn.Injects = append(scn.Injects, explore.Inject{
+				Switch: topo.SwitchID(a),
+				Event: core.LocalEvent{Kind: lsa.Link, Link: lsa.LinkChange{
+					A: topo.SwitchID(a), B: topo.SwitchID(b), Down: verb == "fail",
+				}},
+			})
+		default:
+			return scn, fmt.Errorf("unknown verb %q in %q", verb, part)
+		}
+	}
+	if len(scn.Injects) == 0 {
+		return scn, errors.New("empty scenario")
+	}
+	_ = g // validated again by explore.NewWorld
+	return scn, nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end in-process: it must converge
+// and exit cleanly (the README-facing examples are living documentation,
+// so CI keeps them running).
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+}

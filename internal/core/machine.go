@@ -81,6 +81,41 @@ type Host interface {
 	Trace(kind TraceKind, conn lsa.ConnID, format string, args ...any)
 }
 
+// Mutation selects a deliberately seeded protocol bug. The schedule
+// exploration harness (internal/explore) uses mutations to validate its
+// own invariant checks: a checker that cannot catch a known-broken
+// timestamp comparison cannot be trusted to certify the correct one.
+// Production configurations leave it at MutationNone.
+type Mutation uint8
+
+const (
+	// MutationNone runs the protocol as specified.
+	MutationNone Mutation = iota
+	// MutationAcceptStaleProposal drops the vector-timestamp dominance
+	// check on proposal acceptance (Figure 5 line 11): every proposal-
+	// carrying event LSA is accepted, so a proposal based on fewer events
+	// can overwrite a fresher topology — and, because taking the accept
+	// branch skips the inconsistency check, no switch owes the network a
+	// correction afterwards. Under concurrent events, specific delivery
+	// orders then quiesce with switches installed on different trees.
+	MutationAcceptStaleProposal
+)
+
+// Valid reports whether mu is a defined mutation.
+func (mu Mutation) Valid() bool { return mu <= MutationAcceptStaleProposal }
+
+// String implements fmt.Stringer.
+func (mu Mutation) String() string {
+	switch mu {
+	case MutationNone:
+		return "none"
+	case MutationAcceptStaleProposal:
+		return "accept-stale"
+	default:
+		return fmt.Sprintf("Mutation(%d)", uint8(mu))
+	}
+}
+
 // MachineConfig configures one switch's protocol state machine.
 type MachineConfig struct {
 	// ID is the switch's network ID. Required to be in [0, Graph.NumSwitches()).
@@ -105,6 +140,9 @@ type MachineConfig struct {
 	// Metrics across the domain; live runtimes keep one per node. A nil
 	// Metrics is allocated internally.
 	Metrics *Metrics
+	// Mutation seeds a known protocol bug for checker validation
+	// (MutationNone for correct operation).
+	Mutation Mutation
 }
 
 // Machine is one switch's D-GMC protocol state: its unicast LSR instance,
@@ -124,6 +162,7 @@ type Machine struct {
 	resync    bool
 	resyncMax int
 	metrics   *Metrics
+	mutation  Mutation
 }
 
 // NewMachine builds a switch's protocol state machine bound to host.
@@ -146,6 +185,9 @@ func NewMachine(cfg MachineConfig, host Host) (*Machine, error) {
 	if cfg.ResyncMaxRounds == 0 {
 		cfg.ResyncMaxRounds = 64
 	}
+	if !cfg.Mutation.Valid() {
+		return nil, fmt.Errorf("core: unknown mutation %d", cfg.Mutation)
+	}
 	uni, err := lsr.NewInstance(cfg.ID, cfg.Graph)
 	if err != nil {
 		return nil, err
@@ -165,6 +207,7 @@ func NewMachine(cfg MachineConfig, host Host) (*Machine, error) {
 		resync:    cfg.Resync,
 		resyncMax: cfg.ResyncMaxRounds,
 		metrics:   cfg.Metrics,
+		mutation:  cfg.Mutation,
 	}, nil
 }
 
@@ -474,8 +517,13 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 		for _, a := range m.applyEventLSA(cs, msg) {
 			// Line 10: merge any new expectations.
 			cs.e.MaxInPlace(a.Stamp)
-			// Lines 11-17.
-			if a.Stamp.Geq(cs.e) && a.Proposal != nil {
+			// Lines 11-17. The stamp dominance check is the seeded-bug
+			// site for MutationAcceptStaleProposal (checker validation).
+			dominates := a.Stamp.Geq(cs.e)
+			if m.mutation == MutationAcceptStaleProposal {
+				dominates = true
+			}
+			if dominates && a.Proposal != nil {
 				// The proposal is based on every event known to this switch.
 				candidate = a.Proposal
 				candidateStamp = a.Stamp.Clone()

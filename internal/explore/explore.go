@@ -1,0 +1,641 @@
+// Package explore is a systematic schedule-exploration harness — an
+// implementation-level model checker — for the D-GMC state machine.
+//
+// Where internal/model checks an *abstracted* re-statement of the protocol
+// (fixed-size stamps, proposals reduced to their basis), this package
+// drives the production state machine itself: a set of core.Machine
+// instances, one per switch, whose every runtime effect (flooding, unicast
+// resync, timers, self-nudges) is captured as a *pending action* instead of
+// being executed at some fixed time. The set of pending actions at a world
+// state is the set of schedule choice points:
+//
+//   - injecting the next scenario event at a switch (events at different
+//     switches interleave freely; events at one switch keep program order),
+//   - delivering any one in-flight advertisement or resync message to its
+//     destination — in any order, which subsumes every fabric reordering,
+//   - dropping or duplicating an in-flight message (a faults.Choice
+//     branched deterministically, within a configured budget, instead of
+//     drawn from an RNG as internal/faults does),
+//   - firing an armed resync timer.
+//
+// Exhaustive search (BFS over world states, deduplicated by a canonical
+// state hash) visits every reachable interleaving up to the configured
+// bounds; seeded random walks sample unboundedly deep schedules. Invariants
+// are checked after every transition and at every quiescent state; a
+// violation yields a schedule that replays byte-for-byte (see Token) and
+// shrinks to a minimal counterexample (see Shrink).
+//
+// What is deliberately *not* a choice point: the duration of a topology
+// computation. Machine calls are atomic here (Host.HoldCompute is a no-op),
+// so the Tc-induced races of the timed implementation — a computation
+// completing after further events arrived — are not explored by this
+// package; internal/model covers exactly those with its nondeterministic
+// computation-completion transitions. The two checkers are complementary.
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dgmc/internal/core"
+	"dgmc/internal/faults"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/topo"
+)
+
+// Config describes the system under exploration.
+type Config struct {
+	// Graph is the network topology. Required, and must be connected.
+	Graph *topo.Graph
+	// Algorithm computes MC topologies (default route.SPH{}). Replay
+	// tokens store it by name, so it must be one of the route.ByName set.
+	Algorithm route.Algorithm
+	// Kinds maps connection IDs to their MC type (default Symmetric).
+	Kinds map[lsa.ConnID]mctree.Kind
+	// Resync enables the gap-recovery machinery; armed timers become
+	// schedule choice points. Required when MaxDrops > 0 (without it, a
+	// dropped LSA makes divergence a modeling artifact, not a bug).
+	Resync bool
+	// ResyncMaxRounds bounds resync requests per connection per gap
+	// (default 8 — small state spaces want small budgets).
+	ResyncMaxRounds int
+	// MaxDrops and MaxDups budget the faults.Drop / faults.Dup outcomes
+	// the explorer may choose across one schedule. Zero disables the
+	// corresponding branch.
+	MaxDrops int
+	MaxDups  int
+	// Mutation seeds a known protocol bug (checker self-validation).
+	Mutation core.Mutation
+}
+
+func (c *Config) validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("explore: Config.Graph is required")
+	}
+	if !c.Graph.Connected() {
+		return fmt.Errorf("explore: initial topology must be connected")
+	}
+	if c.Algorithm == nil {
+		c.Algorithm = route.SPH{}
+	}
+	if c.ResyncMaxRounds < 0 {
+		return fmt.Errorf("explore: negative resync round limit %d", c.ResyncMaxRounds)
+	}
+	if c.ResyncMaxRounds == 0 {
+		c.ResyncMaxRounds = 8
+	}
+	if c.MaxDrops < 0 || c.MaxDups < 0 {
+		return fmt.Errorf("explore: negative fault budget (drops=%d dups=%d)", c.MaxDrops, c.MaxDups)
+	}
+	if c.MaxDrops > 0 && !c.Resync {
+		return fmt.Errorf("explore: MaxDrops > 0 requires Resync (the paper assumes reliable flooding; without gap recovery a dropped LSA diverges by construction)")
+	}
+	if !c.Mutation.Valid() {
+		return fmt.Errorf("explore: unknown mutation %d", c.Mutation)
+	}
+	return nil
+}
+
+// Inject is one scenario event: a local event handed to a switch's
+// EventHandler. Events listed for the same switch fire in list order;
+// events at different switches are concurrent (all interleavings explored).
+type Inject struct {
+	Switch topo.SwitchID
+	Event  core.LocalEvent
+}
+
+// Scenario is the workload to explore.
+type Scenario struct {
+	Injects []Inject
+}
+
+func (s *Scenario) validate(g *topo.Graph) error {
+	n := g.NumSwitches()
+	for i, inj := range s.Injects {
+		if inj.Switch < 0 || int(inj.Switch) >= n {
+			return fmt.Errorf("explore: inject %d: switch %d out of range [0,%d)", i, inj.Switch, n)
+		}
+		switch inj.Event.Kind {
+		case lsa.Join:
+			if inj.Event.Role == 0 {
+				return fmt.Errorf("explore: inject %d: join without role", i)
+			}
+		case lsa.Leave:
+		case lsa.Link:
+			if _, ok := g.Link(inj.Event.Link.A, inj.Event.Link.B); !ok {
+				return fmt.Errorf("explore: inject %d: no link (%d,%d)", i, inj.Event.Link.A, inj.Event.Link.B)
+			}
+			if inj.Event.Link.A != inj.Switch && inj.Event.Link.B != inj.Switch {
+				return fmt.Errorf("explore: inject %d: link event (%d,%d) not incident to detecting switch %d",
+					i, inj.Event.Link.A, inj.Event.Link.B, inj.Switch)
+			}
+		default:
+			return fmt.Errorf("explore: inject %d: invalid event kind %d", i, inj.Event.Kind)
+		}
+	}
+	return nil
+}
+
+// pendingMsg is one in-flight message: a flooded LSA copy addressed to one
+// destination, a unicast resync message, or a self-addressed nudge.
+type pendingMsg struct {
+	id       int
+	to       topo.SwitchID
+	origin   topo.SwitchID
+	payload  any
+	duped    bool // already split once; no further Dup branch
+	internal bool // self-nudge: not subject to network faults
+}
+
+// timer is an armed resync gap-check at one switch.
+type timer struct {
+	sw   topo.SwitchID
+	conn lsa.ConnID
+}
+
+// actionKind discriminates the schedule choice points.
+type actionKind uint8
+
+const (
+	actInject actionKind = iota
+	actDeliver
+	actDrop
+	actDup
+	actFire
+)
+
+// action is one enabled transition of a world state.
+type action struct {
+	kind  actionKind
+	sw    topo.SwitchID // actInject
+	msg   int           // actDeliver/actDrop/actDup: index into pending
+	timer int           // actFire: index into timers
+	key   []byte        // canonical sort key
+}
+
+// World is one global state of the system under exploration: every
+// machine's protocol state, the shared fabric graph, and the pending
+// action set. Worlds are cloned to branch at choice points.
+type World struct {
+	cfg Config
+	scn Scenario
+	n   int
+
+	graph    *topo.Graph
+	machines []*core.Machine
+
+	// injectsBySwitch[s] indexes scn.Injects in program order for switch
+	// s; injectPos[s] is the next one to fire.
+	injectsBySwitch [][]int
+	injectPos       []int
+
+	// injectedMembership counts fired Join/Leave injects per connection
+	// per originating switch (ground truth for event conservation).
+	injectedMembership map[lsa.ConnID][]int
+
+	pending   []pendingMsg
+	timers    []timer
+	dropsLeft int
+	dupsLeft  int
+	nextMsgID int
+	installs  int
+
+	tracing bool
+	trace   []string
+}
+
+// worldHost adapts one machine's runtime effects into pending actions.
+type worldHost struct {
+	w  *World
+	id topo.SwitchID
+}
+
+var _ core.Host = (*worldHost)(nil)
+
+// NewWorld builds the initial world state for (cfg, scn).
+func NewWorld(cfg Config, scn Scenario) (*World, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := scn.validate(cfg.Graph); err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.NumSwitches()
+	w := &World{
+		cfg:                cfg,
+		scn:                scn,
+		n:                  n,
+		graph:              cfg.Graph.Clone(),
+		machines:           make([]*core.Machine, n),
+		injectsBySwitch:    make([][]int, n),
+		injectPos:          make([]int, n),
+		injectedMembership: make(map[lsa.ConnID][]int),
+		dropsLeft:          cfg.MaxDrops,
+		dupsLeft:           cfg.MaxDups,
+	}
+	for i, inj := range scn.Injects {
+		w.injectsBySwitch[inj.Switch] = append(w.injectsBySwitch[inj.Switch], i)
+	}
+	for i := 0; i < n; i++ {
+		m, err := core.NewMachine(core.MachineConfig{
+			ID:              topo.SwitchID(i),
+			Graph:           cfg.Graph,
+			Algorithm:       cfg.Algorithm,
+			Kinds:           cfg.Kinds,
+			Resync:          cfg.Resync,
+			ResyncMaxRounds: cfg.ResyncMaxRounds,
+			Mutation:        cfg.Mutation,
+		}, &worldHost{w: w, id: topo.SwitchID(i)})
+		if err != nil {
+			return nil, err
+		}
+		w.machines[i] = m
+	}
+	return w, nil
+}
+
+// clone branches the world. Traces are not inherited: clones explore
+// silently, and violating schedules are replayed with tracing on.
+func (w *World) clone() *World {
+	c := &World{
+		cfg:             w.cfg,
+		scn:             w.scn,
+		n:               w.n,
+		graph:           w.graph.Clone(),
+		machines:        make([]*core.Machine, w.n),
+		injectsBySwitch: w.injectsBySwitch, // immutable after NewWorld
+		injectPos:       append([]int(nil), w.injectPos...),
+		pending:         append([]pendingMsg(nil), w.pending...),
+		timers:          append([]timer(nil), w.timers...),
+		dropsLeft:       w.dropsLeft,
+		dupsLeft:        w.dupsLeft,
+		nextMsgID:       w.nextMsgID,
+		installs:        w.installs,
+	}
+	c.injectedMembership = make(map[lsa.ConnID][]int, len(w.injectedMembership))
+	for conn, counts := range w.injectedMembership {
+		c.injectedMembership[conn] = append([]int(nil), counts...)
+	}
+	for i, m := range w.machines {
+		c.machines[i] = m.CloneWith(&worldHost{w: c, id: topo.SwitchID(i)})
+	}
+	return c
+}
+
+// encodePayload renders a pending payload canonically (for sort keys and
+// state hashing). Every payload the harness enqueues is covered.
+func encodePayload(p any) []byte {
+	switch v := p.(type) {
+	case *lsa.MC:
+		return append([]byte{'M'}, v.Marshal()...)
+	case *lsa.NonMC:
+		return append([]byte{'L'}, v.Marshal()...)
+	case *lsa.ResyncRequest:
+		return append([]byte{'R'}, v.Marshal()...)
+	case *lsa.ResyncResponse:
+		return append([]byte{'S'}, v.Marshal()...)
+	case core.ResyncNudge:
+		return binary.BigEndian.AppendUint32([]byte{'N'}, uint32(v.Conn))
+	default:
+		return []byte{'?'}
+	}
+}
+
+func (w *World) msgKey(kind byte, pm *pendingMsg) []byte {
+	key := []byte{kind}
+	key = binary.BigEndian.AppendUint32(key, uint32(int32(pm.to)))
+	key = append(key, encodePayload(pm.payload)...)
+	// Tie-break identical messages (dup copies) by creation order so the
+	// enumeration is a total order.
+	key = binary.BigEndian.AppendUint32(key, uint32(pm.id))
+	return key
+}
+
+// enabled enumerates the world's enabled actions in a canonical, replay-
+// stable order: injects by switch, then per-message outcome branches
+// (deliver, then drop, then dup — the faults.Outcomes order), then timers.
+func (w *World) enabled() []action {
+	// Key leading bytes order the canonical enumeration: deliveries (0)
+	// before faults (1, 2) before timers (3) before injects (4). Choice 0
+	// therefore drains in-flight traffic before injecting further events,
+	// so the all-zero schedule degrades to fault-free, near-sequential
+	// execution — the natural base case for shrinking.
+	var out []action
+	for i := range w.pending {
+		pm := &w.pending[i]
+		for _, o := range faults.Choices(
+			!pm.internal && w.dropsLeft > 0,
+			!pm.internal && w.dupsLeft > 0 && !pm.duped,
+		) {
+			switch o {
+			case faults.Deliver:
+				out = append(out, action{kind: actDeliver, msg: i, key: w.msgKey(0, pm)})
+			case faults.Drop:
+				out = append(out, action{kind: actDrop, msg: i, key: w.msgKey(1, pm)})
+			case faults.Dup:
+				out = append(out, action{kind: actDup, msg: i, key: w.msgKey(2, pm)})
+			}
+		}
+	}
+	for i, t := range w.timers {
+		key := binary.BigEndian.AppendUint32([]byte{3}, uint32(int32(t.sw)))
+		key = binary.BigEndian.AppendUint32(key, uint32(t.conn))
+		key = binary.BigEndian.AppendUint32(key, uint32(i))
+		out = append(out, action{kind: actFire, timer: i, key: key})
+	}
+	for s := 0; s < w.n; s++ {
+		if w.injectPos[s] < len(w.injectsBySwitch[s]) {
+			key := binary.BigEndian.AppendUint32([]byte{4}, uint32(s))
+			out = append(out, action{kind: actInject, sw: topo.SwitchID(s), key: key})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].key, out[j].key
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// describe renders an action for counterexample traces.
+func (w *World) describe(a action) string {
+	switch a.kind {
+	case actInject:
+		idx := w.injectsBySwitch[a.sw][w.injectPos[a.sw]]
+		inj := w.scn.Injects[idx]
+		if inj.Event.Kind == lsa.Link {
+			return fmt.Sprintf("inject %s detected at switch %d", inj.Event.Link, inj.Switch)
+		}
+		return fmt.Sprintf("inject %s at switch %d (conn %d)", inj.Event.Kind, inj.Switch, inj.Event.Conn)
+	case actDeliver:
+		pm := w.pending[a.msg]
+		return fmt.Sprintf("deliver %s -> switch %d", payloadString(pm.payload), pm.to)
+	case actDrop:
+		pm := w.pending[a.msg]
+		return fmt.Sprintf("drop %s -> switch %d", payloadString(pm.payload), pm.to)
+	case actDup:
+		pm := w.pending[a.msg]
+		return fmt.Sprintf("dup %s -> switch %d", payloadString(pm.payload), pm.to)
+	case actFire:
+		t := w.timers[a.timer]
+		return fmt.Sprintf("fire resync timer at switch %d (conn %d)", t.sw, t.conn)
+	default:
+		return fmt.Sprintf("action(%d)", a.kind)
+	}
+}
+
+func payloadString(p any) string {
+	switch v := p.(type) {
+	case *lsa.MC:
+		return v.String()
+	case *lsa.NonMC:
+		return v.String()
+	case *lsa.ResyncRequest:
+		return fmt.Sprintf("resync-req{conn %d from %d R=%s}", v.Conn, v.From, v.R)
+	case *lsa.ResyncResponse:
+		return fmt.Sprintf("resync-resp{conn %d from %d, %d LSAs}", v.Conn, v.From, len(v.Batch))
+	case core.ResyncNudge:
+		return fmt.Sprintf("self-nudge{conn %d}", v.Conn)
+	default:
+		return fmt.Sprintf("%v", p)
+	}
+}
+
+// applyIndex resolves the i-th enabled action (clamped, so every integer
+// is a valid choice — the property Shrink and random walks rely on) and
+// applies it. It reports the applied action and false when the world is
+// quiescent (nothing enabled).
+func (w *World) applyIndex(i int) (action, bool) {
+	acts := w.enabled()
+	if len(acts) == 0 {
+		return action{}, false
+	}
+	a := acts[((i%len(acts))+len(acts))%len(acts)]
+	if w.tracing {
+		w.trace = append(w.trace, fmt.Sprintf("step %3d: %s", len(w.trace), w.describe(a)))
+	}
+	w.apply(a)
+	return a, true
+}
+
+func (w *World) apply(a action) {
+	switch a.kind {
+	case actInject:
+		idx := w.injectsBySwitch[a.sw][w.injectPos[a.sw]]
+		w.injectPos[a.sw]++
+		inj := w.scn.Injects[idx]
+		if inj.Event.Kind == lsa.Join || inj.Event.Kind == lsa.Leave {
+			counts := w.injectedMembership[inj.Event.Conn]
+			if counts == nil {
+				counts = make([]int, w.n)
+				w.injectedMembership[inj.Event.Conn] = counts
+			}
+			counts[inj.Switch]++
+		}
+		w.machines[a.sw].HandleLocalEvent(nil, inj.Event)
+	case actDeliver:
+		pm := w.pending[a.msg]
+		w.removePending(a.msg)
+		w.machines[pm.to].ReceiveBatch(nil, []any{pm.payload})
+	case actDrop:
+		w.removePending(a.msg)
+		w.dropsLeft--
+	case actDup:
+		w.pending[a.msg].duped = true
+		cp := w.pending[a.msg]
+		cp.id = w.nextMsgID
+		w.nextMsgID++
+		w.pending = append(w.pending, cp)
+		w.dupsLeft--
+	case actFire:
+		t := w.timers[a.timer]
+		w.timers = append(w.timers[:a.timer], w.timers[a.timer+1:]...)
+		w.machines[t.sw].ResyncFired(t.conn)
+	}
+}
+
+func (w *World) removePending(i int) {
+	w.pending = append(w.pending[:i], w.pending[i+1:]...)
+}
+
+// Quiescent reports whether no action is enabled.
+func (w *World) Quiescent() bool { return len(w.enabled()) == 0 }
+
+// Machine returns switch s's machine (read-only inspection).
+func (w *World) Machine(s topo.SwitchID) *core.Machine { return w.machines[s] }
+
+// Trace returns the recorded trace (tracing worlds only).
+func (w *World) Trace() []string { return w.trace }
+
+// hash returns the canonical state digest used for search deduplication.
+// In-flight messages hash as a multiset (two interleavings that produced
+// the same pending messages in different orders are the same state).
+func (w *World) hash() [32]byte {
+	var buf []byte
+	for _, m := range w.machines {
+		buf = m.AppendState(buf)
+	}
+	for _, l := range w.graph.Links() {
+		if l.Down {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	msgs := make([][]byte, 0, len(w.pending))
+	for i := range w.pending {
+		pm := &w.pending[i]
+		enc := binary.BigEndian.AppendUint32(nil, uint32(int32(pm.to)))
+		if pm.duped {
+			enc = append(enc, 1)
+		} else {
+			enc = append(enc, 0)
+		}
+		if pm.internal {
+			enc = append(enc, 1)
+		} else {
+			enc = append(enc, 0)
+		}
+		enc = append(enc, encodePayload(pm.payload)...)
+		msgs = append(msgs, enc)
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		a, b := msgs[i], msgs[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(msgs)))
+	for _, enc := range msgs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+	}
+	ts := append([]timer(nil), w.timers...)
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].sw != ts[j].sw {
+			return ts[i].sw < ts[j].sw
+		}
+		return ts[i].conn < ts[j].conn
+	})
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ts)))
+	for _, t := range ts {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(t.sw)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(t.conn))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(w.dropsLeft))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(w.dupsLeft))
+	for _, p := range w.injectPos {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+	}
+	return sha256.Sum256(buf)
+}
+
+// --- Host implementation ---
+
+// FloodMC implements core.Host: one pending delivery per switch currently
+// reachable from the origin (flooding cannot cross failed links).
+func (h *worldHost) FloodMC(m *lsa.MC) { h.w.flood(h.id, m) }
+
+// FloodNonMC implements core.Host.
+func (h *worldHost) FloodNonMC(nm *lsa.NonMC) { h.w.flood(h.id, nm) }
+
+func (w *World) flood(src topo.SwitchID, payload any) {
+	comp := append([]topo.SwitchID(nil), w.graph.Component(src)...)
+	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+	for _, dst := range comp {
+		if dst == src {
+			continue
+		}
+		w.pending = append(w.pending, pendingMsg{
+			id: w.nextMsgID, to: dst, origin: src, payload: payload,
+		})
+		w.nextMsgID++
+	}
+}
+
+// SendUnicast implements core.Host. Unreachable destinations swallow the
+// message, like a fabric with no route.
+func (h *worldHost) SendUnicast(to topo.SwitchID, payload any) {
+	reachable := false
+	for _, s := range h.w.graph.Component(h.id) {
+		if s == to {
+			reachable = true
+			break
+		}
+	}
+	if !reachable {
+		return
+	}
+	h.w.pending = append(h.w.pending, pendingMsg{
+		id: h.w.nextMsgID, to: to, origin: h.id, payload: payload,
+	})
+	h.w.nextMsgID++
+}
+
+// HoldCompute implements core.Host: computations are atomic under
+// exploration (see the package comment for why).
+func (h *worldHost) HoldCompute(any) {}
+
+// PendingMC implements core.Host: an MC LSA for conn is "queued" when an
+// in-flight flooded copy is addressed to this switch.
+func (h *worldHost) PendingMC(conn lsa.ConnID) bool {
+	for i := range h.w.pending {
+		pm := &h.w.pending[i]
+		if pm.to != h.id {
+			continue
+		}
+		if m, ok := pm.payload.(*lsa.MC); ok && m.Conn == conn {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors implements core.Host.
+func (h *worldHost) Neighbors() []topo.SwitchID { return h.w.graph.Neighbors(h.id) }
+
+// FabricLinkChanged implements core.Host.
+func (h *worldHost) FabricLinkChanged(change lsa.LinkChange) {
+	if err := h.w.graph.SetLinkDown(change.A, change.B, change.Down); err != nil && h.w.tracing {
+		h.w.trace = append(h.w.trace, fmt.Sprintf("  [%d] fabric: %v", h.id, err))
+	}
+}
+
+// ArmResync implements core.Host: the firing instant becomes a choice
+// point.
+func (h *worldHost) ArmResync(conn lsa.ConnID) {
+	h.w.timers = append(h.w.timers, timer{sw: h.id, conn: conn})
+}
+
+// SelfNudge implements core.Host: a pending self-delivery, exempt from
+// network faults.
+func (h *worldHost) SelfNudge(conn lsa.ConnID) {
+	h.w.pending = append(h.w.pending, pendingMsg{
+		id: h.w.nextMsgID, to: h.id, origin: h.id,
+		payload: core.ResyncNudge{Conn: conn}, internal: true,
+	})
+	h.w.nextMsgID++
+}
+
+// NoteInstall implements core.Host.
+func (h *worldHost) NoteInstall() { h.w.installs++ }
+
+// Trace implements core.Host.
+func (h *worldHost) Trace(kind core.TraceKind, conn lsa.ConnID, format string, args ...any) {
+	if !h.w.tracing {
+		return
+	}
+	h.w.trace = append(h.w.trace,
+		fmt.Sprintf("  [switch %d conn %d] %s: %s", h.id, conn, kind, fmt.Sprintf(format, args...)))
+}

@@ -1,0 +1,49 @@
+package faults
+
+import "fmt"
+
+// Choice is what can happen to one in-flight transmission, as a discrete
+// branch point. The Injector in this package draws per-transmission
+// Outcomes from a seeded RNG (probabilistic fault simulation); the
+// schedule-exploration harness (internal/explore) instead treats each
+// possible Choice as an explicit branch of the schedule, so a bounded
+// number of drops and duplications is explored exhaustively rather than
+// sampled.
+type Choice uint8
+
+const (
+	// Deliver hands the message to its destination.
+	Deliver Choice = iota
+	// Drop silently discards the message.
+	Drop
+	// Dup splits the message into two identical in-flight copies.
+	Dup
+)
+
+// String implements fmt.Stringer.
+func (c Choice) String() string {
+	switch c {
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	case Dup:
+		return "dup"
+	default:
+		return fmt.Sprintf("Choice(%d)", uint8(c))
+	}
+}
+
+// Choices enumerates the branches available to a transmission given which
+// fault classes are still within budget. Deliver is always first: explorers
+// that pick the first enabled choice degrade to fault-free execution.
+func Choices(allowDrop, allowDup bool) []Choice {
+	out := []Choice{Deliver}
+	if allowDrop {
+		out = append(out, Drop)
+	}
+	if allowDup {
+		out = append(out, Dup)
+	}
+	return out
+}

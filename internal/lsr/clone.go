@@ -1,0 +1,57 @@
+package lsr
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"dgmc/internal/topo"
+)
+
+// Clone returns an independent deep copy of the instance: same switch,
+// same image contents, same staleness-protection state, sharing nothing
+// mutable with the original. The schedule-exploration harness
+// (internal/explore) uses it to branch a switch's state at a choice point.
+func (i *Instance) Clone() *Instance {
+	c := &Instance{
+		self:    i.self,
+		image:   i.image.Clone(),
+		nextHop: make([]topo.SwitchID, len(i.nextHop)),
+		version: i.version,
+		mySeq:   i.mySeq,
+		seen:    make(map[topo.SwitchID]uint32, len(i.seen)),
+	}
+	copy(c.nextHop, i.nextHop)
+	for k, v := range i.seen {
+		c.seen[k] = v
+	}
+	return c
+}
+
+// AppendState appends a canonical encoding of the instance's
+// behavior-relevant state to buf: the up/down bit of every link in stable
+// link order, the own-advertisement sequence number, and the per-originator
+// staleness horizon. Two instances with equal encodings react identically
+// to every future input. Pure bookkeeping (the version counter, the
+// routing table, which is a function of the image) is excluded so that
+// different event orders reaching the same image compare equal.
+func (i *Instance) AppendState(buf []byte) []byte {
+	for _, l := range i.image.Links() {
+		if l.Down {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, i.mySeq)
+	ids := make([]topo.SwitchID, 0, len(i.seen))
+	for id := range i.seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(id)))
+		buf = binary.BigEndian.AppendUint32(buf, i.seen[id])
+	}
+	return buf
+}

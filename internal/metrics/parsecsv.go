@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseCSV reads a table previously rendered by WriteCSV. The header row
+// fixes the x label and the metric columns (each contributed as a
+// <name>_mean,<name>_ci95 pair); every data row must carry exactly one
+// value per header field. Sample sizes are not part of the CSV format, so
+// the parsed summaries have N == 0.
+func ParseCSV(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("metrics: empty CSV")
+	}
+	header := strings.Split(sc.Text(), ",")
+	if len(header) < 1 || len(header)%2 != 1 {
+		return nil, fmt.Errorf("metrics: CSV header has %d fields, want x plus mean/ci95 pairs", len(header))
+	}
+	t := &Table{XLabel: header[0]}
+	for i := 1; i < len(header); i += 2 {
+		name, ok := strings.CutSuffix(header[i], "_mean")
+		if !ok {
+			return nil, fmt.Errorf("metrics: CSV column %q is not a _mean column", header[i])
+		}
+		if want := name + "_ci95"; header[i+1] != want {
+			return nil, fmt.Errorf("metrics: CSV column %q should be %q", header[i+1], want)
+		}
+		t.Columns = append(t.Columns, name)
+	}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("metrics: CSV line %d has %d fields, want %d", lineNo, len(fields), len(header))
+		}
+		x, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: CSV line %d: bad x %q", lineNo, fields[0])
+		}
+		cells := make([]Summary, 0, len(t.Columns))
+		for i := 1; i < len(fields); i += 2 {
+			mean, err1 := strconv.ParseFloat(fields[i], 64)
+			ci, err2 := strconv.ParseFloat(fields[i+1], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("metrics: CSV line %d: bad cell %q,%q", lineNo, fields[i], fields[i+1])
+			}
+			cells = append(cells, Summary{Mean: mean, CI: ci})
+		}
+		if err := t.AddRow(x, cells...); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCI95MonotoneInN: for a fixed underlying spread, adding observations
+// must never widen the confidence interval — both the t critical value and
+// the 1/sqrt(n) factor shrink. Alternating m±1 samples keep the empirical
+// spread pinned while n grows.
+func TestCI95MonotoneInN(t *testing.T) {
+	for _, mean := range []float64{0, 5, -3.25} {
+		var s Sample
+		prev := math.Inf(1)
+		for n := 2; n <= 200; n += 2 {
+			s.Add(mean + 1)
+			s.Add(mean - 1)
+			ci := s.CI95()
+			if math.IsNaN(ci) || ci < 0 {
+				t.Fatalf("mean %v n %d: ci = %v", mean, n, ci)
+			}
+			if ci > prev+1e-12 {
+				t.Fatalf("mean %v: ci widened from %v to %v at n=%d", mean, prev, ci, n)
+			}
+			prev = ci
+		}
+	}
+}
+
+// TestCI95MonotoneUnderDuplication: replicating a whole sample k times
+// cannot widen the interval — same spread, more evidence.
+func TestCI95MonotoneUnderDuplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := make([]float64, 6)
+	for i := range base {
+		base[i] = rng.NormFloat64() * 10
+	}
+	var s Sample
+	prev := math.Inf(1)
+	for k := 1; k <= 40; k++ {
+		for _, v := range base {
+			s.Add(v)
+		}
+		ci := s.CI95()
+		if ci > prev+1e-12 {
+			t.Fatalf("ci widened from %v to %v after %d copies", prev, ci, k)
+		}
+		prev = ci
+	}
+}
+
+// TestDegenerateSamplesFinite: one observation and all-equal observations
+// are legal inputs and must yield finite, zero-width intervals — no NaN or
+// Inf anywhere in the summary.
+func TestDegenerateSamplesFinite(t *testing.T) {
+	check := func(name string, s *Sample) {
+		t.Helper()
+		sum, err := s.Summarize()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for label, v := range map[string]float64{
+			"mean": sum.Mean, "ci": sum.CI, "stddev": s.StdDev(),
+			"min": s.Min(), "max": s.Max(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %v", name, label, v)
+			}
+		}
+		if sum.CI != 0 {
+			t.Errorf("%s: degenerate sample has nonzero ci %v", name, sum.CI)
+		}
+	}
+
+	single := &Sample{}
+	single.Add(42)
+	check("single", single)
+
+	for _, n := range []int{2, 3, 31, 100} {
+		equal := &Sample{}
+		for i := 0; i < n; i++ {
+			equal.Add(-7.5)
+		}
+		check("all-equal", equal)
+	}
+}
+
+// TestCSVRoundTrip: WriteCSV then ParseCSV reproduces the table's labels,
+// columns, and cells to the writer's 4-decimal precision (N is not part of
+// the format and comes back 0).
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := &Table{Title: "round trip", XLabel: "switches", Columns: []string{"proposals", "lsa bytes", "delay"}}
+	for _, x := range []float64{10, 20, 50, 100} {
+		cells := make([]Summary, len(tab.Columns))
+		for i := range cells {
+			cells[i] = Summary{Mean: rng.NormFloat64() * 100, CI: rng.Float64() * 10, N: 20}
+		}
+		if err := tab.AddRow(x, cells...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var csv strings.Builder
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCSV(strings.NewReader(csv.String()))
+	if err != nil {
+		t.Fatalf("ParseCSV: %v\n%s", err, csv.String())
+	}
+
+	if got.XLabel != tab.XLabel {
+		t.Errorf("x label %q, want %q", got.XLabel, tab.XLabel)
+	}
+	if len(got.Columns) != len(tab.Columns) {
+		t.Fatalf("columns %v, want %v", got.Columns, tab.Columns)
+	}
+	for i, c := range tab.Columns {
+		if got.Columns[i] != c {
+			t.Errorf("column %d = %q, want %q", i, got.Columns[i], c)
+		}
+	}
+	if len(got.Rows) != len(tab.Rows) {
+		t.Fatalf("rows %d, want %d", len(got.Rows), len(tab.Rows))
+	}
+	const tol = 5e-5 // writer rounds to 4 decimals
+	for i, r := range tab.Rows {
+		if got.Rows[i].X != r.X {
+			t.Errorf("row %d x = %v, want %v", i, got.Rows[i].X, r.X)
+		}
+		for j, c := range r.Cells {
+			g := got.Rows[i].Cells[j]
+			if math.Abs(g.Mean-c.Mean) > tol || math.Abs(g.CI-c.CI) > tol {
+				t.Errorf("row %d cell %d = %+v, want %+v", i, j, g, c)
+			}
+		}
+	}
+
+	// A second round trip through the parsed table must be byte-identical:
+	// 4-decimal rendering is a fixed point.
+	var csv2 strings.Builder
+	if err := got.WriteCSV(&csv2); err != nil {
+		t.Fatal(err)
+	}
+	if csv.String() != csv2.String() {
+		t.Errorf("second round trip not stable:\n%s\nvs\n%s", csv.String(), csv2.String())
+	}
+}
+
+// TestParseCSVRejectsMalformed covers the error paths.
+func TestParseCSVRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"n,a_mean",                     // dangling pair
+		"n,a_ci95,a_mean\n",            // mean/ci order swapped
+		"n,a_mean,b_ci95\n",            // pair names disagree
+		"n,a_mean,a_ci95\n1,2\n",       // short row
+		"n,a_mean,a_ci95\nx,2,3\n",     // bad x
+		"n,a_mean,a_ci95\n1,two,3\n",   // bad mean
+		"n,a_mean,a_ci95\n1,2,three\n", // bad ci
+		"n,a_mean,a_ci95\n1,2,3,4,5\n", // long row
+	} {
+		if _, err := ParseCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseCSV(%q): want error", bad)
+		}
+	}
+}

@@ -28,6 +28,12 @@ type Topology struct {
 	Addrs map[topo.SwitchID]string
 }
 
+// MaxSwitches bounds the switch count a topology file may declare. The
+// protocol carries O(n) vector timestamps in every MC LSA and the graph
+// pre-allocates per-switch tables, so a declaration beyond this is a
+// typo or hostile input, not a deployment — reject it before allocating.
+const MaxSwitches = 1 << 16
+
 // ParseTopology reads a topology description from r.
 func ParseTopology(r io.Reader) (*Topology, error) {
 	tf := &Topology{Addrs: make(map[topo.SwitchID]string)}
@@ -55,8 +61,8 @@ func ParseTopology(r io.Reader) (*Topology, error) {
 				return fail("want: switches <n>")
 			}
 			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 1 {
-				return fail("invalid switch count %q", fields[1])
+			if err != nil || n < 1 || n > MaxSwitches {
+				return fail("invalid switch count %q (1..%d)", fields[1], MaxSwitches)
 			}
 			tf.Graph = topo.New(n)
 		case "link":

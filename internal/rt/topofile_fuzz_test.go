@@ -1,0 +1,69 @@
+package rt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dgmc/internal/topo"
+)
+
+// FuzzParseTopoFile hardens the deployment-file parser: arbitrary input
+// must never panic or exhaust memory (the daemon parses this file before
+// dropping any privileges), and any input that parses must survive a
+// Format/reparse round-trip to an equivalent topology.
+func FuzzParseTopoFile(f *testing.F) {
+	f.Add([]byte("switches 2\nlink 0 1 2ms\naddr 0 127.0.0.1:7700\naddr 1 127.0.0.1:7701\n"))
+	f.Add([]byte("switches 3\nlink 0 1 5us 2.5\nlink 1 2 5us 2.5\n# comment\n\naddr 0 h:1\n"))
+	f.Add([]byte("switches 1\n"))
+	f.Add([]byte("switches 2000000000\n"))
+	f.Add([]byte("link 0 1 2ms\nswitches 2\n"))
+	f.Add([]byte("switches 2\nlink 0 0 2ms\n"))
+	f.Add([]byte("switches 2\nlink 0 1 -5ms\n"))
+	f.Add([]byte("switches 2\nlink 0 1 2ms 0\n"))
+	f.Add([]byte("switches 2\naddr 5 x\n"))
+	f.Add([]byte("switches 2\naddr 0 a\naddr 0 b\n"))
+	f.Add([]byte("bogus\n"))
+	f.Add([]byte("switches 2\nlink 0 1 10000000000h\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tf, err := ParseTopology(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tf.Graph == nil {
+			t.Fatal("nil graph without error")
+		}
+		n := tf.Graph.NumSwitches()
+		if n < 1 || n > MaxSwitches {
+			t.Fatalf("accepted out-of-range switch count %d", n)
+		}
+		// Accepted topologies answer neighbor queries without panicking
+		// (missing addrs are an error, not a crash).
+		for s := 0; s < n; s++ {
+			_, _ = tf.NeighborAddrs(topo.SwitchID(s))
+		}
+		// Format must re-parse to an equivalent topology.
+		tf2, err := ParseTopology(strings.NewReader(tf.Format()))
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\n%s", err, tf.Format())
+		}
+		if tf2.Graph.NumSwitches() != n || tf2.Graph.NumLinks() != tf.Graph.NumLinks() {
+			t.Fatalf("round-trip mangled graph: %d/%d switches, %d/%d links",
+				n, tf2.Graph.NumSwitches(), tf.Graph.NumLinks(), tf2.Graph.NumLinks())
+		}
+		if len(tf2.Addrs) != len(tf.Addrs) {
+			t.Fatalf("round-trip mangled addrs: %d vs %d", len(tf.Addrs), len(tf2.Addrs))
+		}
+		for id, addr := range tf.Addrs {
+			if tf2.Addrs[id] != addr {
+				t.Fatalf("round-trip mangled addr %d: %q vs %q", id, addr, tf2.Addrs[id])
+			}
+		}
+		for _, l := range tf.Graph.Links() {
+			l2, ok := tf2.Graph.Link(l.A, l.B)
+			if !ok || l2.Delay != l.Delay || l2.Capacity != l.Capacity {
+				t.Fatalf("round-trip mangled link (%d,%d)", l.A, l.B)
+			}
+		}
+	})
+}

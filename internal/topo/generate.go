@@ -205,6 +205,24 @@ func Line(n int, d time.Duration) (*Graph, error) {
 	return g, nil
 }
 
+// Full returns the complete graph on n switches with uniform delay d —
+// the densest (and most schedule-rich) fabric for small model-checking
+// scenarios.
+func Full(n int, d time.Duration) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: full mesh needs >=2 switches, got %d", n)
+	}
+	g := New(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if err := g.AddLink(SwitchID(a), SwitchID(b), d, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
 // Star returns a star with switch 0 at the center and uniform delay d.
 func Star(n int, d time.Duration) (*Graph, error) {
 	if n < 2 {

@@ -1,0 +1,163 @@
+// Micro-benchmarks for the protocol's hot paths: one machine step, frame
+// encode/decode, flood fan-out, and topology computation. Where
+// bench_test.go regenerates the paper's figures end to end, these isolate
+// the unit costs that compose them; scripts/bench.sh records both as JSON.
+package dgmc_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dgmc/internal/core"
+	"dgmc/internal/flood"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/sim"
+	"dgmc/internal/stamp"
+	"dgmc/internal/topo"
+)
+
+// nullHost satisfies core.Host with no-ops so BenchmarkMachineStep measures
+// the machine alone, not a runtime.
+type nullHost struct{ neighbors []topo.SwitchID }
+
+func (nullHost) FloodMC(*lsa.MC)                                  {}
+func (nullHost) FloodNonMC(*lsa.NonMC)                            {}
+func (nullHost) SendUnicast(topo.SwitchID, any)                   {}
+func (nullHost) HoldCompute(any)                                  {}
+func (nullHost) PendingMC(lsa.ConnID) bool                        { return false }
+func (h nullHost) Neighbors() []topo.SwitchID                     { return h.neighbors }
+func (nullHost) FabricLinkChanged(lsa.LinkChange)                 {}
+func (nullHost) ArmResync(lsa.ConnID)                             {}
+func (nullHost) SelfNudge(lsa.ConnID)                             {}
+func (nullHost) NoteInstall()                                     {}
+func (nullHost) Trace(core.TraceKind, lsa.ConnID, string, ...any) {}
+
+// BenchmarkMachineStep measures one full EventHandler pass — stamp
+// bookkeeping, proposal computation, flood emission — on a 16-switch ring.
+func BenchmarkMachineStep(b *testing.B) {
+	g, err := topo.Ring(16, 5*time.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.NewMachine(core.MachineConfig{
+		ID: 0, Graph: g, Algorithm: route.SPH{},
+	}, nullHost{neighbors: g.Neighbors(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	join := core.LocalEvent{Conn: 1, Kind: lsa.Join, Role: mctree.SenderReceiver}
+	leave := core.LocalEvent{Conn: 1, Kind: lsa.Leave}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			m.HandleLocalEvent(nil, join)
+		} else {
+			m.HandleLocalEvent(nil, leave)
+		}
+	}
+}
+
+// benchFrame builds a representative wire frame: an MC LSA carrying a
+// 10-member proposal tree and a 64-switch vector stamp.
+func benchFrame(b *testing.B) *lsa.Frame {
+	b.Helper()
+	const n = 64
+	g, err := topo.Waxman(topo.DefaultGenConfig(n, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := mctree.Members{}
+	for s := 0; len(members) < 10; s += 7 {
+		members[topo.SwitchID(s%n)] = mctree.SenderReceiver
+	}
+	tree, err := (route.SPH{}).Compute(g, mctree.Symmetric, members)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := stamp.New(n)
+	for i := 0; i < n; i += 2 {
+		st.Inc(i)
+	}
+	mc := &lsa.MC{Src: 3, Event: lsa.Join, Conn: 1, Role: mctree.SenderReceiver,
+		Proposal: tree, Stamp: st}
+	return &lsa.Frame{Version: lsa.FrameVersion, Kind: lsa.FrameFlood,
+		Origin: 3, From: 3, Seq: 42, Payload: mc.Marshal()}
+}
+
+// BenchmarkFrameEncode measures the transmit path: frame header + CRC
+// around an already-marshalled LSA.
+func BenchmarkFrameEncode(b *testing.B) {
+	f := benchFrame(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lsa.EncodeFrame(f)
+	}
+	b.ReportMetric(float64(len(lsa.EncodeFrame(f))), "frame-bytes")
+}
+
+// BenchmarkFrameDecode measures the receive path: frame validation (CRC,
+// version, length) plus LSA unmarshalling.
+func BenchmarkFrameDecode(b *testing.B) {
+	buf := lsa.EncodeFrame(benchFrame(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := lsa.DecodeFrame(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := lsa.Unmarshal(f.Payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFloodFanout measures hop-by-hop flood fan-out on a 60-switch
+// random graph: every switch forwards each new LSA to its other neighbors,
+// so one flood costs O(links) simulator events.
+func BenchmarkFloodFanout(b *testing.B) {
+	g, err := topo.Waxman(topo.DefaultGenConfig(60, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var copies uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		net, err := flood.New(k, g, 2*time.Microsecond, flood.HopByHop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.Flood(topo.SwitchID(i%60), i)
+		if _, err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+		copies = net.Copies()
+		k.Shutdown()
+	}
+	b.ReportMetric(float64(copies), "copies/flood")
+}
+
+// BenchmarkTopoCompute measures one from-scratch topology computation (the
+// paper's Tc) at two network sizes.
+func BenchmarkTopoCompute(b *testing.B) {
+	for _, n := range []int{50, 100} {
+		g, err := topo.Waxman(topo.DefaultGenConfig(n, 3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		members := mctree.Members{}
+		for s := 0; len(members) < 10; s += 7 {
+			members[topo.SwitchID(s%n)] = mctree.SenderReceiver
+		}
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (route.SPH{}).Compute(g, mctree.Symmetric, members); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

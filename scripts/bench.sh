@@ -1,0 +1,21 @@
+#!/bin/sh
+# Run the micro-benchmark suite and archive the results as BENCH_<label>.json
+# (default label: pr3). Usage: scripts/bench.sh [label] [benchtime]
+#
+# The micro benchmarks (micro_bench_test.go) isolate hot-path unit costs —
+# machine step, frame encode/decode, flood fan-out, topology compute — so
+# successive PRs can diff them; the figure-level suite stays in bench_test.go
+# and cmd/dgmcbench.
+set -eu
+cd "$(dirname "$0")/.."
+
+label="${1:-pr3}"
+benchtime="${2:-1s}"
+out="BENCH_${label}.json"
+
+go test -run '^$' \
+  -bench '^(BenchmarkMachineStep|BenchmarkFrameEncode|BenchmarkFrameDecode|BenchmarkFloodFanout|BenchmarkTopoCompute)$' \
+  -benchmem -benchtime "$benchtime" . |
+  go run ./cmd/benchjson -label "$label" > "$out"
+
+echo "wrote $out" >&2
