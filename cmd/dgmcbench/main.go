@@ -22,9 +22,19 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"dgmc/internal/core"
 	"dgmc/internal/exp"
+	"dgmc/internal/flood"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
 	"dgmc/internal/metrics"
+	"dgmc/internal/obs"
+	"dgmc/internal/route"
+	"dgmc/internal/sim"
+	"dgmc/internal/topo"
+	"dgmc/internal/workload"
 )
 
 func main() {
@@ -42,6 +52,8 @@ func run(args []string, w io.Writer) error {
 	events := fs.Int("events", 10, "membership events per run")
 	seed := fs.Int64("seed", 1, "base seed for the sweep")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	metricsOut := fs.String("metrics-out", "", "also export every emitted table as Prometheus gauges to this file")
+	traceOut := fs.String("trace-out", "", "run one representative traced simulation and write its span trees (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,10 +67,15 @@ func run(args []string, w io.Writer) error {
 		p.Events = *events
 		p.BaseSeed = *seed
 	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
 	emit := func(t *metrics.Table) error {
 		if t == nil {
 			return nil
 		}
+		tableToGauges(reg, t)
 		if *csv {
 			if err := t.WriteCSV(w); err != nil {
 				return err
@@ -161,7 +178,131 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
+	if reg != nil {
+		if err := writeFile(*metricsOut, reg.WritePrometheus); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics: written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		spans, err := tracedRun(*seed)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*traceOut, spans.WriteJSON); err != nil {
+			return err
+		}
+		st := spans.Stats()
+		fmt.Fprintf(w, "spans: %d chains to %s (mean %.2f computations, %.2f floods)\n",
+			st.Spans, *traceOut, st.MeanComputations, st.MeanFloods)
+	}
 	return nil
+}
+
+// tableToGauges exports a result table as gauge series: one series per
+// (column, statistic) pair labeled with the row's x value, so a scrape of a
+// bench run and a live daemon share one data model. No-op without a registry.
+func tableToGauges(reg *obs.Registry, t *metrics.Table) {
+	if reg == nil {
+		return
+	}
+	base := "dgmc_bench_" + slug(t.Title)
+	for _, row := range t.Rows {
+		x := obs.L(slug(t.XLabel), fmt.Sprintf("%g", row.X))
+		for i, cell := range row.Cells {
+			if i >= len(t.Columns) {
+				break
+			}
+			col := slug(t.Columns[i])
+			mean, ci := cell.Mean, cell.CI
+			reg.GaugeFunc(base+"_"+col+"_mean", func() float64 { return mean }, x)
+			reg.GaugeFunc(base+"_"+col+"_ci95", func() float64 { return ci }, x)
+		}
+	}
+}
+
+// slug lowercases and collapses a table title or column name into a metric
+// name fragment.
+func slug(s string) string {
+	var b strings.Builder
+	lastUnder := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnder = false
+		default:
+			if !lastUnder {
+				b.WriteByte('_')
+				lastUnder = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// tracedRun executes one representative bursty simulation (20 switches,
+// 8 events) with a span collector attached and returns the collected spans.
+func tracedRun(seed int64) (*obs.SpanCollector, error) {
+	g, err := topo.Waxman(topo.DefaultGenConfig(20, seed))
+	if err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	net, err := flood.New(k, g, 10*time.Microsecond, flood.HopByHop)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := net.FloodTime()
+	if err != nil {
+		return nil, err
+	}
+	round := tf + 500*time.Microsecond
+	spans := obs.NewSpanCollector(0)
+	d, err := core.NewDomain(k, core.Config{
+		Net:         net,
+		ComputeTime: 500 * time.Microsecond,
+		Algorithm:   route.SPH{},
+		Kinds:       map[lsa.ConnID]mctree.Kind{1: mctree.Symmetric},
+		Tracer:      spans,
+	})
+	if err != nil {
+		return nil, err
+	}
+	evs, err := workload.Bursty(workload.Config{
+		N: 20, Events: 8, Seed: seed, Start: round, Window: round,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range evs {
+		if e.Join {
+			d.Join(e.At, e.Switch, 1, e.Role)
+		} else {
+			d.Leave(e.At, e.Switch, 1)
+		}
+	}
+	if _, err := k.Run(); err != nil {
+		return nil, err
+	}
+	if err := d.CheckConverged(); err != nil {
+		return nil, fmt.Errorf("traced run did not converge: %w", err)
+	}
+	return spans, nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -23,14 +23,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"dgmc/internal/core"
 	"dgmc/internal/lsa"
 	"dgmc/internal/mctree"
+	"dgmc/internal/obs"
 	"dgmc/internal/route"
 	"dgmc/internal/rt"
 	"dgmc/internal/topo"
@@ -51,6 +55,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	algName := fs.String("algorithm", "sph", "topology algorithm: sph, kmb, spt, cbt, incremental")
 	resync := fs.Duration("resync", 500*time.Millisecond, "gap-recovery timeout; 0 disables (not recommended over UDP)")
 	reopt := fs.Float64("reopt", 0, "re-optimization threshold for link recoveries (0 = off)")
+	admin := fs.String("admin", "", "admin HTTP listen address serving /metrics, /spans, /state, /debug/pprof (off by default)")
 	verbose := fs.Bool("v", false, "log the protocol trace to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +87,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		algorithm: alg,
 		resync:    *resync,
 		reopt:     *reopt,
+		admin:     *admin,
 	}
 	if *verbose {
 		cfg.logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
@@ -93,6 +99,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	defer d.Close()
 	fmt.Fprintf(stdout, "dgmcd: switch %d on %s, %d neighbors, %d-switch fabric\n",
 		d.node.ID(), d.tr.LocalAddr(), len(tf.Graph.Neighbors(d.node.ID())), tf.Graph.NumSwitches())
+	if d.adminLn != nil {
+		fmt.Fprintf(stdout, "dgmcd: admin on http://%s (/metrics /spans /state /debug/pprof)\n", d.adminLn.Addr())
+	}
 	return d.repl(stdin, stdout)
 }
 
@@ -103,14 +112,21 @@ type daemonConfig struct {
 	algorithm route.Algorithm
 	resync    time.Duration
 	reopt     float64
+	admin     string // admin HTTP listen address; empty disables
 	logf      func(format string, args ...any)
 }
 
-// daemon is one live switch: a UDP transport plus its rt.Node.
+// daemon is one live switch: a UDP transport plus its rt.Node, and — with
+// -admin — an HTTP listener exporting the node's observability surfaces.
 type daemon struct {
 	cfg  daemonConfig
 	tr   *rt.UDPTransport
 	node *rt.Node
+
+	registry *obs.Registry
+	spans    *obs.SpanCollector
+	adminLn  net.Listener
+	adminSrv *http.Server
 }
 
 func newDaemon(cfg daemonConfig) (*daemon, error) {
@@ -130,22 +146,120 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	node, err := rt.NewNode(rt.NodeConfig{
+	d := &daemon{cfg: cfg, tr: tr}
+	nodeCfg := rt.NodeConfig{
 		ID:                  cfg.id,
 		Graph:               cfg.topology.Graph,
 		Algorithm:           cfg.algorithm,
 		ReoptimizeThreshold: cfg.reopt,
 		ResyncTimeout:       cfg.resync,
 		Logf:                cfg.logf,
-	}, tr)
+	}
+	if cfg.admin != "" {
+		d.registry = obs.NewRegistry()
+		d.spans = obs.NewSpanCollector(0)
+		nodeCfg.Registry = d.registry
+		nodeCfg.Tracer = d.spans
+	}
+	node, err := rt.NewNode(nodeCfg, tr)
 	if err != nil {
 		tr.Close()
 		return nil, err
 	}
-	return &daemon{cfg: cfg, tr: tr, node: node}, nil
+	d.node = node
+	if cfg.admin != "" {
+		if err := d.startAdmin(cfg.admin); err != nil {
+			node.Close()
+			return nil, err
+		}
+	}
+	return d, nil
 }
 
-func (d *daemon) Close() error { return d.node.Close() }
+// startAdmin binds the admin listener and serves the obs endpoints on it.
+func (d *daemon) startAdmin(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("admin listener: %w", err)
+	}
+	d.adminLn = ln
+	d.adminSrv = &http.Server{Handler: obs.NewAdminMux(obs.AdminConfig{
+		Registry: d.registry,
+		Spans:    d.spans,
+		State:    d.stateSnapshot,
+	})}
+	go d.adminSrv.Serve(ln)
+	return nil
+}
+
+// adminAddr returns the bound admin address ("" when disabled) — used by
+// tests that pass ":0".
+func (d *daemon) adminAddr() string {
+	if d.adminLn == nil {
+		return ""
+	}
+	return d.adminLn.Addr().String()
+}
+
+// stateJSON is the /state document: the daemon's protocol state at a glance.
+type stateJSON struct {
+	Switch       int              `json:"switch"`
+	Addr         string           `json:"addr"`
+	Metrics      core.Metrics     `json:"metrics"`
+	DecodeErrors uint64           `json:"decode_errors"`
+	Connections  []connStateJSON  `json:"connections"`
+}
+
+type connStateJSON struct {
+	Conn     int    `json:"conn"`
+	Members  []int  `json:"members"`
+	R        string `json:"r"`
+	E        string `json:"e"`
+	C        string `json:"c"`
+	Topology string `json:"topology,omitempty"`
+}
+
+// stateSnapshot builds the /state document from live node snapshots.
+func (d *daemon) stateSnapshot() any {
+	doc := stateJSON{
+		Switch:       int(d.node.ID()),
+		Addr:         d.tr.LocalAddr().String(),
+		Metrics:      d.node.Metrics(),
+		DecodeErrors: d.node.DecodeErrors(),
+		Connections:  []connStateJSON{},
+	}
+	for _, conn := range d.node.Connections() {
+		snap, ok := d.node.Connection(conn)
+		if !ok {
+			continue
+		}
+		ids := snap.Members.IDs()
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		members := make([]int, len(ids))
+		for i, id := range ids {
+			members[i] = int(id)
+		}
+		cs := connStateJSON{
+			Conn:    int(conn),
+			Members: members,
+			R:       snap.R.String(),
+			E:       snap.E.String(),
+			C:       snap.C.String(),
+		}
+		if snap.Topology != nil {
+			cs.Topology = snap.Topology.String()
+		}
+		doc.Connections = append(doc.Connections, cs)
+	}
+	return doc
+}
+
+func (d *daemon) Close() error {
+	if d.adminSrv != nil {
+		d.adminSrv.Close()
+	}
+	return d.node.Close()
+}
 
 // repl reads commands from r until EOF or quit.
 func (d *daemon) repl(r io.Reader, w io.Writer) error {

@@ -18,6 +18,7 @@ import (
 	"dgmc/internal/flood"
 	"dgmc/internal/lsa"
 	"dgmc/internal/mctree"
+	"dgmc/internal/obs"
 	"dgmc/internal/route"
 	"dgmc/internal/sim"
 	"dgmc/internal/topo"
@@ -42,6 +43,8 @@ func run(args []string, w io.Writer) error {
 	tc := fs.Duration("tc", 500*time.Microsecond, "topology computation time Tc")
 	perHop := fs.Duration("perhop", 10*time.Microsecond, "per-hop LSA transmission time")
 	trace := fs.Bool("trace", false, "print the full protocol trace")
+	traceOut := fs.String("trace-out", "", "write causal span trees (JSON) to this file")
+	metricsOut := fs.String("metrics-out", "", "write run metrics (Prometheus text format) to this file")
 	failLink := fs.Bool("faillink", false, "after convergence, fail a link on the MC tree and show the repair")
 	reopt := fs.Float64("reopt", 0, "re-optimization threshold for link recoveries (0 = off)")
 	modeName := fs.String("mode", "direct", "flooding transport: direct, hopbyhop, tree, reliable")
@@ -151,8 +154,17 @@ func run(args []string, w io.Writer) error {
 		ReoptimizeThreshold: *reopt,
 		ResyncTimeout:       sim.Time(*resync * float64(round)),
 	}
+	var tracers core.MultiTracer
 	if *trace {
-		cfg.Tracer = &core.WriterTracer{W: w}
+		tracers = append(tracers, &core.WriterTracer{W: w})
+	}
+	var spans *obs.SpanCollector
+	if *traceOut != "" {
+		spans = obs.NewSpanCollector(0)
+		tracers = append(tracers, spans)
+	}
+	if len(tracers) > 0 {
+		cfg.Tracer = tracers
 	}
 	d, err := core.NewDomain(k, cfg)
 	if err != nil {
@@ -236,9 +248,81 @@ func run(args []string, w io.Writer) error {
 	}
 	if snap, ok := d.Switch(0).Connection(1); ok {
 		fmt.Fprintf(w, "members: %v\n", snap.Members.IDs())
-		fmt.Fprintf(w, "topology: %s (cost %v)\n", snap.Topology, snap.Topology.Cost(g))
+		if snap.Topology != nil {
+			fmt.Fprintf(w, "topology: %s (cost %v)\n", snap.Topology, snap.Topology.Cost(g))
+		} else {
+			fmt.Fprintln(w, "topology: none (empty membership)")
+		}
 	} else {
 		fmt.Fprintln(w, "connection ended with no members")
 	}
+	if spans != nil {
+		if err := writeSpans(*traceOut, spans); err != nil {
+			return err
+		}
+		stats := spans.Stats()
+		fmt.Fprintf(w, "spans: %d chains to %s (mean %.2f computations, %.2f floods, converge %v)\n",
+			stats.Spans, *traceOut, stats.MeanComputations, stats.MeanFloods,
+			time.Duration(stats.MeanConvergeNS))
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, m, net, st.Events); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics: written to %s\n", *metricsOut)
+	}
 	return nil
+}
+
+// writeSpans dumps the collected span trees as JSON.
+func writeSpans(path string, spans *obs.SpanCollector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := spans.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics exports the run's end-state counters — the domain metrics plus
+// the fabric's flood accounting — in Prometheus text format, so a sim run and
+// a live daemon scrape are comparable series for series.
+func writeMetrics(path string, m *core.Metrics, net *flood.Network, kernelEvents uint64) error {
+	reg := obs.NewRegistry()
+	for _, c := range []struct {
+		name string
+		v    uint64
+	}{
+		{"dgmc_machine_events_total", m.Events},
+		{"dgmc_machine_computations_total", m.Computations},
+		{"dgmc_machine_withdrawn_total", m.Withdrawn},
+		{"dgmc_machine_installs_total", m.Installs},
+		{"dgmc_machine_mc_lsas_total", m.MCLSAs},
+		{"dgmc_machine_non_mc_lsas_total", m.NonMCLSAs},
+		{"dgmc_machine_reopt_checks_total", m.ReoptChecks},
+		{"dgmc_machine_out_of_order_lsas_total", m.OutOfOrderLSAs},
+		{"dgmc_machine_resync_requests_total", m.ResyncRequests},
+		{"dgmc_machine_resync_responses_total", m.ResyncResponses},
+		{"dgmc_machine_resync_giveups_total", m.ResyncGiveUps},
+		{"dgmc_floods_originated_total", net.Floodings()},
+		{"dgmc_flood_copies_total", net.Copies()},
+		{"dgmc_kernel_events_total", kernelEvents},
+	} {
+		reg.Counter(c.name).Add(c.v)
+	}
+	reg.CounterFunc("dgmc_machine_compute_seconds_total", func() float64 {
+		return float64(m.ComputeNanos) / 1e9
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -22,6 +22,10 @@ type Metrics struct {
 	Computations uint64
 	// Withdrawn counts proposals computed but withdrawn as obsolete.
 	Withdrawn uint64
+	// ComputeNanos accumulates the wall-clock nanoseconds spent inside the
+	// topology algorithm (the real cost of Computations; the simulator's
+	// virtual Tc is accounted separately by the kernel).
+	ComputeNanos uint64
 	// Installs counts topology installations across all switches.
 	Installs uint64
 	// MCLSAs and NonMCLSAs count originated advertisements.
@@ -217,7 +221,7 @@ func (d *Domain) FailSwitch(at sim.Time, s topo.SwitchID) {
 }
 
 // trace forwards to the configured tracer, if any.
-func (d *Domain) trace(kind TraceKind, sw topo.SwitchID, conn lsa.ConnID, format string, args ...any) {
+func (d *Domain) trace(kind TraceKind, chain ChainID, sw topo.SwitchID, conn lsa.ConnID, format string, args ...any) {
 	if d.tracer == nil {
 		return
 	}
@@ -226,6 +230,7 @@ func (d *Domain) trace(kind TraceKind, sw topo.SwitchID, conn lsa.ConnID, format
 		Kind:   kind,
 		Switch: sw,
 		Conn:   conn,
+		Chain:  chain,
 		Detail: fmt.Sprintf(format, args...),
 	})
 }

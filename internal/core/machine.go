@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dgmc/internal/flood"
 	"dgmc/internal/lsa"
@@ -78,7 +79,9 @@ type Host interface {
 	// bookkeeping).
 	NoteInstall()
 	// Trace observes protocol activity; implementations may drop entries.
-	Trace(kind TraceKind, conn lsa.ConnID, format string, args ...any)
+	// chain names the causal chain the step belongs to (zero when no
+	// single local event caused it).
+	Trace(kind TraceKind, chain ChainID, conn lsa.ConnID, format string, args ...any)
 }
 
 // Mutation selects a deliberately seeded protocol bug. The schedule
@@ -266,13 +269,13 @@ func (m *Machine) conn(id lsa.ConnID) *connState {
 // list has emptied and no LSAs are known to be outstanding (§3.4). The
 // event counters persist (see connState.dormant); a later event resurrects
 // the connection.
-func (m *Machine) updateDormancy(cs *connState) {
+func (m *Machine) updateDormancy(cs *connState, chain ChainID) {
 	if len(cs.members) == 0 && cs.r.Geq(cs.e) {
 		if !cs.dormant {
 			cs.dormant = true
 			cs.topology = nil
 			cs.lastDelta = nil
-			m.host.Trace(TraceDestroy, cs.id, "connection state destroyed")
+			m.host.Trace(TraceDestroy, chain, cs.id, "connection state destroyed")
 		}
 		return
 	}
@@ -293,7 +296,7 @@ func (m *Machine) HandleLocalEvent(ctx any, ev LocalEvent) {
 	case lsa.Link:
 		nm, err := m.uni.ApplyLocalEvent(ev.Link)
 		if err != nil {
-			m.host.Trace(TraceError, ev.Conn, "local link event: %v", err)
+			m.host.Trace(TraceError, ChainID{}, ev.Conn, "local link event: %v", err)
 			return
 		}
 		// Keep the runtime's fabric in sync so floods route around the
@@ -327,7 +330,9 @@ func (m *Machine) reoptimize(ctx any) {
 		m.metrics.Computations++
 		members := m.filterReachable(cs.members.Clone())
 		m.host.HoldCompute(ctx)
+		start := time.Now()
 		fresh, err := m.alg.Compute(m.uni.Image(), cs.kind, members)
+		m.metrics.ComputeNanos += uint64(time.Since(start))
 		if err != nil || cs.topology == nil {
 			continue
 		}
@@ -335,7 +340,7 @@ func (m *Machine) reoptimize(ctx any) {
 		if cur <= float64(fresh.Cost(m.uni.Image()))*(1+m.reopt) {
 			continue // within tolerance of optimal: leave the tree alone
 		}
-		m.host.Trace(TraceCompute, cs.id, "re-optimizing (%.0f%% over fresh cost)",
+		m.host.Trace(TraceCompute, ChainID{}, cs.id, "re-optimizing (%.0f%% over fresh cost)",
 			100*(cur/float64(fresh.Cost(m.uni.Image()))-1))
 		cs.lastDelta = nil
 		m.eventHandler(ctx, lsa.Link, 0, cs)
@@ -373,7 +378,10 @@ func sortedConnIDs(m map[lsa.ConnID]*connState) []lsa.ConnID {
 func (m *Machine) eventHandler(ctx any, event lsa.Event, role mctree.Role, cs *connState) {
 	x := int(m.id)
 	m.metrics.Events++
-	m.host.Trace(TraceEvent, cs.id, "local %s event", event)
+	// This event is the root of a new causal chain: its flooded LSA will
+	// carry Stamp[x] == cs.r[x]+1, so remote steps derive the same ID.
+	chain := ChainID{Origin: m.id, Seq: cs.r[x] + 1}
+	m.host.Trace(TraceEvent, chain, cs.id, "local %s event", event)
 
 	// Line 1: R[x]++, E[x]++.
 	cs.r.Inc(x)
@@ -386,39 +394,39 @@ func (m *Machine) eventHandler(ctx any, event lsa.Event, role mctree.Role, cs *c
 	if cs.r.Geq(cs.e) {
 		// Lines 4-5: snapshot R, compute a proposal (takes Tc).
 		oldR := cs.r.Clone()
-		proposal, err := m.computeTopology(ctx, cs)
+		proposal, err := m.computeTopology(ctx, chain, cs)
 		if err != nil {
-			m.host.Trace(TraceError, cs.id, "compute: %v", err)
+			m.host.Trace(TraceError, chain, cs.id, "compute: %v", err)
 			proposal = nil
 		}
 		// Line 6: is the proposal still valid?
 		if proposal != nil && cs.r.Equal(oldR) {
 			// Lines 7-10: flood proposal, install it.
 			msg := &lsa.MC{Src: m.id, Event: event, Role: role, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()}
-			m.floodMC(msg)
+			m.floodMC(chain, msg)
 			cs.logEvent(msg)
 			cs.c.CopyFrom(oldR)
 			cs.makeProposal = false
-			m.install(cs, proposal, "event-handler")
+			m.install(cs, chain, proposal, "event-handler")
 		} else {
 			// Lines 12-13: withdraw; flood the bare event, defer to
 			// ReceiveLSA.
 			msg := &lsa.MC{Src: m.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: oldR.Clone()}
-			m.floodMC(msg)
+			m.floodMC(chain, msg)
 			cs.logEvent(msg)
 			cs.makeProposal = true
 			m.metrics.Withdrawn++
-			m.host.Trace(TraceWithdraw, cs.id, "event-handler proposal withdrawn")
+			m.host.Trace(TraceWithdraw, chain, cs.id, "event-handler proposal withdrawn")
 		}
 	} else {
 		// Lines 16-17: outstanding LSAs exist; flood the bare event and
 		// defer to ReceiveLSA.
 		msg := &lsa.MC{Src: m.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: cs.r.Clone()}
-		m.floodMC(msg)
+		m.floodMC(chain, msg)
 		cs.logEvent(msg)
 		cs.makeProposal = true
 	}
-	m.updateDormancy(cs)
+	m.updateDormancy(cs, chain)
 	m.maybeScheduleResync(cs)
 }
 
@@ -445,7 +453,7 @@ func (m *Machine) ReceiveBatch(ctx any, batch []any) {
 	}
 	handleNonMC := func(nm *lsa.NonMC) {
 		if _, err := m.uni.HandleLSA(nm); err != nil {
-			m.host.Trace(TraceError, 0, "unicast LSA: %v", err)
+			m.host.Trace(TraceError, ChainID{}, 0, "unicast LSA: %v", err)
 		}
 	}
 	var consume func(raw any)
@@ -469,7 +477,7 @@ func (m *Machine) ReceiveBatch(ctx any, batch []any) {
 			if wire, ok := payload.([]byte); ok {
 				mc, nm, err := lsa.Unmarshal(wire)
 				if err != nil {
-					m.host.Trace(TraceError, 0, "decode LSA: %v", err)
+					m.host.Trace(TraceError, ChainID{}, 0, "decode LSA: %v", err)
 					return
 				}
 				if mc != nil {
@@ -504,10 +512,14 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 	// Lines 1-2.
 	var candidate *mctree.Tree
 	candidateStamp := cs.c.Clone()
+	// batchChain attributes the steps this batch causes (computations,
+	// triggered floods, installs) to the most recent event applied; an
+	// installed candidate is attributed to the LSA that carried it.
+	var batchChain, candidateChain ChainID
 
 	// Lines 3-18: consume the LSAs.
 	for _, msg := range batch {
-		m.host.Trace(TraceRecv, cs.id, "recv %s", msg)
+		m.host.Trace(TraceRecv, chainOf(msg), cs.id, "recv %s", msg)
 		// Lines 5-9: an event LSA advances R and the member list. A lossy
 		// transport can deliver copies duplicated or out of per-origin
 		// order, so application is ordered: stale copies are dropped, early
@@ -515,6 +527,9 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 		// successors — which are then consumed as if freshly received. On a
 		// loss-free transport this degenerates to the paper's lines 5-9.
 		for _, a := range m.applyEventLSA(cs, msg) {
+			if a.Event.IsEvent() {
+				batchChain = chainOf(a)
+			}
 			// Line 10: merge any new expectations.
 			cs.e.MaxInPlace(a.Stamp)
 			// Lines 11-17. The stamp dominance check is the seeded-bug
@@ -527,6 +542,7 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 				// The proposal is based on every event known to this switch.
 				candidate = a.Proposal
 				candidateStamp = a.Stamp.Clone()
+				candidateChain = chainOf(a)
 				cs.makeProposal = false
 			} else if cs.r[x] > a.Stamp[x] {
 				// Inconsistency: the sender did not know about all our local
@@ -541,33 +557,34 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 	if cs.makeProposal && cs.r.Geq(cs.e) && cs.r.Greater(cs.c) {
 		// Line 20-21: snapshot R, compute (takes Tc).
 		oldR := cs.r.Clone()
-		proposal, err := m.computeTopology(ctx, cs)
+		proposal, err := m.computeTopology(ctx, batchChain, cs)
 		if err != nil {
-			m.host.Trace(TraceError, cs.id, "compute: %v", err)
+			m.host.Trace(TraceError, batchChain, cs.id, "compute: %v", err)
 			proposal = nil
 		}
 		// Line 22: still current, and nothing new queued for this MC?
 		if proposal != nil && !m.host.PendingMC(cs.id) && cs.r.Equal(oldR) {
 			// Lines 23-27: flood as a triggered LSA (V = none).
-			m.floodMC(&lsa.MC{Src: m.id, Event: lsa.None, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()})
+			m.floodMC(batchChain, &lsa.MC{Src: m.id, Event: lsa.None, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()})
 			cs.e.CopyFrom(cs.r) // line 24: bring E up to date
 			candidate = proposal
 			candidateStamp = oldR
+			candidateChain = batchChain
 			cs.makeProposal = false
 		} else {
 			// Lines 28-30: withdraw.
 			candidate = nil
 			m.metrics.Withdrawn++
-			m.host.Trace(TraceWithdraw, cs.id, "triggered proposal withdrawn")
+			m.host.Trace(TraceWithdraw, batchChain, cs.id, "triggered proposal withdrawn")
 		}
 	}
 
 	// Lines 32-35: accept the best proposal seen.
 	if candidate != nil {
 		cs.c.CopyFrom(candidateStamp)
-		m.install(cs, candidate, "receive-lsa")
+		m.install(cs, candidateChain, candidate, "receive-lsa")
 	}
-	m.updateDormancy(cs)
+	m.updateDormancy(cs, batchChain)
 	m.maybeScheduleResync(cs)
 }
 
@@ -601,13 +618,17 @@ func (m *Machine) filterReachable(members mctree.Members) mctree.Members {
 // computeTopology runs the configured algorithm over this switch's local
 // image, charging Tc via the host (the computation is the protocol's
 // dominant cost, Figure 4 line 5 / Figure 5 line 21).
-func (m *Machine) computeTopology(ctx any, cs *connState) (*mctree.Tree, error) {
+func (m *Machine) computeTopology(ctx any, chain ChainID, cs *connState) (*mctree.Tree, error) {
 	m.metrics.Computations++
-	m.host.Trace(TraceCompute, cs.id, "computing topology (members=%d)", len(cs.members))
+	m.host.Trace(TraceCompute, chain, cs.id, "computing topology (members=%d)", len(cs.members))
 	members := cs.members.Clone() // membership snapshot: may change during Tc
 	delta := cs.lastDelta
 	prev := cs.topology
 	m.host.HoldCompute(ctx)
+	// Wall-clock cost of the algorithm itself (the virtual Tc is charged by
+	// HoldCompute above and deliberately excluded here).
+	start := time.Now()
+	defer func() { m.metrics.ComputeNanos += uint64(time.Since(start)) }()
 	// Reachability is evaluated against the image as of the end of the
 	// computation: link/nodal LSAs applied during Tc must not leave us
 	// asking the algorithm to span a switch the network can no longer
@@ -629,18 +650,29 @@ func (m *Machine) computeTopology(ctx any, cs *connState) (*mctree.Tree, error) 
 }
 
 // floodMC floods an MC LSA network-wide via the host.
-func (m *Machine) floodMC(msg *lsa.MC) {
+func (m *Machine) floodMC(chain ChainID, msg *lsa.MC) {
 	m.metrics.MCLSAs++
-	m.host.Trace(TraceFlood, msg.Conn, "flood %s", msg)
+	m.host.Trace(TraceFlood, chain, msg.Conn, "flood %s", msg)
 	m.host.FloodMC(msg)
 }
 
 // install records the accepted topology and updates the switch's MC routing
 // entries (its tree-adjacent links).
-func (m *Machine) install(cs *connState, t *mctree.Tree, via string) {
+func (m *Machine) install(cs *connState, chain ChainID, t *mctree.Tree, via string) {
 	cs.topology = t
 	cs.installs++
 	m.metrics.Installs++
 	m.host.NoteInstall()
-	m.host.Trace(TraceInstall, cs.id, "installed %s via %s", t, via)
+	m.host.Trace(TraceInstall, chain, cs.id, "installed %s via %s", t, via)
+}
+
+// GapBufferDepth returns the number of event LSAs currently buffered out of
+// per-origin order across every connection (observability: a sustained
+// non-zero depth means losses are outrunning gap recovery).
+func (m *Machine) GapBufferDepth() int {
+	total := 0
+	for _, cs := range m.conns {
+		total += cs.oooCount
+	}
+	return total
 }

@@ -169,7 +169,7 @@ func (s *Switch) Neighbors() []topo.SwitchID {
 // into the shared fabric graph so floods route around the failure.
 func (s *Switch) FabricLinkChanged(change lsa.LinkChange) {
 	if err := s.d.net.Graph().SetLinkDown(change.A, change.B, change.Down); err != nil {
-		s.d.trace(TraceError, s.id, 0, "fabric: %v", err)
+		s.d.trace(TraceError, ChainID{}, s.id, 0, "fabric: %v", err)
 	}
 }
 
@@ -189,6 +189,6 @@ func (s *Switch) SelfNudge(conn lsa.ConnID) {
 func (s *Switch) NoteInstall() { s.d.noteInstall() }
 
 // Trace implements Host.
-func (s *Switch) Trace(kind TraceKind, conn lsa.ConnID, format string, args ...any) {
-	s.d.trace(kind, s.id, conn, format, args...)
+func (s *Switch) Trace(kind TraceKind, chain ChainID, conn lsa.ConnID, format string, args ...any) {
+	s.d.trace(kind, chain, s.id, conn, format, args...)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"dgmc/internal/lsa"
 	"dgmc/internal/sim"
@@ -60,49 +61,119 @@ func (k TraceKind) String() string {
 	}
 }
 
+// ChainID identifies the causal chain a trace entry belongs to: the local
+// event that set the chain in motion, named by its originating switch and
+// that switch's per-connection event index. The protocol already carries
+// exactly this identity on the wire — an event LSA from switch x has
+// Stamp[x] equal to x's event count — so chains need no extra protocol
+// state: every event→compute→flood→recv→install step across the network
+// derives the same ChainID from what it sees, and an observer can stitch
+// the distributed steps back into one span tree.
+//
+// Entries that no single event caused (resync housekeeping, decode errors,
+// unicast LSA handling) carry the zero ChainID.
+type ChainID struct {
+	// Origin is the switch whose local event started the chain.
+	Origin topo.SwitchID
+	// Seq is the origin's per-connection event index (1-based; the value
+	// of Stamp[Origin] on the event's LSA).
+	Seq uint32
+}
+
+// IsZero reports whether c identifies no chain.
+func (c ChainID) IsZero() bool { return c == ChainID{} }
+
+// String renders the chain compactly, e.g. "3/2" (switch 3's 2nd event).
+func (c ChainID) String() string {
+	if c.IsZero() {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d", c.Origin, c.Seq)
+}
+
+// chainOf derives the causal chain of an MC LSA. For event LSAs this is
+// exact: the LSA is the flooded image of its origin's Seq-th event. A
+// triggered LSA (V = none) is attributed to the proposer's own latest
+// event, the closest cause its stamp still names.
+func chainOf(m *lsa.MC) ChainID {
+	x := int(m.Src)
+	if x < 0 || x >= len(m.Stamp) {
+		return ChainID{}
+	}
+	return ChainID{Origin: m.Src, Seq: m.Stamp[x]}
+}
+
 // TraceEntry is one observed protocol step.
 type TraceEntry struct {
 	At     sim.Time
 	Kind   TraceKind
 	Switch topo.SwitchID
 	Conn   lsa.ConnID
+	// Chain ties the entry to the local event that caused it (zero when no
+	// single event did).
+	Chain  ChainID
 	Detail string
 }
 
 // String implements fmt.Stringer.
 func (e TraceEntry) String() string {
-	return fmt.Sprintf("%12v sw=%-3d conn=%-3d %-8s %s", e.At, e.Switch, e.Conn, e.Kind, e.Detail)
+	return fmt.Sprintf("%12v sw=%-3d conn=%-3d chain=%-6s %-8s %s",
+		e.At, e.Switch, e.Conn, e.Chain, e.Kind, e.Detail)
 }
 
-// Tracer observes protocol activity.
+// Tracer observes protocol activity. Implementations attached to the
+// concurrent runtime (internal/rt) must be safe for concurrent use; both
+// tracers in this package are.
 type Tracer interface {
 	Trace(TraceEntry)
 }
 
-// WriterTracer prints every entry to an io.Writer.
+// WriterTracer prints every entry to an io.Writer. Safe for concurrent use
+// (entries from different goroutines are serialized, never interleaved
+// mid-line).
 type WriterTracer struct {
 	W io.Writer
+
+	mu sync.Mutex
 }
 
 var _ Tracer = (*WriterTracer)(nil)
 
 // Trace implements Tracer.
 func (t *WriterTracer) Trace(e TraceEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	fmt.Fprintln(t.W, e.String())
 }
 
-// CollectTracer accumulates entries in memory (for tests).
+// CollectTracer accumulates entries in memory (for tests). Safe for
+// concurrent use; read Entries only via Snapshot, Count, or after the
+// traced system has quiesced.
 type CollectTracer struct {
+	mu      sync.Mutex
 	Entries []TraceEntry
 }
 
 var _ Tracer = (*CollectTracer)(nil)
 
 // Trace implements Tracer.
-func (t *CollectTracer) Trace(e TraceEntry) { t.Entries = append(t.Entries, e) }
+func (t *CollectTracer) Trace(e TraceEntry) {
+	t.mu.Lock()
+	t.Entries = append(t.Entries, e)
+	t.mu.Unlock()
+}
+
+// Snapshot returns a copy of the collected entries.
+func (t *CollectTracer) Snapshot() []TraceEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEntry(nil), t.Entries...)
+}
 
 // Count returns how many collected entries have the given kind.
 func (t *CollectTracer) Count(kind TraceKind) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n := 0
 	for _, e := range t.Entries {
 		if e.Kind == kind {
@@ -110,4 +181,16 @@ func (t *CollectTracer) Count(kind TraceKind) int {
 		}
 	}
 	return n
+}
+
+// MultiTracer fans every entry out to each member tracer, in order.
+type MultiTracer []Tracer
+
+var _ Tracer = (MultiTracer)(nil)
+
+// Trace implements Tracer.
+func (ts MultiTracer) Trace(e TraceEntry) {
+	for _, t := range ts {
+		t.Trace(e)
+	}
 }

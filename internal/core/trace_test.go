@@ -1,0 +1,139 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/sim"
+	"dgmc/internal/stamp"
+)
+
+func TestTraceKindStrings(t *testing.T) {
+	known := map[TraceKind]string{
+		TraceEvent:    "event",
+		TraceRecv:     "recv",
+		TraceCompute:  "compute",
+		TraceFlood:    "flood",
+		TraceInstall:  "install",
+		TraceWithdraw: "withdraw",
+		TraceDestroy:  "destroy",
+		TraceError:    "error",
+		TraceResync:   "resync",
+	}
+	seen := map[string]bool{}
+	for k, want := range known {
+		got := k.String()
+		if got != want {
+			t.Errorf("TraceKind(%d).String() = %q, want %q", k, got, want)
+		}
+		if seen[got] {
+			t.Errorf("duplicate name %q", got)
+		}
+		seen[got] = true
+	}
+	if got := TraceKind(250).String(); got != "TraceKind(250)" {
+		t.Errorf("unknown kind renders %q", got)
+	}
+}
+
+func TestChainID(t *testing.T) {
+	var zero ChainID
+	if !zero.IsZero() || zero.String() != "-" {
+		t.Errorf("zero chain = %q, IsZero=%v", zero.String(), zero.IsZero())
+	}
+	c := ChainID{Origin: 3, Seq: 12}
+	if c.IsZero() || c.String() != "3/12" {
+		t.Errorf("chain = %q, IsZero=%v", c.String(), c.IsZero())
+	}
+}
+
+func TestChainOf(t *testing.T) {
+	st := stamp.New(4)
+	st.Inc(2)
+	st.Inc(2)
+	m := &lsa.MC{Src: 2, Event: lsa.Join, Conn: 1, Stamp: st}
+	if got := chainOf(m); got != (ChainID{Origin: 2, Seq: 2}) {
+		t.Errorf("chainOf = %v", got)
+	}
+	// Out-of-range Src (corrupt or foreign LSA) degrades to the zero chain.
+	bad := &lsa.MC{Src: 9, Stamp: stamp.New(4)}
+	if got := chainOf(bad); !got.IsZero() {
+		t.Errorf("chainOf out-of-range = %v, want zero", got)
+	}
+}
+
+func TestTraceEntryString(t *testing.T) {
+	e := TraceEntry{
+		At: sim.Time(1500), Kind: TraceFlood, Switch: 4, Conn: 9,
+		Chain: ChainID{Origin: 4, Seq: 2}, Detail: "join proposal",
+	}
+	s := e.String()
+	for _, want := range []string{"sw=4", "conn=9", "chain=4/2", "flood", "join proposal"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("entry %q missing %q", s, want)
+		}
+	}
+}
+
+func TestWriterTracerFormat(t *testing.T) {
+	var sb strings.Builder
+	tr := &WriterTracer{W: &sb}
+	tr.Trace(TraceEntry{Kind: TraceInstall, Switch: 1, Conn: 2, Detail: "tree"})
+	tr.Trace(TraceEntry{Kind: TraceEvent, Switch: 0, Conn: 2, Detail: "join"})
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "install") || !strings.Contains(lines[1], "event") {
+		t.Fatalf("lines out of order or malformed: %q", lines)
+	}
+}
+
+func TestCollectTracerCountAndSnapshot(t *testing.T) {
+	tr := &CollectTracer{}
+	tr.Trace(TraceEntry{Kind: TraceFlood})
+	tr.Trace(TraceEntry{Kind: TraceFlood})
+	tr.Trace(TraceEntry{Kind: TraceInstall})
+	if got := tr.Count(TraceFlood); got != 2 {
+		t.Errorf("Count(flood) = %d, want 2", got)
+	}
+	if got := tr.Count(TraceWithdraw); got != 0 {
+		t.Errorf("Count(withdraw) = %d, want 0", got)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	snap[0].Kind = TraceError // must not alias the collector's storage
+	if tr.Count(TraceFlood) != 2 {
+		t.Error("Snapshot aliases internal storage")
+	}
+}
+
+// TestTracersConcurrent drives both tracers from many goroutines; run under
+// -race this pins the goroutine-safety the rt package relies on.
+func TestTracersConcurrent(t *testing.T) {
+	var sb strings.Builder
+	wt := &WriterTracer{W: &sb}
+	ct := &CollectTracer{}
+	multi := MultiTracer{wt, ct}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				multi.Trace(TraceEntry{Kind: TraceRecv, Detail: "x"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ct.Count(TraceRecv); got != 1600 {
+		t.Errorf("collected %d entries, want 1600", got)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 1600 {
+		t.Errorf("wrote %d lines, want 1600", got)
+	}
+}

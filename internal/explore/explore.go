@@ -632,10 +632,10 @@ func (h *worldHost) SelfNudge(conn lsa.ConnID) {
 func (h *worldHost) NoteInstall() { h.w.installs++ }
 
 // Trace implements core.Host.
-func (h *worldHost) Trace(kind core.TraceKind, conn lsa.ConnID, format string, args ...any) {
+func (h *worldHost) Trace(kind core.TraceKind, chain core.ChainID, conn lsa.ConnID, format string, args ...any) {
 	if !h.w.tracing {
 		return
 	}
 	h.w.trace = append(h.w.trace,
-		fmt.Sprintf("  [switch %d conn %d] %s: %s", h.id, conn, kind, fmt.Sprintf(format, args...)))
+		fmt.Sprintf("  [switch %d conn %d chain %s] %s: %s", h.id, conn, chain, kind, fmt.Sprintf(format, args...)))
 }

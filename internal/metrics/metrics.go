@@ -52,10 +52,11 @@ func (s *Sample) StdDev() float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
-// Min returns the smallest observation.
-func (s *Sample) Min() float64 {
+// Min returns the smallest observation; ok is false for an empty sample
+// (where 0 would be indistinguishable from a real observation of 0).
+func (s *Sample) Min() (min float64, ok bool) {
 	if len(s.values) == 0 {
-		return 0
+		return 0, false
 	}
 	m := s.values[0]
 	for _, v := range s.values[1:] {
@@ -63,13 +64,13 @@ func (s *Sample) Min() float64 {
 			m = v
 		}
 	}
-	return m
+	return m, true
 }
 
-// Max returns the largest observation.
-func (s *Sample) Max() float64 {
+// Max returns the largest observation; ok is false for an empty sample.
+func (s *Sample) Max() (max float64, ok bool) {
 	if len(s.values) == 0 {
-		return 0
+		return 0, false
 	}
 	m := s.values[0]
 	for _, v := range s.values[1:] {
@@ -77,7 +78,7 @@ func (s *Sample) Max() float64 {
 			m = v
 		}
 	}
-	return m
+	return m, true
 }
 
 // tCritical95 holds two-sided 95% critical values of Student's t for

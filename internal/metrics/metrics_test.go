@@ -10,8 +10,14 @@ import (
 
 func TestSampleBasics(t *testing.T) {
 	var s Sample
-	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
 		t.Error("empty sample stats should be zero")
+	}
+	if v, ok := s.Min(); ok || v != 0 {
+		t.Errorf("empty Min = %v, %v; want 0, false", v, ok)
+	}
+	if v, ok := s.Max(); ok || v != 0 {
+		t.Errorf("empty Max = %v, %v; want 0, false", v, ok)
 	}
 	if _, err := s.Summarize(); !errors.Is(err, ErrNoSamples) {
 		t.Error("empty summarize should fail with ErrNoSamples")
@@ -30,8 +36,10 @@ func TestSampleBasics(t *testing.T) {
 	if math.Abs(s.StdDev()-want) > 1e-12 {
 		t.Errorf("stddev = %v, want %v", s.StdDev(), want)
 	}
-	if s.Min() != 2 || s.Max() != 9 {
-		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	min, minOK := s.Min()
+	max, maxOK := s.Max()
+	if !minOK || !maxOK || min != 2 || max != 9 {
+		t.Errorf("min/max = %v/%v (ok %v/%v)", min, max, minOK, maxOK)
 	}
 }
 

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminConfig wires the admin HTTP surfaces. Any nil field disables its
+// endpoint (the handler answers 404 with a short explanation).
+type AdminConfig struct {
+	// Registry backs GET /metrics (Prometheus text format).
+	Registry *Registry
+	// Spans backs GET /spans (JSON span trees + aggregate stats).
+	Spans *SpanCollector
+	// State, when set, is called per GET /state request and its result
+	// rendered as indented JSON — the daemon supplies a snapshot of
+	// per-connection protocol state here.
+	State func() any
+}
+
+// NewAdminMux builds the admin endpoint set: /metrics, /spans, /state, and
+// the net/http/pprof profiler under /debug/pprof/. Serve it on an opt-in
+// listener separate from any protocol transport.
+func NewAdminMux(cfg AdminConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Registry == nil {
+			http.Error(w, "metrics registry not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Spans == nil {
+			http.Error(w, "span collection not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.Spans.WriteJSON(w)
+	})
+
+	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.State == nil {
+			http.Error(w, "state snapshot not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.State())
+	})
+
+	// net/http/pprof registers only on http.DefaultServeMux; wire its
+	// handlers into this mux explicitly so the profiler rides the same
+	// opt-in admin listener.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("dgmc admin\n\n/metrics\n/spans\n/state\n/debug/pprof/\n"))
+	})
+
+	return mux
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, then one line
+// per series; histograms expand into _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text format. Snap is
+// already sorted by name, so families are contiguous.
+func (s Snap) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, p := range s {
+		name := sanitizeMetricName(p.Name)
+		if name != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, p.Kind)
+			lastFamily = name
+		}
+		switch p.Kind {
+		case KindHistogram:
+			for _, bk := range p.Buckets {
+				le := "+Inf"
+				if !math.IsInf(bk.Le, 1) {
+					le = formatFloat(bk.Le)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, labelString(p.Labels, Label{"le", le}), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", name, labelString(p.Labels), formatFloat(p.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", name, labelString(p.Labels), p.Count)
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n", name, labelString(p.Labels), formatFloat(p.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelString renders {k="v",...} (empty string for no labels).
+func labelString(labels []Label, extra ...Label) string {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func sanitizeMetricName(name string) string {
+	return sanitize(name, func(r rune, first bool) bool {
+		return r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(!first && r >= '0' && r <= '9')
+	})
+}
+
+func sanitizeLabelName(name string) string {
+	return sanitize(name, func(r rune, first bool) bool {
+		return r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(!first && r >= '0' && r <= '9')
+	})
+}
+
+func sanitize(name string, valid func(r rune, first bool) bool) string {
+	var b strings.Builder
+	for i, r := range name {
+		if valid(r, i == 0) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", DurationBuckets)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(0.5)
+	r.CounterFunc("f", func() float64 { return 1 })
+	r.GaugeFunc("f2", func() float64 { return 2 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", snap)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("nil registry rendered %q", sb.String())
+	}
+}
+
+func TestRegistryIdempotentAndCounts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", L("sw", "1"))
+	b := r.Counter("reqs", L("sw", "1"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	other := r.Counter("reqs", L("sw", "2"))
+	if a == other {
+		t.Fatal("different labels must be distinct series")
+	}
+	a.Inc()
+	a.Add(2)
+	other.Inc()
+	if a.Value() != 3 || other.Value() != 1 {
+		t.Fatalf("counter values = %d, %d", a.Value(), other.Value())
+	}
+
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+
+	h := r.Histogram("lat", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-55.55) > 1e-9 {
+		t.Fatalf("hist sum = %v, want 55.55", got)
+	}
+}
+
+func TestSnapshotAndDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2})
+	r.CounterFunc("fn", func() float64 { return 42 })
+	c.Add(10)
+	g.Set(5)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	prev := r.Snapshot()
+	if len(prev) != 4 {
+		t.Fatalf("snapshot has %d points, want 4", len(prev))
+	}
+	byName := map[string]Point{}
+	for _, p := range prev {
+		byName[p.Name] = p
+	}
+	if byName["c"].Value != 10 || byName["g"].Value != 5 || byName["fn"].Value != 42 {
+		t.Fatalf("unexpected values: %+v", byName)
+	}
+	hp := byName["h"]
+	if hp.Count != 3 || len(hp.Buckets) != 3 {
+		t.Fatalf("hist point = %+v", hp)
+	}
+	// Buckets are cumulative: ≤1 holds 1, ≤2 holds 2, +Inf holds 3.
+	if hp.Buckets[0].Count != 1 || hp.Buckets[1].Count != 2 || hp.Buckets[2].Count != 3 {
+		t.Fatalf("cumulative buckets = %+v", hp.Buckets)
+	}
+	if !math.IsInf(hp.Buckets[2].Le, 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", hp.Buckets[2].Le)
+	}
+
+	c.Add(7)
+	g.Set(2)
+	h.Observe(0.1)
+	delta := r.Snapshot().Delta(prev)
+	byName = map[string]Point{}
+	for _, p := range delta {
+		byName[p.Name] = p
+	}
+	if byName["c"].Value != 7 {
+		t.Fatalf("counter delta = %v, want 7", byName["c"].Value)
+	}
+	if byName["g"].Value != 2 {
+		t.Fatalf("gauge must pass through, got %v", byName["g"].Value)
+	}
+	if byName["h"].Count != 1 || byName["h"].Buckets[0].Count != 1 {
+		t.Fatalf("hist delta = %+v", byName["h"])
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist", []float64{0.5})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j%2) * 0.9)
+				if j%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("hist", nil).Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dgmc_floods_total", L("switch", "3")).Add(2)
+	r.Gauge("dgmc_depth").Set(4)
+	h := r.Histogram("dgmc_lat_seconds", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dgmc_floods_total counter",
+		`dgmc_floods_total{switch="3"} 2`,
+		"# TYPE dgmc_depth gauge",
+		"dgmc_depth 4",
+		"# TYPE dgmc_lat_seconds histogram",
+		`dgmc_lat_seconds_bucket{le="0.5"} 1`,
+		`dgmc_lat_seconds_bucket{le="1"} 1`,
+		`dgmc_lat_seconds_bucket{le="+Inf"} 2`,
+		"dgmc_lat_seconds_sum 2.25",
+		"dgmc_lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusSanitization(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bad name-1", L("bad key", "line\nbreak \"quoted\" back\\slash")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `bad_name_1{bad_key="line\nbreak \"quoted\" back\\slash"} 1`) {
+		t.Fatalf("sanitization wrong:\n%s", out)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// BenchmarkCounterDisabled bounds the nil-registry fast path: the cost an
+// instrumented hot path pays when observability is off.
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterEnabled is the enabled counterpart (one atomic add).
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramEnabled measures one observation (search + 3 atomics).
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := NewRegistry().Histogram("x", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}

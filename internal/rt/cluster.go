@@ -7,6 +7,7 @@ import (
 	"dgmc/internal/core"
 	"dgmc/internal/lsa"
 	"dgmc/internal/mctree"
+	"dgmc/internal/obs"
 	"dgmc/internal/route"
 	"dgmc/internal/topo"
 )
@@ -33,6 +34,10 @@ type ClusterConfig struct {
 	ResyncMaxRounds     int
 	ComputeDelay        time.Duration
 	Logf                func(format string, args ...any)
+	// Tracer and Registry are shared by every node (one network-wide span
+	// collector and one registry with per-switch labels); see NodeConfig.
+	Tracer   core.Tracer
+	Registry *obs.Registry
 }
 
 // Cluster boots one Node per switch of a graph over a shared fabric: the
@@ -68,6 +73,8 @@ func NewCluster(cfg ClusterConfig, fabric Fabric) (*Cluster, error) {
 			ResyncMaxRounds:     cfg.ResyncMaxRounds,
 			ComputeDelay:        cfg.ComputeDelay,
 			Logf:                cfg.Logf,
+			Tracer:              cfg.Tracer,
+			Registry:            cfg.Registry,
 		}, fabric.Transport(topo.SwitchID(i)))
 		if err != nil {
 			c.Close()

@@ -10,6 +10,7 @@ import (
 	"dgmc/internal/core"
 	"dgmc/internal/lsa"
 	"dgmc/internal/mctree"
+	"dgmc/internal/obs"
 	"dgmc/internal/route"
 	"dgmc/internal/topo"
 )
@@ -41,6 +42,13 @@ type NodeConfig struct {
 	EventBuffer int
 	// Logf, when set, receives protocol trace lines.
 	Logf func(format string, args ...any)
+	// Tracer, when set, receives structured protocol trace entries (for
+	// span collection); it must be safe for concurrent use.
+	Tracer core.Tracer
+	// Registry, when set, receives the node's runtime metrics (counters,
+	// gauges, histograms, labeled per switch). nil disables metrics with
+	// near-zero overhead.
+	Registry *obs.Registry
 }
 
 // Node is one live switch: a core.Machine guarded by a mutex, driven by the
@@ -53,6 +61,8 @@ type Node struct {
 	tr        Transport
 	neighbors []topo.SwitchID
 	logf      func(format string, args ...any)
+	tracer    core.Tracer
+	obs       nodeObs
 
 	// mu serializes all access to machine (it is not concurrency-safe).
 	// Lock order: mu before inMu — the machine calls PendingMC/SelfNudge
@@ -123,6 +133,8 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 		tr:           tr,
 		neighbors:    cfg.Graph.Neighbors(cfg.ID),
 		logf:         cfg.Logf,
+		tracer:       cfg.Tracer,
+		obs:          newNodeObs(cfg.Registry, int(cfg.ID)),
 		events:       make(chan core.LocalEvent, cfg.EventBuffer),
 		seen:         make(map[floodKey]struct{}),
 		computeDelay: cfg.ComputeDelay,
@@ -144,6 +156,7 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 		return nil, err
 	}
 	n.machine = m
+	n.registerMachineFuncs(cfg.Registry)
 	n.wg.Add(3)
 	go n.recvLoop()
 	go n.lsaLoop()
@@ -252,14 +265,17 @@ func (n *Node) handleFrame(buf []byte) {
 	f, err := lsa.DecodeFrame(buf)
 	if err != nil {
 		n.decodeErrs.Add(1)
+		n.obs.decodeErrs.Inc()
 		n.tracef("sw%d: drop frame: %v", n.id, err)
 		return
 	}
 	switch f.Kind {
 	case lsa.FrameFlood:
 		if !n.markSeen(f.Origin, f.Seq) {
+			n.obs.framesDup.Inc()
 			return // duplicate delivery of a flood we already handled
 		}
+		n.obs.framesRecv.Inc()
 		// Store-and-forward: relay to every neighbor except the one that
 		// sent it here, rewriting the link-level From in place. Receivers
 		// suppress the duplicates this simple rule creates in cycles.
@@ -270,17 +286,22 @@ func (n *Node) handleFrame(buf []byte) {
 					continue
 				}
 				if err := n.tr.Send(nb, buf); err != nil {
+					n.obs.sendErrs.Inc()
 					n.tracef("sw%d: forward to %d: %v", n.id, nb, err)
+				} else {
+					n.obs.floodsFwd.Inc()
 				}
 			}
 		}
 		mc, nm, err := lsa.Unmarshal(f.Payload)
 		if err != nil {
 			n.decodeErrs.Add(1)
+			n.obs.decodeErrs.Inc()
 			n.tracef("sw%d: drop LSA from %d: %v", n.id, f.Origin, err)
 			return
 		}
 		if mc != nil {
+			n.obs.mcReceived(mc.Conn)
 			n.enqueue(mc)
 		} else {
 			n.enqueue(nm)
@@ -342,9 +363,17 @@ func (n *Node) lsaLoop() {
 		n.busy.Add(1) // before releasing inMu, so idle() can't see a gap
 		n.inMu.Unlock()
 
+		var start time.Time
+		if n.obs.enabled() {
+			start = time.Now()
+		}
 		n.mu.Lock()
 		n.machine.ReceiveBatch(nil, batch)
 		n.mu.Unlock()
+		if n.obs.enabled() {
+			n.obs.batchDur.Observe(time.Since(start).Seconds())
+			n.obs.batches.Inc()
+		}
 		n.busy.Add(-1)
 		n.activity.Add(uint64(len(batch)))
 	}
@@ -359,9 +388,17 @@ func (n *Node) eventLoop() {
 			return
 		case ev := <-n.events:
 			n.busy.Add(1)
+			var start time.Time
+			if n.obs.enabled() {
+				start = time.Now()
+			}
 			n.mu.Lock()
 			n.machine.HandleLocalEvent(nil, ev)
 			n.mu.Unlock()
+			if n.obs.enabled() {
+				n.obs.eventDur.Observe(time.Since(start).Seconds())
+				n.obs.eventsIn.Inc()
+			}
 			n.busy.Add(-1)
 			n.activity.Add(1)
 		}
@@ -392,15 +429,20 @@ func (n *Node) flood(payload []byte) {
 		Version: lsa.FrameVersion, Kind: lsa.FrameFlood,
 		Origin: n.id, From: n.id, Seq: seq, Payload: payload,
 	})
+	n.obs.floodsOrig.Inc()
 	for _, nb := range n.neighbors {
 		if err := n.tr.Send(nb, buf); err != nil {
+			n.obs.sendErrs.Inc()
 			n.tracef("sw%d: flood to %d: %v", n.id, nb, err)
 		}
 	}
 }
 
 // FloodMC implements core.Host.
-func (n *Node) FloodMC(m *lsa.MC) { n.flood(m.Marshal()) }
+func (n *Node) FloodMC(m *lsa.MC) {
+	n.obs.mcFlooded(m.Conn)
+	n.flood(m.Marshal())
+}
 
 // FloodNonMC implements core.Host.
 func (n *Node) FloodNonMC(nm *lsa.NonMC) { n.flood(nm.Marshal()) }
@@ -422,7 +464,9 @@ func (n *Node) SendUnicast(to topo.SwitchID, payload any) {
 		Version: lsa.FrameVersion, Kind: kind,
 		Origin: n.id, From: n.id, Seq: n.seq.Add(1), Payload: data,
 	})
+	n.obs.unicasts.Inc()
 	if err := n.tr.Send(to, buf); err != nil {
+		n.obs.sendErrs.Inc()
 		n.tracef("sw%d: unicast to %d: %v", n.id, to, err)
 	}
 }
@@ -480,6 +524,7 @@ func (n *Node) ArmResync(conn lsa.ConnID) {
 			return
 		default:
 		}
+		n.obs.resyncTmr.Inc()
 		n.busy.Add(1)
 		n.mu.Lock()
 		n.machine.ResyncFired(conn)
@@ -504,12 +549,28 @@ func (n *Node) SelfNudge(conn lsa.ConnID) {
 // NoteInstall implements core.Host.
 func (n *Node) NoteInstall() { n.installs.Add(1) }
 
-// Trace implements core.Host.
-func (n *Node) Trace(kind core.TraceKind, conn lsa.ConnID, format string, args ...any) {
-	if n.logf == nil {
+// Trace implements core.Host. Entries are stamped with wall-clock
+// nanoseconds since the Unix epoch so spans collected from different nodes
+// (or different daemon processes on one machine) share a comparable
+// timeline.
+func (n *Node) Trace(kind core.TraceKind, chain core.ChainID, conn lsa.ConnID, format string, args ...any) {
+	if n.tracer == nil && n.logf == nil {
 		return
 	}
-	n.logf("sw%d conn%d [%v] %s", n.id, conn, kind, fmt.Sprintf(format, args...))
+	detail := fmt.Sprintf(format, args...)
+	if n.tracer != nil {
+		n.tracer.Trace(core.TraceEntry{
+			At:     time.Duration(time.Now().UnixNano()),
+			Kind:   kind,
+			Switch: n.id,
+			Conn:   conn,
+			Chain:  chain,
+			Detail: detail,
+		})
+	}
+	if n.logf != nil {
+		n.logf("sw%d conn%d chain%s [%v] %s", n.id, conn, chain, kind, detail)
+	}
 }
 
 func (n *Node) tracef(format string, args ...any) {

@@ -1,0 +1,128 @@
+package rt
+
+import (
+	"strconv"
+
+	"dgmc/internal/core"
+	"dgmc/internal/lsa"
+	"dgmc/internal/obs"
+)
+
+// nodeObs caches a node's metric handles. With no registry configured every
+// handle is nil and the instruments' nil-receiver fast path makes each
+// update site a single predictable branch — the disabled cost the
+// micro-benchmarks bound.
+type nodeObs struct {
+	reg *obs.Registry
+	sw  obs.Label
+
+	// transport plane
+	framesRecv *obs.Counter // flood frames accepted (first delivery)
+	framesDup  *obs.Counter // duplicate flood deliveries suppressed
+	decodeErrs *obs.Counter // frames or payloads dropped as undecodable
+	floodsOrig *obs.Counter // floods this node originated
+	floodsFwd  *obs.Counter // store-and-forward relays of others' floods
+	unicasts   *obs.Counter // resync unicasts sent
+	sendErrs   *obs.Counter // transport send failures (flood, forward, unicast)
+
+	// protocol plane
+	batches   *obs.Counter   // ReceiveBatch invocations
+	batchDur  *obs.Histogram // seconds per batch, machine lock held
+	eventsIn  *obs.Counter   // local events handled
+	eventDur  *obs.Histogram // seconds per event, machine lock held
+	resyncTmr *obs.Counter   // resync timer firings
+}
+
+// newNodeObs registers the node's series (labeled by switch) and returns the
+// cached handles. A nil registry yields the all-nil zero value.
+func newNodeObs(reg *obs.Registry, id int) nodeObs {
+	if reg == nil {
+		return nodeObs{}
+	}
+	sw := obs.L("switch", strconv.Itoa(id))
+	return nodeObs{
+		reg:        reg,
+		sw:         sw,
+		framesRecv: reg.Counter("dgmc_frames_received_total", sw),
+		framesDup:  reg.Counter("dgmc_frames_duplicate_suppressed_total", sw),
+		decodeErrs: reg.Counter("dgmc_frame_decode_errors_total", sw),
+		floodsOrig: reg.Counter("dgmc_floods_originated_total", sw),
+		floodsFwd:  reg.Counter("dgmc_floods_forwarded_total", sw),
+		unicasts:   reg.Counter("dgmc_unicasts_sent_total", sw),
+		sendErrs:   reg.Counter("dgmc_transport_send_errors_total", sw),
+		batches:    reg.Counter("dgmc_lsa_batches_total", sw),
+		batchDur:   reg.Histogram("dgmc_lsa_batch_seconds", obs.DurationBuckets, sw),
+		eventsIn:   reg.Counter("dgmc_local_events_total", sw),
+		eventDur:   reg.Histogram("dgmc_event_handle_seconds", obs.DurationBuckets, sw),
+		resyncTmr:  reg.Counter("dgmc_resync_timer_fires_total", sw),
+	}
+}
+
+// enabled reports whether metrics are on (used to gate time.Now() pairs and
+// per-connection series lookups off the disabled path entirely).
+func (o *nodeObs) enabled() bool { return o.reg != nil }
+
+// mcFlooded counts one originated MC LSA on the per-connection series.
+func (o *nodeObs) mcFlooded(conn lsa.ConnID) {
+	if o.reg == nil {
+		return
+	}
+	o.reg.Counter("dgmc_mc_lsas_flooded_total", o.sw,
+		obs.L("conn", strconv.Itoa(int(conn)))).Inc()
+}
+
+// mcReceived counts one consumed MC LSA on the per-connection series.
+func (o *nodeObs) mcReceived(conn lsa.ConnID) {
+	if o.reg == nil {
+		return
+	}
+	o.reg.Counter("dgmc_mc_lsas_received_total", o.sw,
+		obs.L("conn", strconv.Itoa(int(conn)))).Inc()
+}
+
+// registerMachineFuncs exports the protocol machine's counters (guarded by
+// n.mu) as scrape-time callbacks: the machine's hot path is untouched and
+// each scrape briefly takes the node lock, exactly like Node.Metrics().
+func (n *Node) registerMachineFuncs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sw := obs.L("switch", strconv.Itoa(int(n.id)))
+	mf := func(sel func(*core.Metrics) float64) func() float64 {
+		return func() float64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			return sel(n.machine.Metrics())
+		}
+	}
+	type series struct {
+		name string
+		sel  func(*core.Metrics) float64
+	}
+	for _, s := range []series{
+		{"dgmc_machine_events_total", func(m *core.Metrics) float64 { return float64(m.Events) }},
+		{"dgmc_machine_computations_total", func(m *core.Metrics) float64 { return float64(m.Computations) }},
+		{"dgmc_machine_withdrawn_total", func(m *core.Metrics) float64 { return float64(m.Withdrawn) }},
+		{"dgmc_machine_compute_seconds_total", func(m *core.Metrics) float64 { return float64(m.ComputeNanos) / 1e9 }},
+		{"dgmc_machine_installs_total", func(m *core.Metrics) float64 { return float64(m.Installs) }},
+		{"dgmc_machine_mc_lsas_total", func(m *core.Metrics) float64 { return float64(m.MCLSAs) }},
+		{"dgmc_machine_non_mc_lsas_total", func(m *core.Metrics) float64 { return float64(m.NonMCLSAs) }},
+		{"dgmc_machine_reopt_checks_total", func(m *core.Metrics) float64 { return float64(m.ReoptChecks) }},
+		{"dgmc_machine_out_of_order_lsas_total", func(m *core.Metrics) float64 { return float64(m.OutOfOrderLSAs) }},
+		{"dgmc_machine_resync_requests_total", func(m *core.Metrics) float64 { return float64(m.ResyncRequests) }},
+		{"dgmc_machine_resync_responses_total", func(m *core.Metrics) float64 { return float64(m.ResyncResponses) }},
+		{"dgmc_machine_resync_giveups_total", func(m *core.Metrics) float64 { return float64(m.ResyncGiveUps) }},
+	} {
+		reg.CounterFunc(s.name, mf(s.sel), sw)
+	}
+	reg.GaugeFunc("dgmc_gap_buffer_depth", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(n.machine.GapBufferDepth())
+	}, sw)
+	reg.GaugeFunc("dgmc_inbox_depth", func() float64 {
+		n.inMu.Lock()
+		defer n.inMu.Unlock()
+		return float64(len(n.inbox))
+	}, sw)
+}

@@ -1,0 +1,145 @@
+package rt
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/obs"
+)
+
+// TestChurnSoakWithObservability repeats the chan-transport churn soak with
+// full observability attached — a shared registry, a shared span collector,
+// and a goroutine scraping both concurrently with the churn — and then
+// checks the scraped output is non-empty and self-consistent. Run with
+// -race, this is the soak the CI observability job relies on.
+func TestChurnSoakWithObservability(t *testing.T) {
+	g := soakGraph(t, soakSwitches)
+	reg := obs.NewRegistry()
+	spans := obs.NewSpanCollector(4096)
+	c, err := NewCluster(ClusterConfig{
+		Graph:    g,
+		Registry: reg,
+		Tracer:   spans,
+	}, NewChanFabric(soakSwitches))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent scraper: exercise snapshot, delta, Prometheus rendering,
+	// and span assembly while the cluster is under churn.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev obs.Snap
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			snap := reg.Snapshot()
+			snap.Delta(prev)
+			prev = snap
+			var sb strings.Builder
+			if err := reg.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			spans.Stats()
+		}
+	}()
+
+	runChurnSoak(t, c, 0)
+	close(stop)
+	wg.Wait()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if out == "" {
+		t.Fatal("registry rendered empty after a 220-event soak")
+	}
+	for _, want := range []string{
+		"# TYPE dgmc_frames_received_total counter",
+		"# TYPE dgmc_floods_originated_total counter",
+		"# TYPE dgmc_lsa_batch_seconds histogram",
+		"# TYPE dgmc_machine_computations_total counter",
+		"# TYPE dgmc_machine_installs_total counter",
+		"dgmc_mc_lsas_flooded_total",
+		"dgmc_gap_buffer_depth",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// Cross-check one scrape-time counter against the machines directly.
+	var wantInstalls float64
+	for _, n := range c.Nodes() {
+		wantInstalls += float64(n.Metrics().Installs)
+	}
+	var gotInstalls float64
+	for _, p := range reg.Snapshot() {
+		if p.Name == "dgmc_machine_installs_total" {
+			gotInstalls += p.Value
+		}
+	}
+	if wantInstalls == 0 || gotInstalls != wantInstalls {
+		t.Errorf("scraped installs = %v, machines say %v", gotInstalls, wantInstalls)
+	}
+
+	// Span side: the soak's events must have produced chains whose spans
+	// carry computations, floods, and installs.
+	st := spans.Stats()
+	if st.Spans == 0 {
+		t.Fatal("no spans collected")
+	}
+	if st.Converged == 0 {
+		t.Error("no span shows a completed install chain")
+	}
+	if st.MeanComputations <= 0 || st.MeanFloods <= 0 {
+		t.Errorf("per-event costs not measured: %+v", st)
+	}
+	found := false
+	for _, sp := range spans.Spans() {
+		if sp.Installs > 0 && sp.Floods > 0 && sp.ConvergeNS > 0 && len(sp.Switches) > 1 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no span reconstructs a multi-switch event→flood→install chain")
+	}
+}
+
+// TestNodeDisabledObservability pins the disabled path: a cluster without a
+// registry or tracer must work exactly as before and keep all instrument
+// handles nil.
+func TestNodeDisabledObservability(t *testing.T) {
+	g := soakGraph(t, 4)
+	c, err := NewCluster(ClusterConfig{Graph: g}, NewChanFabric(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n := c.Node(0)
+	if n.obs.enabled() || n.obs.framesRecv != nil || n.obs.batchDur != nil {
+		t.Fatal("disabled node must carry nil instruments")
+	}
+	if err := c.Join(0, 1, mctree.SenderReceiver); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(2, 1, mctree.SenderReceiver); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitConverged(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -32,8 +32,8 @@ func (h nullHost) Neighbors() []topo.SwitchID                     { return h.nei
 func (nullHost) FabricLinkChanged(lsa.LinkChange)                 {}
 func (nullHost) ArmResync(lsa.ConnID)                             {}
 func (nullHost) SelfNudge(lsa.ConnID)                             {}
-func (nullHost) NoteInstall()                                     {}
-func (nullHost) Trace(core.TraceKind, lsa.ConnID, string, ...any) {}
+func (nullHost) NoteInstall()                                                  {}
+func (nullHost) Trace(core.TraceKind, core.ChainID, lsa.ConnID, string, ...any) {}
 
 // BenchmarkMachineStep measures one full EventHandler pass — stamp
 // bookkeeping, proposal computation, flood emission — on a 16-switch ring.
