@@ -9,6 +9,7 @@ import (
 	"dgmc/internal/lsr"
 	"dgmc/internal/mctree"
 	"dgmc/internal/route"
+	"dgmc/internal/stamp"
 	"dgmc/internal/topo"
 )
 
@@ -82,6 +83,11 @@ type Host interface {
 	// chain names the causal chain the step belongs to (zero when no
 	// single local event caused it).
 	Trace(kind TraceKind, chain ChainID, conn lsa.ConnID, format string, args ...any)
+	// TraceEnabled reports whether Trace currently does anything. The
+	// machine's hot paths consult it before building Trace arguments — the
+	// variadic call boxes every argument even when the host drops the
+	// entry, and those boxes were a measurable share of per-step garbage.
+	TraceEnabled() bool
 }
 
 // Mutation selects a deliberately seeded protocol bug. The schedule
@@ -275,7 +281,9 @@ func (m *Machine) updateDormancy(cs *connState, chain ChainID) {
 			cs.dormant = true
 			cs.topology = nil
 			cs.lastDelta = nil
-			m.host.Trace(TraceDestroy, chain, cs.id, "connection state destroyed")
+			if m.host.TraceEnabled() {
+				m.host.Trace(TraceDestroy, chain, cs.id, "connection state destroyed")
+			}
 		}
 		return
 	}
@@ -296,7 +304,9 @@ func (m *Machine) HandleLocalEvent(ctx any, ev LocalEvent) {
 	case lsa.Link:
 		nm, err := m.uni.ApplyLocalEvent(ev.Link)
 		if err != nil {
-			m.host.Trace(TraceError, ChainID{}, ev.Conn, "local link event: %v", err)
+			if m.host.TraceEnabled() {
+				m.host.Trace(TraceError, ChainID{}, ev.Conn, "local link event: %v", err)
+			}
 			return
 		}
 		// Keep the runtime's fabric in sync so floods route around the
@@ -340,8 +350,10 @@ func (m *Machine) reoptimize(ctx any) {
 		if cur <= float64(fresh.Cost(m.uni.Image()))*(1+m.reopt) {
 			continue // within tolerance of optimal: leave the tree alone
 		}
-		m.host.Trace(TraceCompute, ChainID{}, cs.id, "re-optimizing (%.0f%% over fresh cost)",
-			100*(cur/float64(fresh.Cost(m.uni.Image()))-1))
+		if m.host.TraceEnabled() {
+			m.host.Trace(TraceCompute, ChainID{}, cs.id, "re-optimizing (%.0f%% over fresh cost)",
+				100*(cur/float64(fresh.Cost(m.uni.Image()))-1))
+		}
 		cs.lastDelta = nil
 		m.eventHandler(ctx, lsa.Link, 0, cs)
 	}
@@ -381,7 +393,9 @@ func (m *Machine) eventHandler(ctx any, event lsa.Event, role mctree.Role, cs *c
 	// This event is the root of a new causal chain: its flooded LSA will
 	// carry Stamp[x] == cs.r[x]+1, so remote steps derive the same ID.
 	chain := ChainID{Origin: m.id, Seq: cs.r[x] + 1}
-	m.host.Trace(TraceEvent, chain, cs.id, "local %s event", event)
+	if m.host.TraceEnabled() {
+		m.host.Trace(TraceEvent, chain, cs.id, "local %s event", event)
+	}
 
 	// Line 1: R[x]++, E[x]++.
 	cs.r.Inc(x)
@@ -396,13 +410,17 @@ func (m *Machine) eventHandler(ctx any, event lsa.Event, role mctree.Role, cs *c
 		oldR := cs.r.Clone()
 		proposal, err := m.computeTopology(ctx, chain, cs)
 		if err != nil {
-			m.host.Trace(TraceError, chain, cs.id, "compute: %v", err)
+			if m.host.TraceEnabled() {
+				m.host.Trace(TraceError, chain, cs.id, "compute: %v", err)
+			}
 			proposal = nil
 		}
 		// Line 6: is the proposal still valid?
 		if proposal != nil && cs.r.Equal(oldR) {
-			// Lines 7-10: flood proposal, install it.
-			msg := &lsa.MC{Src: m.id, Event: event, Role: role, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()}
+			// Lines 7-10: flood proposal, install it. The message owns oldR
+			// from here (it is a snapshot never touched again locally, and
+			// LSA stamps are read-only on every receive path).
+			msg := &lsa.MC{Src: m.id, Event: event, Role: role, Conn: cs.id, Proposal: proposal, Stamp: oldR}
 			m.floodMC(chain, msg)
 			cs.logEvent(msg)
 			cs.c.CopyFrom(oldR)
@@ -411,12 +429,14 @@ func (m *Machine) eventHandler(ctx any, event lsa.Event, role mctree.Role, cs *c
 		} else {
 			// Lines 12-13: withdraw; flood the bare event, defer to
 			// ReceiveLSA.
-			msg := &lsa.MC{Src: m.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: oldR.Clone()}
+			msg := &lsa.MC{Src: m.id, Event: event, Role: role, Conn: cs.id, Proposal: nil, Stamp: oldR}
 			m.floodMC(chain, msg)
 			cs.logEvent(msg)
 			cs.makeProposal = true
 			m.metrics.Withdrawn++
-			m.host.Trace(TraceWithdraw, chain, cs.id, "event-handler proposal withdrawn")
+			if m.host.TraceEnabled() {
+				m.host.Trace(TraceWithdraw, chain, cs.id, "event-handler proposal withdrawn")
+			}
 		}
 	} else {
 		// Lines 16-17: outstanding LSAs exist; flood the bare event and
@@ -453,7 +473,9 @@ func (m *Machine) ReceiveBatch(ctx any, batch []any) {
 	}
 	handleNonMC := func(nm *lsa.NonMC) {
 		if _, err := m.uni.HandleLSA(nm); err != nil {
-			m.host.Trace(TraceError, ChainID{}, 0, "unicast LSA: %v", err)
+			if m.host.TraceEnabled() {
+				m.host.Trace(TraceError, ChainID{}, 0, "unicast LSA: %v", err)
+			}
 		}
 	}
 	var consume func(raw any)
@@ -477,7 +499,9 @@ func (m *Machine) ReceiveBatch(ctx any, batch []any) {
 			if wire, ok := payload.([]byte); ok {
 				mc, nm, err := lsa.Unmarshal(wire)
 				if err != nil {
-					m.host.Trace(TraceError, ChainID{}, 0, "decode LSA: %v", err)
+					if m.host.TraceEnabled() {
+						m.host.Trace(TraceError, ChainID{}, 0, "decode LSA: %v", err)
+					}
 					return
 				}
 				if mc != nil {
@@ -509,9 +533,11 @@ func (m *Machine) ReceiveBatch(ctx any, batch []any) {
 func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 	x := int(m.id)
 
-	// Lines 1-2.
+	// Lines 1-2. candidateStamp is only read when candidate is non-nil, and
+	// every assignment of candidate assigns it too, so it needs no initial
+	// clone of C.
 	var candidate *mctree.Tree
-	candidateStamp := cs.c.Clone()
+	var candidateStamp stamp.Stamp
 	// batchChain attributes the steps this batch causes (computations,
 	// triggered floods, installs) to the most recent event applied; an
 	// installed candidate is attributed to the LSA that carried it.
@@ -519,7 +545,9 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 
 	// Lines 3-18: consume the LSAs.
 	for _, msg := range batch {
-		m.host.Trace(TraceRecv, chainOf(msg), cs.id, "recv %s", msg)
+		if m.host.TraceEnabled() {
+			m.host.Trace(TraceRecv, chainOf(msg), cs.id, "recv %s", msg)
+		}
 		// Lines 5-9: an event LSA advances R and the member list. A lossy
 		// transport can deliver copies duplicated or out of per-origin
 		// order, so application is ordered: stale copies are dropped, early
@@ -540,8 +568,9 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 			}
 			if dominates && a.Proposal != nil {
 				// The proposal is based on every event known to this switch.
+				// Aliasing a.Stamp is safe: received stamps are read-only.
 				candidate = a.Proposal
-				candidateStamp = a.Stamp.Clone()
+				candidateStamp = a.Stamp
 				candidateChain = chainOf(a)
 				cs.makeProposal = false
 			} else if cs.r[x] > a.Stamp[x] {
@@ -559,13 +588,15 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 		oldR := cs.r.Clone()
 		proposal, err := m.computeTopology(ctx, batchChain, cs)
 		if err != nil {
-			m.host.Trace(TraceError, batchChain, cs.id, "compute: %v", err)
+			if m.host.TraceEnabled() {
+				m.host.Trace(TraceError, batchChain, cs.id, "compute: %v", err)
+			}
 			proposal = nil
 		}
 		// Line 22: still current, and nothing new queued for this MC?
 		if proposal != nil && !m.host.PendingMC(cs.id) && cs.r.Equal(oldR) {
 			// Lines 23-27: flood as a triggered LSA (V = none).
-			m.floodMC(batchChain, &lsa.MC{Src: m.id, Event: lsa.None, Conn: cs.id, Proposal: proposal, Stamp: oldR.Clone()})
+			m.floodMC(batchChain, &lsa.MC{Src: m.id, Event: lsa.None, Conn: cs.id, Proposal: proposal, Stamp: oldR})
 			cs.e.CopyFrom(cs.r) // line 24: bring E up to date
 			candidate = proposal
 			candidateStamp = oldR
@@ -575,7 +606,9 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 			// Lines 28-30: withdraw.
 			candidate = nil
 			m.metrics.Withdrawn++
-			m.host.Trace(TraceWithdraw, batchChain, cs.id, "triggered proposal withdrawn")
+			if m.host.TraceEnabled() {
+				m.host.Trace(TraceWithdraw, batchChain, cs.id, "triggered proposal withdrawn")
+			}
 		}
 	}
 
@@ -620,7 +653,9 @@ func (m *Machine) filterReachable(members mctree.Members) mctree.Members {
 // dominant cost, Figure 4 line 5 / Figure 5 line 21).
 func (m *Machine) computeTopology(ctx any, chain ChainID, cs *connState) (*mctree.Tree, error) {
 	m.metrics.Computations++
-	m.host.Trace(TraceCompute, chain, cs.id, "computing topology (members=%d)", len(cs.members))
+	if m.host.TraceEnabled() {
+		m.host.Trace(TraceCompute, chain, cs.id, "computing topology (members=%d)", len(cs.members))
+	}
 	members := cs.members.Clone() // membership snapshot: may change during Tc
 	delta := cs.lastDelta
 	prev := cs.topology
@@ -652,7 +687,9 @@ func (m *Machine) computeTopology(ctx any, chain ChainID, cs *connState) (*mctre
 // floodMC floods an MC LSA network-wide via the host.
 func (m *Machine) floodMC(chain ChainID, msg *lsa.MC) {
 	m.metrics.MCLSAs++
-	m.host.Trace(TraceFlood, chain, msg.Conn, "flood %s", msg)
+	if m.host.TraceEnabled() {
+		m.host.Trace(TraceFlood, chain, msg.Conn, "flood %s", msg)
+	}
 	m.host.FloodMC(msg)
 }
 
@@ -663,7 +700,9 @@ func (m *Machine) install(cs *connState, chain ChainID, t *mctree.Tree, via stri
 	cs.installs++
 	m.metrics.Installs++
 	m.host.NoteInstall()
-	m.host.Trace(TraceInstall, chain, cs.id, "installed %s via %s", t, via)
+	if m.host.TraceEnabled() {
+		m.host.Trace(TraceInstall, chain, cs.id, "installed %s via %s", t, via)
+	}
 }
 
 // GapBufferDepth returns the number of event LSAs currently buffered out of

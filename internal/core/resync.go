@@ -84,8 +84,10 @@ func (m *Machine) applyEventLSA(cs *connState, msg *lsa.MC) []*lsa.MC {
 		if cs.buffer(msg) {
 			cs.e.MaxInPlace(msg.Stamp)
 			m.metrics.OutOfOrderLSAs++
-			m.host.Trace(TraceResync, chainOf(msg), cs.id,
-				"buffered out-of-order event from %d (idx %d, applied %d)", src, idx, cs.r[x])
+			if m.host.TraceEnabled() {
+				m.host.Trace(TraceResync, chainOf(msg), cs.id,
+					"buffered out-of-order event from %d (idx %d, applied %d)", src, idx, cs.r[x])
+			}
 		}
 		return nil
 	}
@@ -134,8 +136,10 @@ func (m *Machine) resyncCheck(cs *connState) {
 	if cs.resyncRounds >= m.resyncMax {
 		cs.resyncRounds = m.resyncMax + 1 // block further arming for this gap
 		m.metrics.ResyncGiveUps++
-		m.host.Trace(TraceResync, ChainID{}, cs.id,
-			"giving up after %d resync rounds (R=%s E=%s C=%s)", m.resyncMax, cs.r, cs.e, cs.c)
+		if m.host.TraceEnabled() {
+			m.host.Trace(TraceResync, ChainID{}, cs.id,
+				"giving up after %d resync rounds (R=%s E=%s C=%s)", m.resyncMax, cs.r, cs.e, cs.c)
+		}
 		return
 	}
 	cs.resyncRounds++
@@ -144,15 +148,19 @@ func (m *Machine) resyncCheck(cs *connState) {
 		// proposal's flood was lost. Owe the network a proposal and nudge
 		// ReceiveLSA so line 19 recomputes and floods a triggered one.
 		cs.makeProposal = true
-		m.host.Trace(TraceResync, ChainID{}, cs.id,
-			"commit lag (R=%s C=%s): self-nudging a proposal (round %d)", cs.r, cs.c, cs.resyncRounds)
+		if m.host.TraceEnabled() {
+			m.host.Trace(TraceResync, ChainID{}, cs.id,
+				"commit lag (R=%s C=%s): self-nudging a proposal (round %d)", cs.r, cs.c, cs.resyncRounds)
+		}
 		m.host.SelfNudge(cs.id)
 	} else if nbs := m.host.Neighbors(); len(nbs) > 0 {
 		nb := nbs[cs.resyncNext%len(nbs)]
 		cs.resyncNext++
 		m.metrics.ResyncRequests++
-		m.host.Trace(TraceResync, ChainID{}, cs.id,
-			"requesting resync from %d (round %d, R=%s E=%s ooo=%d)", nb, cs.resyncRounds, cs.r, cs.e, cs.oooCount)
+		if m.host.TraceEnabled() {
+			m.host.Trace(TraceResync, ChainID{}, cs.id,
+				"requesting resync from %d (round %d, R=%s E=%s ooo=%d)", nb, cs.resyncRounds, cs.r, cs.e, cs.oooCount)
+		}
 		m.host.SendUnicast(nb, &lsa.ResyncRequest{Conn: cs.id, From: m.id, R: cs.r.Clone()})
 	}
 	m.maybeScheduleResync(cs)
@@ -181,7 +189,9 @@ func (m *Machine) handleResyncRequest(req *lsa.ResyncRequest) {
 	}
 	if len(batch) > 0 {
 		m.metrics.ResyncResponses++
-		m.host.Trace(TraceResync, ChainID{}, cs.id, "replaying %d LSAs to %d", len(batch), req.From)
+		if m.host.TraceEnabled() {
+			m.host.Trace(TraceResync, ChainID{}, cs.id, "replaying %d LSAs to %d", len(batch), req.From)
+		}
 		m.host.SendUnicast(req.From, &lsa.ResyncResponse{Conn: cs.id, From: m.id, Batch: batch})
 	}
 	m.maybeScheduleResync(cs) // the E merge may have revealed our own gap

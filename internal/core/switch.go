@@ -192,3 +192,6 @@ func (s *Switch) NoteInstall() { s.d.noteInstall() }
 func (s *Switch) Trace(kind TraceKind, chain ChainID, conn lsa.ConnID, format string, args ...any) {
 	s.d.trace(kind, chain, s.id, conn, format, args...)
 }
+
+// TraceEnabled implements Host.
+func (s *Switch) TraceEnabled() bool { return s.d.tracer != nil }

@@ -632,6 +632,8 @@ func (h *worldHost) SelfNudge(conn lsa.ConnID) {
 func (h *worldHost) NoteInstall() { h.w.installs++ }
 
 // Trace implements core.Host.
+func (h *worldHost) TraceEnabled() bool { return h.w.tracing }
+
 func (h *worldHost) Trace(kind core.TraceKind, chain core.ChainID, conn lsa.ConnID, format string, args ...any) {
 	if !h.w.tracing {
 		return

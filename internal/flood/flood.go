@@ -24,7 +24,7 @@ package flood
 
 import (
 	"fmt"
-	"math"
+	"sort"
 	"time"
 
 	"dgmc/internal/faults"
@@ -111,6 +111,13 @@ type Network struct {
 	transport []*sim.Mailbox
 	seen      []map[floodID]bool
 
+	// nbrs[s] caches s's neighbors in ascending order with their link
+	// indices, so the per-copy forwarding loop touches no maps and
+	// allocates nothing; link state (Down) is re-read through the index at
+	// send time. sssp is the reusable scratch behind arrivalDelays.
+	nbrs [][]nbLink
+	sssp topo.SSSPScratch
+
 	// Reliable plumbing.
 	injector    *faults.Injector
 	retryBudget int
@@ -125,6 +132,14 @@ type Network struct {
 type floodID struct {
 	origin topo.SwitchID
 	seq    uint64
+}
+
+// nbLink is one cached adjacency entry: the neighbor and the index of the
+// connecting link (resolved via topo.Graph.LinkAt at use time, so link
+// flaps are observed without a map lookup per message).
+type nbLink struct {
+	to  topo.SwitchID
+	idx int
 }
 
 // Option configures a Network beyond the required parameters.
@@ -172,6 +187,21 @@ func New(k *sim.Kernel, g *topo.Graph, perHop time.Duration, mode Mode, opts ...
 	n.inboxes = make([]*sim.Mailbox, g.NumSwitches())
 	for i := range n.inboxes {
 		n.inboxes[i] = sim.NewMailbox(k, fmt.Sprintf("lsa-inbox-%d", i))
+	}
+	// Cache the full adjacency (down links included — flaps are re-checked
+	// through the link index at send time), sorted by neighbor for the same
+	// deterministic iteration order g.Neighbors gives.
+	n.nbrs = make([][]nbLink, g.NumSwitches())
+	for _, l := range g.Links() {
+		idx, ok := g.LinkIndex(l.A, l.B)
+		if !ok {
+			continue
+		}
+		n.nbrs[l.A] = append(n.nbrs[l.A], nbLink{to: l.B, idx: idx})
+		n.nbrs[l.B] = append(n.nbrs[l.B], nbLink{to: l.A, idx: idx})
+	}
+	for _, row := range n.nbrs {
+		sort.Slice(row, func(i, j int) bool { return row[i].to < row[j].to })
 	}
 	if mode == HopByHop || mode == Reliable {
 		n.transport = make([]*sim.Mailbox, g.NumSwitches())
@@ -232,18 +262,21 @@ func (n *Network) Flood(origin topo.SwitchID, payload any) uint64 {
 	switch n.mode {
 	case HopByHop:
 		n.seen[origin][floodID{origin, d.Seq}] = true
-		for _, nb := range n.g.Neighbors(origin) {
-			l, ok := n.g.Link(origin, nb)
-			if !ok || l.Down {
+		for _, e := range n.nbrs[origin] {
+			l := n.g.LinkAt(e.idx)
+			if l.Down {
 				continue
 			}
 			n.copies++
-			n.transport[nb].Send(copyMsg{Delivery: d, from: origin}, l.Delay+n.perHop)
+			n.transport[e.to].Send(copyMsg{Delivery: d, from: origin}, l.Delay+n.perHop)
 		}
 	case Reliable:
 		n.seen[origin][floodID{origin, d.Seq}] = true
-		for _, nb := range n.g.Neighbors(origin) {
-			n.sendReliable(origin, nb, copyMsg{Delivery: d, from: origin})
+		for _, e := range n.nbrs[origin] {
+			if n.g.LinkAt(e.idx).Down {
+				continue
+			}
+			n.sendReliable(origin, e.to, copyMsg{Delivery: d, from: origin})
 		}
 	case TreeBased:
 		for dst, delay := range n.arrivalDelays(origin) {
@@ -292,41 +325,15 @@ func (n *Network) Unicast(from, to topo.SwitchID, payload any) {
 
 // arrivalDelays computes, for every switch, the earliest flooding arrival
 // time from origin: a shortest path where each hop costs linkDelay+perHop.
-// Unreachable switches get -1.
+// Unreachable switches get -1. The returned slice aliases the network's
+// reusable scratch and is valid until the next arrivalDelays call.
 func (n *Network) arrivalDelays(origin topo.SwitchID) []time.Duration {
-	num := n.g.NumSwitches()
-	const inf = time.Duration(math.MaxInt64)
-	dist := make([]time.Duration, num)
-	done := make([]bool, num)
+	n.sssp.Reset(n.g.NumSwitches())
+	n.sssp.Seed(origin)
+	n.g.RunSSSP(&n.sssp, n.perHop)
+	dist := n.sssp.Dist
 	for i := range dist {
-		dist[i] = inf
-	}
-	dist[origin] = 0
-	for {
-		u := topo.NoSwitch
-		best := inf
-		for i := 0; i < num; i++ {
-			if !done[i] && dist[i] < best {
-				best = dist[i]
-				u = topo.SwitchID(i)
-			}
-		}
-		if u == topo.NoSwitch {
-			break
-		}
-		done[u] = true
-		for _, v := range n.g.Neighbors(u) {
-			l, ok := n.g.Link(u, v)
-			if !ok || l.Down {
-				continue
-			}
-			if nd := dist[u] + l.Delay + n.perHop; nd < dist[v] {
-				dist[v] = nd
-			}
-		}
-	}
-	for i := range dist {
-		if dist[i] == inf {
+		if dist[i] == topo.Unreachable {
 			dist[i] = -1
 		}
 	}
@@ -347,16 +354,16 @@ func (n *Network) forward(p *sim.Process, self topo.SwitchID) {
 		}
 		n.seen[self][id] = true
 		n.inboxes[self].Send(msg.Delivery, 0)
-		for _, nb := range n.g.Neighbors(self) {
-			if nb == msg.from {
+		for _, e := range n.nbrs[self] {
+			if e.to == msg.from {
 				continue
 			}
-			l, ok := n.g.Link(self, nb)
-			if !ok || l.Down {
+			l := n.g.LinkAt(e.idx)
+			if l.Down {
 				continue
 			}
 			n.copies++
-			n.transport[nb].Send(copyMsg{Delivery: msg.Delivery, from: self}, l.Delay+n.perHop)
+			n.transport[e.to].Send(copyMsg{Delivery: msg.Delivery, from: self}, l.Delay+n.perHop)
 		}
 	}
 }

@@ -201,11 +201,11 @@ func (n *Network) forwardReliable(p *sim.Process, self topo.SwitchID) {
 				}
 			} else {
 				n.inboxes[self].Send(msg.Delivery, 0)
-				for _, nb := range n.g.Neighbors(self) {
-					if nb == msg.from {
+				for _, e := range n.nbrs[self] {
+					if e.to == msg.from || n.g.LinkAt(e.idx).Down {
 						continue
 					}
-					n.sendReliable(self, nb, copyMsg{Delivery: msg.Delivery, from: self})
+					n.sendReliable(self, e.to, copyMsg{Delivery: msg.Delivery, from: self})
 				}
 			}
 			n.sendAck(self, msg.from, id)

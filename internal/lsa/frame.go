@@ -81,15 +81,36 @@ const MaxFramePayload = 1 << 20
 // EncodeFrame encodes f. The CRC covers the header fields and the payload,
 // so any truncation or corruption of either is detected.
 func EncodeFrame(f *Frame) []byte {
-	buf := make([]byte, 0, frameHeaderLen+len(f.Payload))
-	buf = append(buf, f.Version, byte(f.Kind))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(f.Origin)))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(f.From)))
-	buf = binary.BigEndian.AppendUint64(buf, f.Seq)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Payload)))
-	buf = binary.BigEndian.AppendUint32(buf, frameCRC(buf[:frameHeaderLen-4], f.Payload))
-	buf = append(buf, f.Payload...)
-	return buf
+	return AppendFrame(make([]byte, 0, frameHeaderLen+len(f.Payload)), f)
+}
+
+// AppendFrame appends f's encoding to dst and returns the extended slice —
+// the allocation-free form of EncodeFrame for callers that reuse buffers.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	return AppendFrameWith(dst, f, func(b []byte) []byte {
+		return append(b, f.Payload...)
+	})
+}
+
+// AppendFrameWith appends a frame to dst whose payload is produced by
+// payloadFn appending directly after the header, skipping the intermediate
+// payload slice entirely. f.Payload is ignored; the length and CRC fields are
+// patched after payloadFn returns, so the output is byte-identical to
+// EncodeFrame over the same payload bytes. payloadFn must only append.
+func AppendFrameWith(dst []byte, f *Frame, payloadFn func([]byte) []byte) []byte {
+	base := len(dst)
+	dst = append(dst, f.Version, byte(f.Kind))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(f.Origin)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(f.From)))
+	dst = binary.BigEndian.AppendUint64(dst, f.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, 0) // length: patched below
+	dst = binary.BigEndian.AppendUint32(dst, 0) // crc: patched below
+	dst = payloadFn(dst)
+	hdr := dst[base : base+frameHeaderLen]
+	payload := dst[base+frameHeaderLen:]
+	binary.BigEndian.PutUint32(hdr[frameHeaderLen-8:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[frameHeaderLen-4:], frameCRC(hdr[:frameHeaderLen-4], payload))
+	return dst
 }
 
 // PatchFrameFrom rewrites the From field of an encoded frame in place (and
@@ -115,34 +136,44 @@ func frameCRC(header, payload []byte) uint32 {
 // panics on hostile input (see FuzzDecodeFrame). The returned payload
 // aliases buf.
 func DecodeFrame(buf []byte) (*Frame, error) {
+	f := new(Frame)
+	if err := DecodeFrameInto(f, buf); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeFrameInto decodes one frame from buf into f, which may be a reused
+// stack or scratch value — the allocation-free form of DecodeFrame. On error
+// f is left in an unspecified state. f.Payload aliases buf.
+func DecodeFrameInto(f *Frame, buf []byte) error {
 	if len(buf) < frameHeaderLen {
-		return nil, fmt.Errorf("lsa: truncated frame header (%d bytes, need %d)", len(buf), frameHeaderLen)
+		return fmt.Errorf("lsa: truncated frame header (%d bytes, need %d)", len(buf), frameHeaderLen)
 	}
-	f := &Frame{
-		Version: buf[0],
-		Kind:    FrameKind(buf[1]),
-		Origin:  topo.SwitchID(int32(binary.BigEndian.Uint32(buf[2:]))),
-		From:    topo.SwitchID(int32(binary.BigEndian.Uint32(buf[6:]))),
-		Seq:     binary.BigEndian.Uint64(buf[10:]),
-	}
+	f.Version = buf[0]
+	f.Kind = FrameKind(buf[1])
+	f.Origin = topo.SwitchID(int32(binary.BigEndian.Uint32(buf[2:])))
+	f.From = topo.SwitchID(int32(binary.BigEndian.Uint32(buf[6:])))
+	f.Seq = binary.BigEndian.Uint64(buf[10:])
+	f.Payload = nil
 	if f.Version != FrameVersion {
-		return nil, fmt.Errorf("lsa: frame version %d, want %d", f.Version, FrameVersion)
+		return fmt.Errorf("lsa: frame version %d, want %d", f.Version, FrameVersion)
 	}
 	if !f.Kind.Valid() {
-		return nil, fmt.Errorf("lsa: unknown frame kind %d", buf[1])
+		return fmt.Errorf("lsa: unknown frame kind %d", buf[1])
 	}
 	length := binary.BigEndian.Uint32(buf[18:])
 	if length > MaxFramePayload {
-		return nil, fmt.Errorf("lsa: frame payload length %d exceeds limit %d", length, MaxFramePayload)
+		return fmt.Errorf("lsa: frame payload length %d exceeds limit %d", length, MaxFramePayload)
 	}
 	want := binary.BigEndian.Uint32(buf[22:])
 	payload := buf[frameHeaderLen:]
 	if uint32(len(payload)) != length {
-		return nil, fmt.Errorf("lsa: frame payload is %d bytes, header says %d", len(payload), length)
+		return fmt.Errorf("lsa: frame payload is %d bytes, header says %d", len(payload), length)
 	}
 	if got := frameCRC(buf[:frameHeaderLen-4], payload); got != want {
-		return nil, fmt.Errorf("lsa: frame checksum mismatch (got %08x, want %08x)", got, want)
+		return fmt.Errorf("lsa: frame checksum mismatch (got %08x, want %08x)", got, want)
 	}
 	f.Payload = payload
-	return f, nil
+	return nil
 }

@@ -146,30 +146,40 @@ const (
 
 // Marshal encodes an MC LSA.
 func (m *MC) Marshal() []byte {
-	buf := make([]byte, 0, 16+4*len(m.Stamp)+8*8)
-	buf = append(buf, tagMC)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(m.Src)))
-	buf = append(buf, byte(m.Event), byte(m.Role))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Conn))
-	buf = m.Proposal.AppendBinary(buf)
-	buf = m.Stamp.AppendBinary(buf)
-	return buf
+	return m.AppendMarshal(make([]byte, 0, 16+4*len(m.Stamp)+8*8))
+}
+
+// AppendMarshal appends the LSA's encoding to dst and returns the extended
+// slice — the allocation-free form of Marshal for callers reusing buffers.
+func (m *MC) AppendMarshal(dst []byte) []byte {
+	dst = append(dst, tagMC)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(m.Src)))
+	dst = append(dst, byte(m.Event), byte(m.Role))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Conn))
+	dst = m.Proposal.AppendBinary(dst)
+	dst = m.Stamp.AppendBinary(dst)
+	return dst
 }
 
 // Marshal encodes a non-MC LSA.
 func (nm *NonMC) Marshal() []byte {
-	buf := make([]byte, 0, 18)
-	buf = append(buf, tagNonMC)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(nm.Src)))
-	buf = binary.BigEndian.AppendUint32(buf, nm.Seq)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(nm.Change.A)))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(nm.Change.B)))
+	return nm.AppendMarshal(make([]byte, 0, 18))
+}
+
+// AppendMarshal appends the LSA's encoding to dst and returns the extended
+// slice.
+func (nm *NonMC) AppendMarshal(dst []byte) []byte {
+	dst = append(dst, tagNonMC)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(nm.Src)))
+	dst = binary.BigEndian.AppendUint32(dst, nm.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(nm.Change.A)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(nm.Change.B)))
 	if nm.Change.Down {
-		buf = append(buf, 1)
+		dst = append(dst, 1)
 	} else {
-		buf = append(buf, 0)
+		dst = append(dst, 0)
 	}
-	return buf
+	return dst
 }
 
 // Unmarshal decodes an advertisement produced by either Marshal. Exactly

@@ -34,11 +34,16 @@ type ResyncResponse struct {
 
 // Marshal encodes a resync request.
 func (r *ResyncRequest) Marshal() []byte {
-	buf := make([]byte, 0, 12+4+4*len(r.R))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(r.Conn))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(r.From)))
-	buf = r.R.AppendBinary(buf)
-	return buf
+	return r.AppendMarshal(make([]byte, 0, 12+4+4*len(r.R)))
+}
+
+// AppendMarshal appends the request's encoding to dst and returns the
+// extended slice.
+func (r *ResyncRequest) AppendMarshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Conn))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.From)))
+	dst = r.R.AppendBinary(dst)
+	return dst
 }
 
 // DecodeResyncRequest decodes a buffer produced by ResyncRequest.Marshal.
@@ -65,16 +70,22 @@ func DecodeResyncRequest(buf []byte) (*ResyncRequest, error) {
 // Marshal encodes a resync response. Each batched LSA is length-prefixed
 // so the batch can be decoded without trusting inner lengths.
 func (r *ResyncResponse) Marshal() []byte {
-	buf := make([]byte, 0, 16)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(r.Conn))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(r.From)))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Batch)))
+	return r.AppendMarshal(make([]byte, 0, 16))
+}
+
+// AppendMarshal appends the response's encoding to dst and returns the
+// extended slice.
+func (r *ResyncResponse) AppendMarshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Conn))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.From)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Batch)))
 	for _, m := range r.Batch {
-		enc := m.Marshal()
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(enc)))
-		buf = append(buf, enc...)
+		lenAt := len(dst)
+		dst = binary.BigEndian.AppendUint32(dst, 0)
+		dst = m.AppendMarshal(dst)
+		binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
 	}
-	return buf
+	return dst
 }
 
 // DecodeResyncResponse decodes a buffer produced by ResyncResponse.Marshal.

@@ -1,0 +1,91 @@
+package mctree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeTree checks DecodeBinary on arbitrary input: it must never
+// panic, and any tree it accepts must already be canonical — edges sorted in
+// (A,B) order with A < B per edge, no duplicates — and must survive an
+// encode/decode round trip byte-identically (re-encoding an accepted tree
+// yields an encoding that decodes to an equal tree and the same bytes).
+func FuzzDecodeTree(f *testing.F) {
+	// Seeds: nil tree, empty tree, a small path, and a deliberately
+	// unsorted-duplicate encoding that must be rejected.
+	f.Add([]byte{0})
+	t0 := New(Symmetric)
+	f.Add(t0.AppendBinary(nil))
+	t1 := NewWithRoot(Asymmetric, 2)
+	t1.AddEdge(2, 0)
+	t1.AddEdge(0, 1)
+	t1.AddEdge(1, 3)
+	f.Add(t1.AppendBinary(nil))
+	dup := t1.AppendBinary(nil)
+	dup = append(dup, t1.AppendBinary(nil)...) // two trees back to back
+	f.Add(dup)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, rest, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("rest grew: %d > %d", len(rest), len(data))
+		}
+		if tr == nil {
+			return // the nil encoding
+		}
+		edges := tr.Edges()
+		for i, e := range edges {
+			if e.A >= e.B {
+				t.Fatalf("edge %d not canonical: %d-%d", i, e.A, e.B)
+			}
+			if i > 0 {
+				prev := edges[i-1]
+				if e.A < prev.A || (e.A == prev.A && e.B <= prev.B) {
+					t.Fatalf("edges not strictly sorted at %d: %v then %v", i, prev, e)
+				}
+			}
+		}
+		// Round trip: canonical re-encoding must decode to an equal tree.
+		enc := tr.AppendBinary(nil)
+		tr2, rest2, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted tree failed: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-decode left %d bytes", len(rest2))
+		}
+		if tr2 == nil || !tr.Equal(tr2) || tr.Root != tr2.Root || tr.Kind != tr2.Kind {
+			t.Fatalf("round trip changed tree: %v vs %v", tr, tr2)
+		}
+		if enc2 := tr2.AppendBinary(nil); !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encoding not byte-stable")
+		}
+	})
+}
+
+// TestDecodeRejectsDuplicateEdges pins the duplicate-edge check directly: a
+// hand-built encoding carrying the same undirected edge twice (in either
+// orientation) must be rejected, not silently deduplicated — a forged
+// proposal with duplicate edges would otherwise hash/compare unequal across
+// switches depending on decode order.
+func TestDecodeRejectsDuplicateEdges(t *testing.T) {
+	base := NewWithRoot(Asymmetric, 0)
+	base.AddEdge(0, 1)
+	enc := base.AppendBinary(nil)
+	// Patch the edge count to 2 and append a flipped duplicate of edge 0-1.
+	enc[5+3]++ // count lives at offset 5 (kind 1 + root 4), big-endian
+	enc = append(enc, 0, 0, 0, 1, 0, 0, 0, 0)
+	if _, _, err := DecodeBinary(enc); err == nil {
+		t.Fatalf("decode accepted duplicate edge")
+	}
+	// Same-orientation duplicate.
+	enc2 := base.AppendBinary(nil)
+	enc2[5+3]++
+	enc2 = append(enc2, 0, 0, 0, 0, 0, 0, 0, 1)
+	if _, _, err := DecodeBinary(enc2); err == nil {
+		t.Fatalf("decode accepted duplicate edge (same orientation)")
+	}
+}

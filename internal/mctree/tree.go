@@ -492,11 +492,21 @@ func DecodeBinary(buf []byte) (*Tree, []byte, error) {
 		}
 		t.edges = append(t.edges, NewEdge(a, b))
 	}
-	sort.Slice(t.edges, func(i, j int) bool {
+	less := func(i, j int) bool {
 		if t.edges[i].A != t.edges[j].A {
 			return t.edges[i].A < t.edges[j].A
 		}
 		return t.edges[i].B < t.edges[j].B
-	})
+	}
+	// Encoders emit canonical (sorted) edge order, so the common case skips
+	// the sort entirely; hostile or legacy inputs still get canonicalised.
+	if !sort.SliceIsSorted(t.edges, less) {
+		sort.Slice(t.edges, less)
+	}
+	for i := 1; i < len(t.edges); i++ {
+		if t.edges[i] == t.edges[i-1] {
+			return nil, nil, fmt.Errorf("mctree: duplicate edge %d-%d", t.edges[i].A, t.edges[i].B)
+		}
+	}
 	return t, buf[8*cnt:], nil
 }

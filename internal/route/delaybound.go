@@ -64,8 +64,10 @@ func (a DelayBounded) Compute(g *topo.Graph, kind mctree.Kind, members mctree.Me
 	// delay[s] is the current tree delay from the root to on-tree switch s.
 	delay := map[topo.SwitchID]time.Duration{root: 0}
 
+	sc := topo.AcquireSSSP()
+	defer topo.ReleaseSSSP(sc)
 	for len(remaining) > 0 {
-		dist, pred := nearestToTree(g, onTree)
+		dist, pred := nearestToTree(g, onTree, sc)
 		best := topo.NoSwitch
 		bestD := inf
 		for s := range remaining {

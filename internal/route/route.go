@@ -9,7 +9,6 @@ package route
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"time"
 
@@ -79,48 +78,20 @@ func anchor(kind mctree.Kind, members mctree.Members) (span []topo.SwitchID, roo
 	}
 }
 
-const inf = time.Duration(math.MaxInt64)
+const inf = topo.Unreachable
 
 // nearestToTree runs a deterministic multi-source Dijkstra from the tree's
 // node set and returns, for every switch, the delay to the tree and the
-// predecessor toward it.
-func nearestToTree(g *topo.Graph, onTree map[topo.SwitchID]bool) (dist []time.Duration, pred []topo.SwitchID) {
-	n := g.NumSwitches()
-	dist = make([]time.Duration, n)
-	pred = make([]topo.SwitchID, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = inf
-		pred[i] = topo.NoSwitch
-	}
+// predecessor toward it. The returned slices alias sc and stay valid until
+// sc's next use; sc lets the SPH-style attachment loops reuse one scratch
+// across their O(members) Dijkstra runs without allocating.
+func nearestToTree(g *topo.Graph, onTree map[topo.SwitchID]bool, sc *topo.SSSPScratch) (dist []time.Duration, pred []topo.SwitchID) {
+	sc.Reset(g.NumSwitches())
 	for s := range onTree {
-		dist[s] = 0
+		sc.Seed(s)
 	}
-	for {
-		u := topo.NoSwitch
-		best := inf
-		for i := 0; i < n; i++ {
-			if !done[i] && dist[i] < best {
-				best = dist[i]
-				u = topo.SwitchID(i)
-			}
-		}
-		if u == topo.NoSwitch {
-			break
-		}
-		done[u] = true
-		for _, v := range g.Neighbors(u) {
-			l, ok := g.Link(u, v)
-			if !ok || l.Down {
-				continue
-			}
-			if nd := dist[u] + l.Delay; nd < dist[v] || (nd == dist[v] && !done[v] && pred[v] > u) {
-				dist[v] = nd
-				pred[v] = u
-			}
-		}
-	}
-	return dist, pred
+	g.RunSSSP(sc, 0)
+	return sc.Dist, sc.Pred
 }
 
 // graft adds the shortest path from target back to the tree (following
@@ -166,8 +137,10 @@ func (SPH) Compute(g *topo.Graph, kind mctree.Kind, members mctree.Members) (*mc
 			remaining[s] = true
 		}
 	}
+	sc := topo.AcquireSSSP()
+	defer topo.ReleaseSSSP(sc)
 	for len(remaining) > 0 {
-		dist, pred := nearestToTree(g, onTree)
+		dist, pred := nearestToTree(g, onTree, sc)
 		// Pick the closest remaining member; ties by lowest ID.
 		best := topo.NoSwitch
 		bestD := inf
@@ -511,7 +484,9 @@ func (a *Incremental) graftJoin(g *topo.Graph, t *mctree.Tree, span []topo.Switc
 	if onTree[joined] {
 		return t, nil // already spanned as a relay
 	}
-	dist, pred := nearestToTree(g, onTree)
+	sc := topo.AcquireSSSP()
+	defer topo.ReleaseSSSP(sc)
+	dist, pred := nearestToTree(g, onTree, sc)
 	if dist[joined] == inf {
 		return nil, fmt.Errorf("%w: %d", ErrUnreachable, joined)
 	}

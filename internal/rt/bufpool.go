@@ -1,0 +1,38 @@
+package rt
+
+import "sync"
+
+// maxPooledBuf caps the capacity of buffers the pool retains. It matches the
+// receive-side maximum (maxUDPFrame) so every buffer that flows through the
+// node — pooled or caller-supplied — is eligible for reuse, while anything
+// freakishly larger is left for the collector.
+const maxPooledBuf = maxUDPFrame
+
+// bufPool recycles the frame byte buffers that used to dominate the node's
+// per-message garbage: encode buffers in the flood/unicast send paths,
+// per-frame copies inside ChanFabric, and the 64 KiB receive buffers of
+// UDPTransport. The pool holds *[]byte boxes; the box itself costs one
+// 24-byte header per round trip, against the kilobytes of backing array it
+// preserves.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+// getBuf returns a zero-length buffer with at least minCap capacity.
+func getBuf(minCap int) []byte {
+	b := (*bufPool.Get().(*[]byte))[:0]
+	if cap(b) < minCap {
+		b = make([]byte, 0, minCap)
+	}
+	return b
+}
+
+// putBuf hands a buffer back for reuse. The caller must not touch b (or any
+// slice aliasing it) afterwards; decoded messages never alias frame buffers
+// (every payload decoder copies out), which is what makes recycling on the
+// receive path safe.
+func putBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

@@ -59,8 +59,9 @@ func (p *chanPort) Send(to topo.SwitchID, data []byte) error {
 		return fmt.Errorf("rt: send to unknown switch %d", to)
 	}
 	// Copy: the wire would; and the caller is free to patch its buffer for
-	// the next neighbor while this copy sits queued.
-	buf := append([]byte(nil), data...)
+	// the next neighbor while this copy sits queued. The copy comes from the
+	// frame pool and goes back once the receiving node has handled it.
+	buf := append(getBuf(len(data)), data...)
 	if !p.fabric.queues[to].push(buf) {
 		return ErrClosed
 	}

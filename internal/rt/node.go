@@ -82,13 +82,11 @@ type Node struct {
 	events chan core.LocalEvent
 
 	// seq numbers this node's originated floods; seen suppresses duplicate
-	// flood deliveries by (origin, seq). The seen set grows with total
-	// floods originated network-wide; entries are a few words each, so a
-	// soak of 10^5 floods costs a few MB — acceptable for the intended
-	// deployments (long-lived daemons would age it out).
-	seq    atomic.Uint64
-	seenMu sync.Mutex
-	seen   map[floodKey]struct{}
+	// flood deliveries by (origin, seq) in O(origins) space (see seen.go —
+	// this used to be an unbounded map that grew with every flood ever
+	// delivered, a memory leak under soak).
+	seq  atomic.Uint64
+	seen seenTracker
 
 	computeDelay time.Duration
 	resyncAfter  time.Duration
@@ -107,11 +105,6 @@ type Node struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
-}
-
-type floodKey struct {
-	origin topo.SwitchID
-	seq    uint64
 }
 
 // NewNode builds the node, binds it to tr, and starts its goroutines.
@@ -136,7 +129,6 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 		tracer:       cfg.Tracer,
 		obs:          newNodeObs(cfg.Registry, int(cfg.ID)),
 		events:       make(chan core.LocalEvent, cfg.EventBuffer),
-		seen:         make(map[floodKey]struct{}),
 		computeDelay: cfg.ComputeDelay,
 		resyncAfter:  cfg.ResyncTimeout,
 		timers:       make(map[*time.Timer]struct{}),
@@ -257,13 +249,16 @@ func (n *Node) recvLoop() {
 			return
 		}
 		n.handleFrame(buf)
+		// Safe to recycle: every payload decoder copies out of the frame, so
+		// nothing enqueued for the LSA loop aliases buf.
+		putBuf(buf)
 	}
 }
 
 func (n *Node) handleFrame(buf []byte) {
 	defer n.activity.Add(1)
-	f, err := lsa.DecodeFrame(buf)
-	if err != nil {
+	var f lsa.Frame
+	if err := lsa.DecodeFrameInto(&f, buf); err != nil {
 		n.decodeErrs.Add(1)
 		n.obs.decodeErrs.Inc()
 		n.tracef("sw%d: drop frame: %v", n.id, err)
@@ -325,15 +320,13 @@ func (n *Node) handleFrame(buf []byte) {
 
 // markSeen records a flood identity, reporting whether it was new.
 func (n *Node) markSeen(origin topo.SwitchID, seq uint64) bool {
-	key := floodKey{origin, seq}
-	n.seenMu.Lock()
-	defer n.seenMu.Unlock()
-	if _, dup := n.seen[key]; dup {
-		return false
-	}
-	n.seen[key] = struct{}{}
-	return true
+	return n.seen.mark(origin, seq)
 }
+
+// SeenOrigins returns the number of flood origins the node's duplicate
+// suppressor currently tracks — its total state, since each origin costs a
+// fixed-size window (the soak test pins this as bounded).
+func (n *Node) SeenOrigins() int { return n.seen.size() }
 
 // enqueue appends one decoded message to the inbox and wakes the LSA loop.
 func (n *Node) enqueue(msg any) {
@@ -421,14 +414,15 @@ func (n *Node) idle() bool {
 
 var _ core.Host = (*Node)(nil)
 
-// flood originates one flood frame and sends it to every neighbor.
-func (n *Node) flood(payload []byte) {
+// flood originates one flood frame, encoded by appendPayload directly into a
+// pooled buffer, and sends it to every neighbor.
+func (n *Node) flood(appendPayload func([]byte) []byte) {
 	seq := n.seq.Add(1)
 	n.markSeen(n.id, seq) // a copy looping back must not be re-delivered
-	buf := lsa.EncodeFrame(&lsa.Frame{
+	buf := lsa.AppendFrameWith(getBuf(256), &lsa.Frame{
 		Version: lsa.FrameVersion, Kind: lsa.FrameFlood,
-		Origin: n.id, From: n.id, Seq: seq, Payload: payload,
-	})
+		Origin: n.id, From: n.id, Seq: seq,
+	}, appendPayload)
 	n.obs.floodsOrig.Inc()
 	for _, nb := range n.neighbors {
 		if err := n.tr.Send(nb, buf); err != nil {
@@ -436,39 +430,41 @@ func (n *Node) flood(payload []byte) {
 			n.tracef("sw%d: flood to %d: %v", n.id, nb, err)
 		}
 	}
+	putBuf(buf) // every transport copies on Send
 }
 
 // FloodMC implements core.Host.
 func (n *Node) FloodMC(m *lsa.MC) {
 	n.obs.mcFlooded(m.Conn)
-	n.flood(m.Marshal())
+	n.flood(m.AppendMarshal)
 }
 
 // FloodNonMC implements core.Host.
-func (n *Node) FloodNonMC(nm *lsa.NonMC) { n.flood(nm.Marshal()) }
+func (n *Node) FloodNonMC(nm *lsa.NonMC) { n.flood(nm.AppendMarshal) }
 
 // SendUnicast implements core.Host: frame a resync message point-to-point.
 func (n *Node) SendUnicast(to topo.SwitchID, payload any) {
+	var appendPayload func([]byte) []byte
 	var kind lsa.FrameKind
-	var data []byte
 	switch v := payload.(type) {
 	case *lsa.ResyncRequest:
-		kind, data = lsa.FrameResyncReq, v.Marshal()
+		kind, appendPayload = lsa.FrameResyncReq, v.AppendMarshal
 	case *lsa.ResyncResponse:
-		kind, data = lsa.FrameResyncResp, v.Marshal()
+		kind, appendPayload = lsa.FrameResyncResp, v.AppendMarshal
 	default:
 		n.tracef("sw%d: unicast of unframeable %T dropped", n.id, payload)
 		return
 	}
-	buf := lsa.EncodeFrame(&lsa.Frame{
+	buf := lsa.AppendFrameWith(getBuf(256), &lsa.Frame{
 		Version: lsa.FrameVersion, Kind: kind,
-		Origin: n.id, From: n.id, Seq: n.seq.Add(1), Payload: data,
-	})
+		Origin: n.id, From: n.id, Seq: n.seq.Add(1),
+	}, appendPayload)
 	n.obs.unicasts.Inc()
 	if err := n.tr.Send(to, buf); err != nil {
 		n.obs.sendErrs.Inc()
 		n.tracef("sw%d: unicast to %d: %v", n.id, to, err)
 	}
+	putBuf(buf)
 }
 
 // HoldCompute implements core.Host: computation takes real time here, so
@@ -493,10 +489,11 @@ func (n *Node) PendingMC(conn lsa.ConnID) bool {
 	return false
 }
 
-// Neighbors implements core.Host.
-func (n *Node) Neighbors() []topo.SwitchID {
-	return append([]topo.SwitchID(nil), n.neighbors...)
-}
+// Neighbors implements core.Host. The returned slice is the node's own
+// (fixed at construction, read-only by the Host contract); callers must not
+// mutate it — copying here put an allocation on every resync round for
+// nothing.
+func (n *Node) Neighbors() []topo.SwitchID { return n.neighbors }
 
 // FabricLinkChanged implements core.Host. The live fabric's connectivity
 // belongs to the transport (real links fail by dropping traffic, not by
@@ -572,6 +569,9 @@ func (n *Node) Trace(kind core.TraceKind, chain core.ChainID, conn lsa.ConnID, f
 		n.logf("sw%d conn%d chain%s [%v] %s", n.id, conn, chain, kind, detail)
 	}
 }
+
+// TraceEnabled implements core.Host.
+func (n *Node) TraceEnabled() bool { return n.tracer != nil || n.logf != nil }
 
 func (n *Node) tracef(format string, args ...any) {
 	if n.logf != nil {

@@ -125,4 +125,7 @@ func (n *Node) registerMachineFuncs(reg *obs.Registry) {
 		defer n.inMu.Unlock()
 		return float64(len(n.inbox))
 	}, sw)
+	reg.GaugeFunc("dgmc_seen_origins", func() float64 {
+		return float64(n.seen.size())
+	}, sw)
 }

@@ -1,0 +1,111 @@
+package rt
+
+import (
+	"sync"
+
+	"dgmc/internal/topo"
+)
+
+// Duplicate-flood suppression used to be an unbounded map keyed by
+// (origin, seq): every flood ever delivered left a permanent entry, so a
+// long-lived daemon leaked a few words per network-wide flood forever. The
+// tracker below exploits the structure of the traffic instead — each origin
+// numbers its floods with a monotonically increasing sequence — and keeps,
+// per origin, a "floor" below which everything has been seen plus a bounded
+// bitmap window of recent sequence numbers above it. State is O(origins),
+// i.e. bounded by the network size, no matter how many floods pass through.
+//
+// Sequences more than seenWindow behind an origin's newest are reported as
+// duplicates even if never delivered (the window has slid past them). That
+// requires reordering of more than seenWindow frames from one origin to
+// misfire — far beyond anything a real fabric produces — and the protocol's
+// gap resync recovers the lost LSA contents regardless: frame-level
+// suppression is an optimisation, not the correctness layer.
+
+// seenWindow is the per-origin window width in sequence numbers (bits).
+const seenWindow = 1024
+
+const seenWords = seenWindow / 64
+
+// seenWin tracks one origin: floor is the highest sequence such that every
+// sequence ≤ floor counts as seen; ring holds bits for (floor, floor+seenWindow],
+// indexed by seq mod seenWindow.
+type seenWin struct {
+	floor uint64
+	ring  [seenWords]uint64
+}
+
+func (w *seenWin) test(seq uint64) bool {
+	i := seq % seenWindow
+	return w.ring[i/64]&(1<<(i%64)) != 0
+}
+
+func (w *seenWin) set(seq uint64) {
+	i := seq % seenWindow
+	w.ring[i/64] |= 1 << (i % 64)
+}
+
+func (w *seenWin) clearBit(seq uint64) {
+	i := seq % seenWindow
+	w.ring[i/64] &^= 1 << (i % 64)
+}
+
+// mark records seq, reporting whether it was new.
+func (w *seenWin) mark(seq uint64) bool {
+	if seq <= w.floor {
+		return false
+	}
+	if seq > w.floor+seenWindow {
+		// Slide the window so it ends at seq; sequences falling below the
+		// new floor count as seen from here on.
+		newFloor := seq - seenWindow
+		if newFloor >= w.floor+seenWindow {
+			w.ring = [seenWords]uint64{} // disjoint windows: drop everything
+		} else {
+			for f := w.floor + 1; f <= newFloor; f++ {
+				w.clearBit(f)
+			}
+		}
+		w.floor = newFloor
+	}
+	if w.test(seq) {
+		return false
+	}
+	w.set(seq)
+	// Advance the floor over the contiguous prefix, freeing window space.
+	for w.test(w.floor + 1) {
+		w.clearBit(w.floor + 1)
+		w.floor++
+	}
+	return true
+}
+
+// seenTracker is the node-level duplicate suppressor: one window per origin.
+type seenTracker struct {
+	mu      sync.Mutex
+	origins map[topo.SwitchID]*seenWin
+}
+
+// mark records (origin, seq), reporting whether it was new.
+func (t *seenTracker) mark(origin topo.SwitchID, seq uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.origins[origin]
+	if w == nil {
+		if t.origins == nil {
+			t.origins = make(map[topo.SwitchID]*seenWin)
+		}
+		w = new(seenWin)
+		t.origins[origin] = w
+	}
+	return w.mark(seq)
+}
+
+// size returns the number of origins tracked — the suppression state's
+// footprint in windows (each a fixed 136 bytes), exported as a gauge so a
+// soak can watch it stay flat.
+func (t *seenTracker) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.origins)
+}

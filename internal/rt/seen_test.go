@@ -1,0 +1,183 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/topo"
+)
+
+// TestSeenWindowSemantics pins the per-origin window tracker against the
+// behaviours the flood path depends on.
+func TestSeenWindowSemantics(t *testing.T) {
+	var w seenWin
+
+	if !w.mark(1) {
+		t.Fatal("first seq 1 reported dup")
+	}
+	if w.mark(1) {
+		t.Fatal("second seq 1 reported new")
+	}
+	if w.floor != 1 {
+		t.Fatalf("floor = %d after contiguous 1, want 1", w.floor)
+	}
+
+	// Out-of-order within the window: accepted, and the floor advances only
+	// over the contiguous prefix.
+	if !w.mark(3) || !w.mark(5) {
+		t.Fatal("in-window out-of-order seqs reported dup")
+	}
+	if w.floor != 1 {
+		t.Fatalf("floor advanced to %d past a gap", w.floor)
+	}
+	if !w.mark(2) {
+		t.Fatal("gap fill 2 reported dup")
+	}
+	if w.floor != 3 {
+		t.Fatalf("floor = %d after filling 2, want 3", w.floor)
+	}
+	if !w.mark(4) {
+		t.Fatal("gap fill 4 reported dup")
+	}
+	if w.floor != 5 {
+		t.Fatalf("floor = %d after filling 4, want 5", w.floor)
+	}
+	for _, s := range []uint64{1, 2, 3, 4, 5} {
+		if w.mark(s) {
+			t.Fatalf("replayed seq %d reported new", s)
+		}
+	}
+
+	// A jump far beyond the window slides it (disjoint: ring fully reset).
+	// The skipped range becomes "seen" — the documented false-dup case the
+	// resync layer recovers — while in-window sequences stay fresh.
+	jump := w.floor + 10*seenWindow
+	if !w.mark(jump) {
+		t.Fatal("post-jump seq reported dup")
+	}
+	if w.mark(jump - seenWindow) {
+		t.Fatal("seq at slid floor reported new")
+	}
+	if !w.mark(jump - 1) {
+		t.Fatal("in-window seq after slide reported dup")
+	}
+
+	// A small (overlapping) slide must clear the bits it slides past:
+	// otherwise a stale bit from the previous lap of the ring would make a
+	// never-seen sequence at the same position report as a duplicate.
+	var w2 seenWin
+	w2.mark(1) // floor = 1
+	w2.mark(5) // stale bit at ring position 5
+	if !w2.mark(1 + seenWindow + 5) {
+		t.Fatal("sliding seq reported dup")
+	}
+	// floor slid 1→6, clearing positions 2..6; seq 1029 (position 5 on the
+	// new lap) was never marked and must be fresh.
+	if !w2.mark(seenWindow + 5) {
+		t.Fatal("stale ring bit resurrected as duplicate after slide")
+	}
+}
+
+// TestSeenSoak pushes >10^5 distinct floods from many origins through a live
+// node — every frame delivered twice, each batch in reverse order — and
+// asserts the suppression state stays O(origins) rather than O(floods),
+// which the old map-based set did not (it kept one entry per flood forever),
+// and that exactly the first delivery of each flood reached the LSA loop.
+func TestSeenSoak(t *testing.T) {
+	const (
+		origins         = 8
+		floodsPerOrigin = 13_000 // 8 × 13k > 10^5 distinct floods
+		batch           = 100    // reorder depth, well inside seenWindow
+	)
+	g := topo.New(origins + 1)
+	for i := 1; i <= origins; i++ {
+		if err := g.AddLink(0, topo.SwitchID(i), time.Microsecond, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fab := NewChanFabric(origins + 1)
+	defer fab.Close()
+	node, err := NewNode(NodeConfig{ID: 0, Graph: g}, fab.Transport(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	// The node store-and-forwards each fresh flood to its other neighbors;
+	// drain those queues so the fabric can quiesce.
+	send := make([]Transport, origins+1)
+	for i := 1; i <= origins; i++ {
+		send[i] = fab.Transport(topo.SwitchID(i))
+		go func(tr Transport) {
+			for {
+				buf, err := tr.Recv()
+				if err != nil {
+					return
+				}
+				putBuf(buf)
+			}
+		}(fab.Transport(topo.SwitchID(i)))
+	}
+
+	// Interleave origins; within each origin deliver a batch of frames in
+	// reverse (heavy reorder, still inside seenWindow), then re-deliver the
+	// whole batch as duplicates.
+	for lo := uint64(1); lo <= floodsPerOrigin; lo += batch {
+		for o := 1; o <= origins; o++ {
+			origin := topo.SwitchID(o)
+			for pass := 0; pass < 2; pass++ {
+				for s := lo + batch - 1; ; s-- {
+					nm := &lsa.NonMC{Src: origin, Seq: uint32(s),
+						Change: lsa.LinkChange{A: 0, B: origin, Down: s%2 == 0}}
+					buf := lsa.EncodeFrame(&lsa.Frame{
+						Version: lsa.FrameVersion, Kind: lsa.FrameFlood,
+						Origin: origin, From: origin, Seq: s, Payload: nm.Marshal(),
+					})
+					if err := send[o].Send(0, buf); err != nil {
+						t.Fatal(err)
+					}
+					if s == lo {
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Activity counts every frame handled (dup or not) plus every message
+	// the LSA loop drained. With suppression working, exactly the first
+	// delivery of each flood is enqueued.
+	const (
+		frames   = 2 * origins * floodsPerOrigin
+		enqueued = origins * floodsPerOrigin
+		want     = uint64(frames + enqueued)
+	)
+	deadline := time.Now().Add(60 * time.Second)
+	for fab.InFlight() != 0 || !node.idle() || node.activity.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("node did not drain: %d in flight, activity %d/%d",
+				fab.InFlight(), node.activity.Load(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := node.activity.Load(); got != want {
+		t.Fatalf("activity = %d, want %d (dup floods leaked past suppression)", got, want)
+	}
+	if errs := node.DecodeErrors(); errs != 0 {
+		t.Fatalf("%d decode errors during soak", errs)
+	}
+
+	// The suppression state is O(origins): one fixed-size window each.
+	if got := node.SeenOrigins(); got > origins {
+		t.Fatalf("suppression state tracks %d origins, want ≤ %d", got, origins)
+	}
+	// And every origin's window swallowed its whole soak contiguously.
+	node.seen.mu.Lock()
+	defer node.seen.mu.Unlock()
+	for origin, w := range node.seen.origins {
+		if w.floor != floodsPerOrigin {
+			t.Fatalf("origin %d floor = %d, want %d", origin, w.floor, uint64(floodsPerOrigin))
+		}
+	}
+}

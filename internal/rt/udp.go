@@ -70,7 +70,7 @@ func (t *UDPTransport) Send(to topo.SwitchID, data []byte) error {
 
 // Recv implements Transport.
 func (t *UDPTransport) Recv() ([]byte, error) {
-	buf := make([]byte, maxUDPFrame)
+	buf := getBuf(maxUDPFrame)[:maxUDPFrame]
 	n, _, err := t.conn.ReadFromUDP(buf)
 	if err != nil {
 		if t.closed.Load() {

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sync"
@@ -27,43 +26,77 @@ const (
 // blocked processes internally during Shutdown.
 var ErrStopped = errors.New("sim: kernel stopped")
 
-// event is a single entry in the kernel's event queue.
+// event is a single entry in the kernel's event queue. Mailbox deliveries —
+// by far the most common event in protocol simulations — are stored inline
+// (mb, msg) instead of behind a heap-allocated closure, so scheduling a send
+// costs no allocation beyond any boxing of msg itself.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	mb  *Mailbox
+	msg any
 }
 
-// eventHeap orders events by (time, sequence), giving a deterministic total
-// order for simultaneous events.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
+func (e *event) run() {
+	if e.mb != nil {
+		e.mb.deliver(e.msg)
 		return
 	}
-	*h = append(*h, ev)
+	e.fn()
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// eventHeap is a hand-rolled binary min-heap of event values ordered by
+// (time, sequence) — a deterministic total order for simultaneous events.
+// Storing values rather than pointers keeps the queue in one contiguous
+// allocation that amortises to zero as the simulation runs.
+type eventHeap []event
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(&s[i], &s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop fn/msg references so they can be collected
+	*h = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && eventLess(&s[r], &s[l]) {
+			c = r
+		}
+		if !eventLess(&s[c], &s[i]) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
 }
 
 // Stats reports what a completed Run did.
@@ -114,7 +147,17 @@ func (k *Kernel) Schedule(delay Time, fn func()) {
 		delay = 0
 	}
 	k.seq++
-	heap.Push(&k.queue, &event{at: k.now + delay, seq: k.seq, fn: fn})
+	k.queue.push(event{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// scheduleDelivery is Mailbox.Send's closure-free fast path: the delivery is
+// encoded in the event itself.
+func (k *Kernel) scheduleDelivery(delay Time, mb *Mailbox, msg any) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.seq++
+	k.queue.push(event{at: k.now + delay, seq: k.seq, mb: mb, msg: msg})
 }
 
 // ScheduleAt arranges for fn to run at absolute virtual time at. Times in
@@ -136,19 +179,15 @@ func (k *Kernel) Run() (Stats, error) {
 		return Stats{}, ErrStopped
 	}
 	for len(k.queue) > 0 {
-		next := k.queue[0]
-		if k.horizon > 0 && next.at > k.horizon {
+		if k.horizon > 0 && k.queue[0].at > k.horizon {
 			break
 		}
-		ev, ok := heap.Pop(&k.queue).(*event)
-		if !ok {
-			return Stats{}, errors.New("sim: corrupt event queue")
-		}
+		ev := k.queue.pop()
 		if ev.at > k.now {
 			k.now = ev.at
 		}
 		k.events++
-		ev.fn()
+		ev.run()
 	}
 	return Stats{Events: k.events, End: k.now, Spawned: len(k.procs)}, nil
 }

@@ -26,7 +26,7 @@ func (m *Mailbox) Len() int { return len(m.queue) }
 // delivers at the current time, after already-queued simultaneous events.
 // Send may be called from kernel context or from any process.
 func (m *Mailbox) Send(msg any, delay Time) {
-	m.k.Schedule(delay, func() { m.deliver(msg) })
+	m.k.scheduleDelivery(delay, m, msg)
 }
 
 // deliver enqueues msg and wakes the longest-waiting receiver, if any.

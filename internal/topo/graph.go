@@ -10,7 +10,6 @@ package topo
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"time"
 )
@@ -143,7 +142,32 @@ func (g *Graph) Neighbors(s SwitchID) []SwitchID {
 }
 
 // Degree returns the number of up links incident to s.
-func (g *Graph) Degree(s SwitchID) int { return len(g.Neighbors(s)) }
+func (g *Graph) Degree(s SwitchID) int {
+	if s < 0 || int(s) >= g.n {
+		return 0
+	}
+	d := 0
+	for _, idx := range g.adj[s] {
+		if !g.links[idx].Down {
+			d++
+		}
+	}
+	return d
+}
+
+// LinkIndex returns a stable index for the link between a and b, usable
+// with LinkAt. Hot paths that would otherwise call Link (a map lookup) per
+// message resolve the index once and re-read the (possibly Down-toggled)
+// link state through it.
+func (g *Graph) LinkIndex(a, b SwitchID) (int, bool) {
+	idx, ok := g.index[key(a, b)]
+	return idx, ok
+}
+
+// LinkAt returns the link with the given index (see LinkIndex). The index
+// must come from LinkIndex; links are never removed, so indices stay valid
+// for the graph's lifetime.
+func (g *Graph) LinkAt(idx int) Link { return g.links[idx] }
 
 // SetLinkDown marks the link between a and b down (failed) or up.
 // It returns an error if no such link exists.
@@ -259,7 +283,7 @@ func (t *SPT) Path(dst SwitchID) []SwitchID {
 }
 
 // ShortestPaths runs Dijkstra over link delays from src. Ties are broken by
-// lower switch ID for determinism.
+// lower switch ID for determinism (see the kernel in sssp.go).
 func (g *Graph) ShortestPaths(src SwitchID) *SPT {
 	t := &SPT{
 		Src:   src,
@@ -273,46 +297,18 @@ func (g *Graph) ShortestPaths(src SwitchID) *SPT {
 	if src < 0 || int(src) >= g.n {
 		return t
 	}
-	const inf = time.Duration(math.MaxInt64)
-	dist := make([]time.Duration, g.n)
-	done := make([]bool, g.n)
-	for i := range dist {
-		dist[i] = inf
-	}
-	dist[src] = 0
-	for {
-		// Linear scan keeps ties deterministic and is plenty fast at the
-		// network sizes LSR targets (a few hundred switches).
-		u := NoSwitch
-		best := inf
-		for i := 0; i < g.n; i++ {
-			if !done[i] && dist[i] < best {
-				best = dist[i]
-				u = SwitchID(i)
-			}
-		}
-		if u == NoSwitch {
-			break
-		}
-		done[u] = true
-		for _, idx := range g.adj[u] {
-			l := g.links[idx]
-			if l.Down {
-				continue
-			}
-			v := l.Other(u)
-			if nd := dist[u] + l.Delay; nd < dist[v] || (nd == dist[v] && !done[v] && t.Pred[v] > u) {
-				dist[v] = nd
-				t.Pred[v] = u
-			}
-		}
-	}
+	sc := AcquireSSSP()
+	sc.Reset(g.n)
+	sc.Seed(src)
+	g.RunSSSP(sc, 0)
 	for i := 0; i < g.n; i++ {
-		if dist[i] < inf {
-			t.Delay[i] = dist[i]
+		if sc.Dist[i] != Unreachable {
+			t.Delay[i] = sc.Dist[i]
+			t.Pred[i] = sc.Pred[i]
 		}
 	}
 	t.Pred[src] = NoSwitch
+	ReleaseSSSP(sc)
 	return t
 }
 

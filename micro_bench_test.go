@@ -23,17 +23,18 @@ import (
 // the machine alone, not a runtime.
 type nullHost struct{ neighbors []topo.SwitchID }
 
-func (nullHost) FloodMC(*lsa.MC)                                  {}
-func (nullHost) FloodNonMC(*lsa.NonMC)                            {}
-func (nullHost) SendUnicast(topo.SwitchID, any)                   {}
-func (nullHost) HoldCompute(any)                                  {}
-func (nullHost) PendingMC(lsa.ConnID) bool                        { return false }
-func (h nullHost) Neighbors() []topo.SwitchID                     { return h.neighbors }
-func (nullHost) FabricLinkChanged(lsa.LinkChange)                 {}
-func (nullHost) ArmResync(lsa.ConnID)                             {}
-func (nullHost) SelfNudge(lsa.ConnID)                             {}
-func (nullHost) NoteInstall()                                                  {}
+func (nullHost) FloodMC(*lsa.MC)                                                {}
+func (nullHost) FloodNonMC(*lsa.NonMC)                                          {}
+func (nullHost) SendUnicast(topo.SwitchID, any)                                 {}
+func (nullHost) HoldCompute(any)                                                {}
+func (nullHost) PendingMC(lsa.ConnID) bool                                      { return false }
+func (h nullHost) Neighbors() []topo.SwitchID                                   { return h.neighbors }
+func (nullHost) FabricLinkChanged(lsa.LinkChange)                               {}
+func (nullHost) ArmResync(lsa.ConnID)                                           {}
+func (nullHost) SelfNudge(lsa.ConnID)                                           {}
+func (nullHost) NoteInstall()                                                   {}
 func (nullHost) Trace(core.TraceKind, core.ChainID, lsa.ConnID, string, ...any) {}
+func (nullHost) TraceEnabled() bool                                             { return false }
 
 // BenchmarkMachineStep measures one full EventHandler pass — stamp
 // bookkeeping, proposal computation, flood emission — on a 16-switch ring.
@@ -141,9 +142,10 @@ func BenchmarkFloodFanout(b *testing.B) {
 }
 
 // BenchmarkTopoCompute measures one from-scratch topology computation (the
-// paper's Tc) at two network sizes.
+// paper's Tc) at three network sizes; n250 exists to expose the asymptotic
+// gap between the old O(n²) linear-min Dijkstra and the heap kernel.
 func BenchmarkTopoCompute(b *testing.B) {
-	for _, n := range []int{50, 100} {
+	for _, n := range []int{50, 100, 250} {
 		g, err := topo.Waxman(topo.DefaultGenConfig(n, 3))
 		if err != nil {
 			b.Fatal(err)
