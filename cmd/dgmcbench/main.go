@@ -9,6 +9,7 @@
 //	dgmcbench -experiment burst      # overheads vs burst size (fixed n)
 //	dgmcbench -experiment hier       # flat vs hierarchical extension
 //	dgmcbench -experiment loss       # convergence under injected loss
+//	dgmcbench -experiment partition  # split/heal reconciliation cost
 //	dgmcbench -experiment all        # everything
 //
 // Use -graphs and -sizes to trade fidelity for speed, and -csv for
@@ -46,7 +47,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dgmcbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "1, 2, 3, baselines, trees, burst, hier, loss, or all")
+	experiment := fs.String("experiment", "all", "1, 2, 3, baselines, trees, burst, hier, loss, partition, or all")
 	graphs := fs.Int("graphs", 20, "random graphs per network size")
 	sizes := fs.String("sizes", "20,40,60,80,100", "comma-separated network sizes")
 	events := fs.Int("events", 10, "membership events per run")
@@ -54,12 +55,21 @@ func run(args []string, w io.Writer) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	metricsOut := fs.String("metrics-out", "", "also export every emitted table as Prometheus gauges to this file")
 	traceOut := fs.String("trace-out", "", "run one representative traced simulation and write its span trees (JSON) to this file")
+	partition := fs.Int("partition", 2, "split/heal cycles per run in the partition experiment")
+	healAfter := fs.Float64("heal-after", 20, "rounds each split (and nodal outage) stays open before healing (partition experiment)")
+	crash := fs.Bool("crash", false, "add a nodal switch outage and recovery to every partition-experiment run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	sz, err := parseSizes(*sizes)
 	if err != nil {
 		return err
+	}
+	if *partition < 1 {
+		return fmt.Errorf("-partition %d: need at least one split/heal cycle", *partition)
+	}
+	if *healAfter <= 0 {
+		return fmt.Errorf("-heal-after %g: splits must heal after a positive number of rounds", *healAfter)
 	}
 	override := func(p *exp.Params) {
 		p.Sizes = sz
@@ -171,6 +181,23 @@ func run(args []string, w io.Writer) error {
 	}
 	if all || want["loss"] {
 		t, err := exp.Loss(exp.LossParams{BaseSeed: *seed, RunsPerPoint: *graphs / 2, Events: *events})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if all || want["partition"] {
+		t, err := exp.Partition(exp.PartitionParams{
+			Sizes:           sz,
+			Cycles:          *partition,
+			HealAfterRounds: *healAfter,
+			Crash:           *crash,
+			RunsPerPoint:    *graphs / 2,
+			BaseSeed:        *seed,
+			Events:          *events,
+		})
 		if err != nil {
 			return err
 		}

@@ -63,4 +63,28 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}, &sb); err == nil {
 		t.Error("unknown flag accepted")
 	}
+	if err := run([]string{"-experiment", "partition", "-partition", "0"}, &sb); err == nil {
+		t.Error("-partition 0 accepted")
+	}
+	if err := run([]string{"-experiment", "partition", "-heal-after", "-3"}, &sb); err == nil {
+		t.Error("negative -heal-after accepted")
+	}
+}
+
+func TestRunPartitionSmall(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-experiment", "partition", "-sizes", "10", "-graphs", "4",
+		"-events", "6", "-partition", "1", "-heal-after", "10", "-crash",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Partition sweep") || !strings.Contains(out, "reconciles/cycle") {
+		t.Errorf("output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "nodal outage") {
+		t.Errorf("-crash not reflected in title:\n%s", out)
+	}
 }

@@ -8,6 +8,7 @@
 //
 //	dgmccheck -topo ring -n 4 -scenario join@0,join@2
 //	dgmccheck -topo line -n 3 -mode walk -walks 500 -seed 1 -resync -drops 1
+//	dgmccheck -topo line -n 4 -resync -scenario join@0,split@0.1|2.3,heal,crash@3,restart@3
 //	dgmccheck -mutate accept-stale            # seeded bug: must report a violation
 //	dgmccheck -replay dgmc-sched-v1:...       # re-execute a counterexample token
 //
@@ -49,7 +50,8 @@ func run(args []string, w io.Writer) error {
 	n := fs.Int("n", 4, "number of switches")
 	algName := fs.String("alg", "sph", "topology algorithm: sph, kmb, spt, cbt, or incremental")
 	scenario := fs.String("scenario", "join@0,join@2",
-		"comma-separated events: join@S, leave@S, fail@A-B, restore@A-B; append /C for a connection other than 1")
+		"comma-separated events: join@S, leave@S, fail@A-B, restore@A-B (append /C for a connection other than 1); "+
+			"fault lane: split@0.1|2.3 (groups of dot-separated switches), heal, crash@S, restart@S (require -resync)")
 	mode := fs.String("mode", "exhaustive", "search mode: exhaustive (BFS) or walk (seeded random schedules)")
 	depth := fs.Int("depth", 0, "exhaustive: max schedule depth (0 = unbounded)")
 	maxStates := fs.Int("max-states", 0, "exhaustive: max distinct states (0 = default 2000000)")
@@ -193,12 +195,21 @@ func buildTopo(name string, n int) (*topo.Graph, error) {
 
 // parseScenario parses the event DSL: comma-separated join@S, leave@S,
 // fail@A-B, restore@A-B, each optionally suffixed /C to address connection
-// C (default 1). Link events are detected by their A endpoint.
+// C (default 1). Link events are detected by their A endpoint. Fault-lane
+// operations ride in the same list but keep program order among themselves:
+// split@0.1|2.3 (groups separated by '|', members by '.'), heal, crash@S,
+// restart@S.
 func parseScenario(s string, g *topo.Graph) (explore.Scenario, error) {
 	var scn explore.Scenario
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
+			continue
+		}
+		if op, ok, err := parseFaultOp(part); err != nil {
+			return scn, err
+		} else if ok {
+			scn.Faults = append(scn.Faults, op)
 			continue
 		}
 		spec := part
@@ -247,9 +258,51 @@ func parseScenario(s string, g *topo.Graph) (explore.Scenario, error) {
 			return scn, fmt.Errorf("unknown verb %q in %q", verb, part)
 		}
 	}
-	if len(scn.Injects) == 0 {
+	if len(scn.Injects) == 0 && len(scn.Faults) == 0 {
 		return scn, errors.New("empty scenario")
 	}
 	_ = g // validated again by explore.NewWorld
 	return scn, nil
+}
+
+// parseFaultOp recognizes the fault-lane verbs of the scenario DSL. The
+// boolean reports whether part was a fault verb at all; lane-level
+// consistency (alternating split/heal, live crash targets, a whole network
+// at the end) is validated by explore.NewWorld.
+func parseFaultOp(part string) (explore.FaultOp, bool, error) {
+	if part == "heal" {
+		return explore.FaultOp{Kind: explore.FaultHeal}, true, nil
+	}
+	verb, arg, ok := strings.Cut(part, "@")
+	if !ok {
+		return explore.FaultOp{}, false, nil
+	}
+	switch verb {
+	case "split":
+		var groups [][]topo.SwitchID
+		for _, gs := range strings.Split(arg, "|") {
+			var grp []topo.SwitchID
+			for _, field := range strings.Split(gs, ".") {
+				sw, err := strconv.Atoi(field)
+				if err != nil {
+					return explore.FaultOp{}, true, fmt.Errorf("bad switch %q in %q", field, part)
+				}
+				grp = append(grp, topo.SwitchID(sw))
+			}
+			groups = append(groups, grp)
+		}
+		return explore.FaultOp{Kind: explore.FaultSplit, Groups: groups}, true, nil
+	case "crash", "restart":
+		sw, err := strconv.Atoi(arg)
+		if err != nil {
+			return explore.FaultOp{}, true, fmt.Errorf("bad switch in %q", part)
+		}
+		kind := explore.FaultCrash
+		if verb == "restart" {
+			kind = explore.FaultRestart
+		}
+		return explore.FaultOp{Kind: kind, Switch: topo.SwitchID(sw)}, true, nil
+	default:
+		return explore.FaultOp{}, false, nil
+	}
 }

@@ -92,6 +92,53 @@ func TestLossyWalk(t *testing.T) {
 	}
 }
 
+// TestSplitHealCrashGate is the model-checker CI gate from the issue: on a
+// 4-switch line, a partition/heal cycle followed by a crash and cold
+// restart of an endpoint, exhaustively interleaved with a join — zero
+// violations in every reachable schedule.
+func TestSplitHealCrashGate(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-topo", "line", "-n", "4", "-resync",
+		"-scenario", "join@0,split@0.1|2.3,heal,crash@3,restart@3"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no invariant violations: every reachable interleaving converges") {
+		t.Fatalf("missing exhaustive verdict:\n%s", out.String())
+	}
+}
+
+// TestFaultDSL covers the fault-lane verbs: parse errors, the resync
+// requirement, and lane-level validation surfacing through the CLI.
+func TestFaultDSL(t *testing.T) {
+	for _, bad := range []string{
+		"join@0,split@0.x|2.3,heal", // bad switch in a group
+		"join@0,crash@x",            // bad crash target
+		"join@0,restart@y",          // bad restart target
+	} {
+		var out strings.Builder
+		if err := run([]string{"-topo", "line", "-n", "4", "-resync", "-scenario", bad}, &out); err == nil || errors.Is(err, errViolation) {
+			t.Errorf("scenario %q: want parse error, got %v", bad, err)
+		}
+	}
+	for _, bad := range []string{
+		"join@0,split@0.1|2.3,heal",          // faults without -resync (flag omitted below)
+		"join@0,heal",                        // heal without a split
+		"join@0,crash@1",                     // lane ends with a dead switch
+		"join@0,split@0.1|2.3,crash@3,heal",  // crash during a split
+		"join@0,split@0.1|2.3,split@0|1.2.3", // nested split
+	} {
+		args := []string{"-topo", "line", "-n", "4", "-scenario", bad}
+		if bad != "join@0,split@0.1|2.3,heal" {
+			args = append(args, "-resync")
+		}
+		var out strings.Builder
+		if err := run(args, &out); err == nil || errors.Is(err, errViolation) {
+			t.Errorf("scenario %q: want lane validation error, got %v", bad, err)
+		}
+	}
+}
+
 // TestScenarioDSL covers the event grammar, including link events and
 // connection suffixes.
 func TestScenarioDSL(t *testing.T) {

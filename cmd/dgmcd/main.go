@@ -54,6 +54,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	listen := fs.String("listen", "", "listen address override (default: this switch's addr directive)")
 	algName := fs.String("algorithm", "sph", "topology algorithm: sph, kmb, spt, cbt, incremental")
 	resync := fs.Duration("resync", 500*time.Millisecond, "gap-recovery timeout; 0 disables (not recommended over UDP)")
+	epoch := fs.Uint64("epoch", 0, "restart epoch: bump by one on every restart of the same switch ID; a nonzero epoch cold-rejoins from the neighbors")
 	reopt := fs.Float64("reopt", 0, "re-optimization threshold for link recoveries (0 = off)")
 	admin := fs.String("admin", "", "admin HTTP listen address serving /metrics, /spans, /state, /debug/pprof (off by default)")
 	verbose := fs.Bool("v", false, "log the protocol trace to stderr")
@@ -88,6 +89,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		resync:    *resync,
 		reopt:     *reopt,
 		admin:     *admin,
+		epoch:     *epoch,
 	}
 	if *verbose {
 		cfg.logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
@@ -113,6 +115,7 @@ type daemonConfig struct {
 	resync    time.Duration
 	reopt     float64
 	admin     string // admin HTTP listen address; empty disables
+	epoch     uint64 // restart epoch; nonzero means crash-restart rejoin
 	logf      func(format string, args ...any)
 }
 
@@ -153,6 +156,7 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		Algorithm:           cfg.algorithm,
 		ReoptimizeThreshold: cfg.reopt,
 		ResyncTimeout:       cfg.resync,
+		Epoch:               cfg.epoch,
 		Logf:                cfg.logf,
 	}
 	if cfg.admin != "" {
@@ -167,6 +171,12 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		return nil, err
 	}
 	d.node = node
+	if cfg.epoch > 0 {
+		// A nonzero epoch marks this process as a restarted incarnation:
+		// its volatile state is gone, so ask every neighbor to replay
+		// everything before originating anything new.
+		node.RejoinFromNeighbors()
+	}
 	if cfg.admin != "" {
 		if err := d.startAdmin(cfg.admin); err != nil {
 			node.Close()
@@ -203,11 +213,11 @@ func (d *daemon) adminAddr() string {
 
 // stateJSON is the /state document: the daemon's protocol state at a glance.
 type stateJSON struct {
-	Switch       int              `json:"switch"`
-	Addr         string           `json:"addr"`
-	Metrics      core.Metrics     `json:"metrics"`
-	DecodeErrors uint64           `json:"decode_errors"`
-	Connections  []connStateJSON  `json:"connections"`
+	Switch       int             `json:"switch"`
+	Addr         string          `json:"addr"`
+	Metrics      core.Metrics    `json:"metrics"`
+	DecodeErrors uint64          `json:"decode_errors"`
+	Connections  []connStateJSON `json:"connections"`
 }
 
 type connStateJSON struct {

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"dgmc/internal/lsa"
 	"dgmc/internal/route"
 	"dgmc/internal/rt"
 	"dgmc/internal/topo"
@@ -139,6 +140,89 @@ func TestThreeDaemonFabric(t *testing.T) {
 	if _, err := daemons[0].exec("join x", &out); err == nil {
 		t.Fatal("bad connection ID accepted")
 	}
+}
+
+// TestDaemonCrashRestartRejoin kills the middle daemon of a 3-switch line,
+// injects an event the dead switch blocks from propagating, then boots a
+// blank successor at the next restart epoch: the rejoin must rebuild the
+// old state from the neighbors AND carry the missed event across the
+// fabric (the restarted switch re-floods what the replay taught it).
+func TestDaemonCrashRestartRejoin(t *testing.T) {
+	ports := reservePorts(t, 3)
+	path := writeTopoFile(t, ports)
+	tf, err := rt.LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := func(id int, epoch uint64) *daemon {
+		d, err := newDaemon(daemonConfig{
+			id:        topo.SwitchID(id),
+			topology:  tf,
+			algorithm: route.SPH{},
+			resync:    100 * time.Millisecond,
+			epoch:     epoch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	daemons := make([]*daemon, 3)
+	for i := range daemons {
+		daemons[i] = boot(i, 0)
+		defer func(d *daemon) { d.Close() }(daemons[i])
+	}
+	var out strings.Builder
+	if _, err := daemons[0].exec("join 7 both", &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := daemons[2].exec("join 7 both", &out); err != nil {
+		t.Fatal(err)
+	}
+	waitAgree := func(conn lsa.ConnID, members int) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			agreed := true
+			for _, d := range daemons {
+				snap, ok := d.node.Connection(conn)
+				if !ok || len(snap.Members) != members ||
+					!snap.R.Equal(snap.C) || !snap.R.Geq(snap.E) {
+					agreed = false
+					break
+				}
+			}
+			if agreed {
+				return
+			}
+			if time.Now().After(deadline) {
+				for _, d := range daemons {
+					snap, ok := d.node.Connection(conn)
+					t.Logf("switch %d: ok=%v snap=%+v", d.node.ID(), ok, snap)
+				}
+				t.Fatalf("daemons did not agree on conn %d", conn)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitAgree(7, 2)
+
+	// Crash the middle switch, then originate an event its outage strands
+	// on one side of the line.
+	daemons[1].Close()
+	if _, err := daemons[0].exec("join 8 both", &out); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	daemons[1] = boot(1, 1)
+	if got := daemons[1].node.Epoch(); got != 1 {
+		t.Fatalf("restarted epoch = %d, want 1", got)
+	}
+	// The blank successor must relearn conn 7 from its neighbors, and its
+	// replayed knowledge of conn 8 must reach switch 2.
+	waitAgree(7, 2)
+	waitAgree(8, 1)
 }
 
 func TestRunFlagValidation(t *testing.T) {

@@ -4,6 +4,8 @@
 //	dgmcsim -n 20 -events 8 -burst -trace
 //	dgmcsim -n 50 -events 12 -algorithm kmb -kind asymmetric
 //	dgmcsim -n 20 -mode reliable -drop 0.1 -resync 4
+//	dgmcsim -n 8 -mode reliable -resync 4 -partition "0,1,2,3/4,5,6,7" -heal-after 20
+//	dgmcsim -n 8 -mode reliable -resync 4 -crash 3
 package main
 
 import (
@@ -11,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"dgmc/internal/core"
@@ -52,6 +56,9 @@ func run(args []string, w io.Writer) error {
 	dup := fs.Float64("dup", 0, "per-transmission duplication probability (requires -mode reliable)")
 	jitter := fs.Duration("jitter", 0, "max per-transmission delay jitter (requires -mode reliable)")
 	resync := fs.Float64("resync", 0, "resync timeout in rounds (0 = off)")
+	partSpec := fs.String("partition", "", `split the network mid-run into groups, e.g. "0,1/2,3" (requires -mode reliable and -resync)`)
+	healAfter := fs.Float64("heal-after", 20, "rounds a -partition or -crash outage lasts before healing")
+	crash := fs.Int("crash", -1, "isolate this switch mid-run, as if it crashed undetected (requires -mode reliable and -resync)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,12 +89,26 @@ func run(args []string, w io.Writer) error {
 	if *resync < 0 {
 		return fmt.Errorf("-resync %g: timeout in rounds cannot be negative", *resync)
 	}
-	lossy := *drop > 0 || *dup > 0 || *jitter > 0
-	if lossy && *modeName != "reliable" {
-		return fmt.Errorf("-drop/-dup/-jitter inject transport faults, which only the reliable transport survives; add -mode reliable")
+	if *healAfter <= 0 {
+		return fmt.Errorf("-heal-after %g: outage must last a positive number of rounds", *healAfter)
 	}
-	if *resync > 0 && !lossy {
-		return fmt.Errorf("-resync %g: gap recovery only fires under loss; combine with -mode reliable and -drop/-dup/-jitter", *resync)
+	if *crash < -1 || *crash >= *n {
+		return fmt.Errorf("-crash %d: switch outside [0,%d)", *crash, *n)
+	}
+	groups, err := parseGroups(*partSpec, *n)
+	if err != nil {
+		return err
+	}
+	outage := groups != nil || *crash >= 0
+	lossy := *drop > 0 || *dup > 0 || *jitter > 0
+	if (lossy || outage) && *modeName != "reliable" {
+		return fmt.Errorf("-drop/-dup/-jitter/-partition/-crash inject transport faults, which only the reliable transport survives; add -mode reliable")
+	}
+	if *resync > 0 && !lossy && !outage {
+		return fmt.Errorf("-resync %g: gap recovery only fires under loss; combine with -mode reliable and -drop/-dup/-jitter/-partition/-crash", *resync)
+	}
+	if outage && *resync <= 0 {
+		return fmt.Errorf("-partition/-crash outages recover through gap resync; add -resync (e.g. -resync 4)")
 	}
 	var mode flood.Mode
 	switch *modeName {
@@ -125,16 +146,57 @@ func run(args []string, w io.Writer) error {
 	}
 	k := sim.NewKernel()
 	defer k.Shutdown()
+	// Outage windows are phrased in rounds, and a round needs the flooding
+	// diameter — which needs the network, which needs the fault plan. Probe
+	// Tf on a throwaway kernel to break the cycle, as the exp package does.
+	var parts []faults.Partition
+	if outage {
+		ptf, err := probeTf(g, *perHop)
+		if err != nil {
+			return err
+		}
+		r := sim.Time(ptf + *tc)
+		healSpan := sim.Time(*healAfter * float64(r))
+		at := 10 * r
+		if groups != nil {
+			parts = append(parts, faults.Partition{Groups: groups, At: at, HealAt: at + healSpan})
+			at += 2 * healSpan
+		}
+		if *crash >= 0 {
+			// An undetected nodal outage is an isolation partition: the
+			// victim's links stay up in the topology (nothing tells the
+			// survivors to recompute), but no frame crosses until the heal.
+			victim := topo.SwitchID(*crash)
+			rest := make([]topo.SwitchID, 0, *n-1)
+			for s := 0; s < *n; s++ {
+				if topo.SwitchID(s) != victim {
+					rest = append(rest, topo.SwitchID(s))
+				}
+			}
+			parts = append(parts, faults.Partition{
+				Groups: [][]topo.SwitchID{{victim}, rest},
+				At:     at,
+				HealAt: at + healSpan,
+			})
+		}
+	}
 	var opts []flood.Option
-	if *drop > 0 || *dup > 0 || *jitter > 0 {
+	if lossy || len(parts) > 0 {
 		inj, err := faults.New(k, faults.Plan{
-			Seed:    *seed,
-			Default: faults.LinkFaults{Drop: *drop, Dup: *dup, Jitter: *jitter},
+			Seed:       *seed,
+			Default:    faults.LinkFaults{Drop: *drop, Dup: *dup, Jitter: *jitter},
+			Partitions: parts,
 		})
 		if err != nil {
 			return err
 		}
 		opts = append(opts, flood.WithFaults(inj))
+		if len(parts) > 0 {
+			// A long outage would otherwise be masked by endless
+			// retransmission; a tight budget makes the cut a real loss the
+			// resync machinery has to repair.
+			opts = append(opts, flood.WithRetryBudget(2))
+		}
 	}
 	net, err := flood.New(k, g, *perHop, mode, opts...)
 	if err != nil {
@@ -169,6 +231,10 @@ func run(args []string, w io.Writer) error {
 	d, err := core.NewDomain(k, cfg)
 	if err != nil {
 		return err
+	}
+	for _, pt := range parts {
+		d.SchedulePartitionHeal(pt)
+		fmt.Fprintf(w, "fault: %v, healing at t=%v\n", pt, pt.HealAt)
 	}
 
 	wcfg := workload.Config{N: *n, Events: *events, Seed: *seed, Start: round}
@@ -245,6 +311,10 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "resync: requests=%d responses=%d out-of-order=%d give-ups=%d\n",
 				m.ResyncRequests, m.ResyncResponses, m.OutOfOrderLSAs, m.ResyncGiveUps)
 		}
+		if outage {
+			fmt.Fprintf(w, "heal: reconciles=%d replays=%d re-arms=%d\n",
+				m.Reconciles, m.Replays, m.ResyncRearms)
+		}
 	}
 	if snap, ok := d.Switch(0).Connection(1); ok {
 		fmt.Fprintf(w, "members: %v\n", snap.Members.IDs())
@@ -272,6 +342,54 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "metrics: written to %s\n", *metricsOut)
 	}
 	return nil
+}
+
+// parseGroups parses a -partition spec like "0,1/2,3" into switch groups:
+// groups are separated by '/', members by ','. Switches left out of every
+// group are unconstrained by the split (faults.Partition semantics). An
+// empty spec means no partition.
+func parseGroups(spec string, n int) ([][]topo.SwitchID, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var groups [][]topo.SwitchID
+	seen := map[topo.SwitchID]bool{}
+	for _, gs := range strings.Split(spec, "/") {
+		var grp []topo.SwitchID
+		for _, field := range strings.Split(gs, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				return nil, fmt.Errorf("-partition %q: bad switch %q", spec, field)
+			}
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("-partition %q: switch %d outside [0,%d)", spec, v, n)
+			}
+			s := topo.SwitchID(v)
+			if seen[s] {
+				return nil, fmt.Errorf("-partition %q: switch %d listed twice", spec, v)
+			}
+			seen[s] = true
+			grp = append(grp, s)
+		}
+		groups = append(groups, grp)
+	}
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("-partition %q: need at least two groups separated by '/'", spec)
+	}
+	return groups, nil
+}
+
+// probeTf computes the flooding diameter of g without building the real
+// network, so outage windows phrased in rounds can be converted to virtual
+// time before the fault plan is frozen.
+func probeTf(g *topo.Graph, perHop time.Duration) (time.Duration, error) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	net, err := flood.New(k, g, perHop, flood.Direct)
+	if err != nil {
+		return 0, err
+	}
+	return net.FloodTime()
 }
 
 // writeSpans dumps the collected span trees as JSON.

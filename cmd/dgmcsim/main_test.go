@@ -64,6 +64,15 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		"jitter without mode":  {"-jitter", "1ms", "-mode", "tree"},
 		"resync without lossy": {"-resync", "4"},
 		"resync fault-free":    {"-resync", "4", "-mode", "reliable"},
+		"partition bad spec":   {"-partition", "0,1/x", "-mode", "reliable", "-resync", "4"},
+		"partition one group":  {"-partition", "0,1,2", "-mode", "reliable", "-resync", "4"},
+		"partition dup switch": {"-partition", "0,1/1,2", "-mode", "reliable", "-resync", "4"},
+		"partition bad switch": {"-partition", "0,1/99", "-n", "8", "-mode", "reliable", "-resync", "4"},
+		"partition no resync":  {"-partition", "0,1/2,3", "-mode", "reliable"},
+		"partition bad mode":   {"-partition", "0,1/2,3", "-resync", "4"},
+		"crash out of range":   {"-crash", "50", "-n", "8", "-mode", "reliable", "-resync", "4"},
+		"crash no resync":      {"-crash", "3", "-mode", "reliable"},
+		"zero heal-after":      {"-heal-after", "0", "-partition", "0,1/2,3", "-mode", "reliable", "-resync", "4"},
 	}
 	for name, args := range cases {
 		var sb strings.Builder
@@ -83,6 +92,36 @@ func TestRunReliableLossyWithResync(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "transport:") {
 		t.Errorf("reliable run missing transport summary:\n%s", sb.String())
+	}
+}
+
+func TestRunPartitionHealConverges(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "8", "-events", "5", "-seed", "3", "-mode", "reliable",
+		"-resync", "4", "-partition", "0,1,2,3/4,5,6,7", "-heal-after", "15"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fault: partition(", "heal: reconciles=", "converged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("partition run missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCrashIsolationConverges(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-n", "8", "-events", "5", "-seed", "3", "-mode", "reliable",
+		"-resync", "4", "-crash", "2", "-heal-after", "15"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fault: partition(2|", "heal: reconciles=", "converged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("crash run missing %q:\n%s", want, out)
+		}
 	}
 }
 

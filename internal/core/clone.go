@@ -66,6 +66,13 @@ func (cs *connState) clone() *connState {
 		resyncScheduled: cs.resyncScheduled,
 		resyncRounds:    cs.resyncRounds,
 		resyncNext:      cs.resyncNext,
+		gaveUpOOO:       cs.gaveUpOOO,
+	}
+	if cs.gaveUpR != nil {
+		c.gaveUpR = cs.gaveUpR.Clone()
+	}
+	if cs.gaveUpE != nil {
+		c.gaveUpE = cs.gaveUpE.Clone()
 	}
 	if len(cs.eventLog) > 0 {
 		c.eventLog = make([]*lsa.MC, len(cs.eventLog))
@@ -199,5 +206,8 @@ func (cs *connState) appendState(buf []byte) []byte {
 	buf = appendBool(buf, cs.resyncScheduled)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(cs.resyncRounds))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(cs.resyncNext))
+	buf = cs.gaveUpR.AppendBinary(buf)
+	buf = cs.gaveUpE.AppendBinary(buf)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(cs.gaveUpOOO))
 	return buf
 }

@@ -62,6 +62,15 @@ type connState struct {
 	resyncScheduled bool
 	resyncRounds    int
 	resyncNext      int
+
+	// Give-up signature: the (R, E, ooo depth) recorded when this gap
+	// exhausted its round budget. While the signature still matches the
+	// live state the give-up is terminal; any deviation is new evidence
+	// (a replay landed, a flood arrived, a partition healed) and re-arms
+	// recovery with a fresh round budget.
+	gaveUpR   stamp.Stamp
+	gaveUpE   stamp.Stamp
+	gaveUpOOO int
 }
 
 func newConnState(id lsa.ConnID, kind mctree.Kind, n int) *connState {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"dgmc/internal/faults"
 	"dgmc/internal/flood"
 	"dgmc/internal/lsa"
 	"dgmc/internal/mctree"
@@ -45,6 +46,18 @@ type Metrics struct {
 	// ResyncGiveUps counts connections on which a switch exhausted its
 	// resync round budget with the gap still open.
 	ResyncGiveUps uint64
+	// ResyncRearms counts gaps whose recovery restarted after a give-up
+	// because new evidence (a changed R, E, or out-of-order buffer) arrived.
+	ResyncRearms uint64
+	// Reconciles counts heal-reconciliation exchanges started: one per
+	// (connection, neighbor) pair a switch reconciled after a partition
+	// healed, plus one per neighbor a restarted switch cold-rejoined from.
+	Reconciles uint64
+	// Replays counts event LSAs re-flooded after being learned through a
+	// resync replay, propagating recovered knowledge beyond the replaying
+	// pair (the OSPF rule that LSAs learned during database exchange are
+	// flooded onward).
+	Replays uint64
 }
 
 // Config configures a D-GMC domain.
@@ -217,6 +230,37 @@ func (d *Domain) FailSwitch(at sim.Time, s topo.SwitchID) {
 		d.switches[nb].events.Send(
 			LocalEvent{Kind: lsa.Link, Link: lsa.LinkChange{A: nb, B: s, Down: true}},
 			at-d.k.Now())
+	}
+}
+
+// Reconcile schedules a heal-reconciliation exchange at virtual time at:
+// switch a sends neighbor b one resync request per known connection,
+// advertising a's R stamps (see Machine.ReconcileNeighbor). Call it for
+// both directions of every boundary link when a partition heals.
+func (d *Domain) Reconcile(at sim.Time, a, b topo.SwitchID) {
+	d.k.After(at-d.k.Now(), func() { d.switches[a].m.ReconcileNeighbor(b) })
+}
+
+// SchedulePartitionHeal schedules the protocol half of a transport
+// partition (faults.Partition in the fabric's fault plan): at p.HealAt,
+// every up fabric link crossing p's groups reconciles in both directions,
+// modelling the hello-protocol contact both sides make when connectivity
+// returns. Replayed events re-flood from the boundary, so each side's
+// interior converges too. A never-healing partition (HealAt zero) gets no
+// reconciliation.
+func (d *Domain) SchedulePartitionHeal(p faults.Partition) {
+	if p.HealAt == 0 {
+		return
+	}
+	g := d.net.Graph()
+	for s := 0; s < d.n; s++ {
+		a := topo.SwitchID(s)
+		for _, b := range g.Neighbors(a) {
+			if a < b && p.Crosses(a, b) {
+				d.Reconcile(p.HealAt, a, b)
+				d.Reconcile(p.HealAt, b, a)
+			}
+		}
 	}
 }
 

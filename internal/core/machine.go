@@ -465,6 +465,7 @@ func (m *Machine) ReceiveBatch(ctx any, batch []any) {
 	perConn := make(map[lsa.ConnID][]*lsa.MC)
 	var order []lsa.ConnID
 	var requests []*lsa.ResyncRequest
+	var replayed map[*lsa.MC]bool
 	addMC := func(mc *lsa.MC) {
 		if _, seen := perConn[mc.Conn]; !seen {
 			order = append(order, mc.Conn)
@@ -490,6 +491,10 @@ func (m *Machine) ReceiveBatch(ctx any, batch []any) {
 			requests = append(requests, v)
 		case *lsa.ResyncResponse:
 			for _, mc := range v.Batch {
+				if replayed == nil {
+					replayed = make(map[*lsa.MC]bool)
+				}
+				replayed[mc] = true
 				addMC(mc)
 			}
 		case flood.Unicast:
@@ -521,7 +526,7 @@ func (m *Machine) ReceiveBatch(ctx any, batch []any) {
 		consume(raw)
 	}
 	for _, conn := range order {
-		m.receiveLSA(ctx, m.conn(conn), perConn[conn])
+		m.receiveLSA(ctx, m.conn(conn), perConn[conn], replayed)
 	}
 	for _, req := range requests {
 		m.handleResyncRequest(req)
@@ -530,7 +535,9 @@ func (m *Machine) ReceiveBatch(ctx any, batch []any) {
 
 // receiveLSA is Figure 5 of the paper: process a batch of LSAs for one
 // connection, then decide whether to compute and flood a proposal.
-func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
+// replayed marks batch entries that arrived in a resync replay rather than
+// a flood (nil when none did).
+func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC, replayed map[*lsa.MC]bool) {
 	x := int(m.id)
 
 	// Lines 1-2. candidateStamp is only read when candidate is non-nil, and
@@ -557,6 +564,19 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC) {
 		for _, a := range m.applyEventLSA(cs, msg) {
 			if a.Event.IsEvent() {
 				batchChain = chainOf(a)
+				// An event learned through a replay was never flooded to the
+				// rest of the network by this switch's side of the exchange.
+				// Flood it onward (the OSPF rule for LSAs learned during
+				// database exchange), so knowledge recovered across a healed
+				// boundary propagates transitively instead of stopping at
+				// the reconciling pair. Copies reaching switches that
+				// already applied the event are stale-dropped; re-flooding
+				// is bounded because only replay arrivals qualify — the
+				// forwarded copies themselves arrive as ordinary floods.
+				if replayed[a] {
+					m.metrics.Replays++
+					m.floodMC(batchChain, a)
+				}
 			}
 			// Line 10: merge any new expectations.
 			cs.e.MaxInPlace(a.Stamp)

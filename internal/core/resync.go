@@ -2,6 +2,8 @@ package core
 
 import (
 	"dgmc/internal/lsa"
+	"dgmc/internal/stamp"
+	"dgmc/internal/topo"
 )
 
 // Gap recovery for lossy fabrics (the OSPF database-exchange analogue).
@@ -98,19 +100,42 @@ func (m *Machine) applyEventLSA(cs *connState, msg *lsa.MC) []*lsa.MC {
 // Called after every EventHandler and ReceiveLSA invocation; a no-op when
 // the connection is healthy (it then also resets the round budget, so each
 // new gap starts fresh).
+//
+// A gap whose round budget is exhausted is terminal only while the state it
+// gave up on persists: if R, E, or the out-of-order buffer has changed since
+// the give-up — a late flood, a replay, a healed partition — that is new
+// evidence, and recovery re-arms with a fresh budget instead of staying
+// wedged forever.
 func (m *Machine) maybeScheduleResync(cs *connState) {
 	if !m.resync || cs.resyncScheduled {
 		return
 	}
 	if !cs.gapped() {
-		cs.resyncRounds = 0
+		cs.clearGiveUp()
 		return
 	}
 	if cs.resyncRounds > m.resyncMax {
-		return // gave up on this gap; only new healthy state resets it
+		if cs.r.Equal(cs.gaveUpR) && cs.e.Equal(cs.gaveUpE) && cs.oooCount == cs.gaveUpOOO {
+			return // same gap, no new evidence: stay terminal
+		}
+		cs.clearGiveUp()
+		m.metrics.ResyncRearms++
+		if m.host.TraceEnabled() {
+			m.host.Trace(TraceResync, ChainID{}, cs.id,
+				"new evidence after give-up: re-arming recovery (R=%s E=%s ooo=%d)", cs.r, cs.e, cs.oooCount)
+		}
 	}
 	cs.resyncScheduled = true
 	m.host.ArmResync(cs.id)
+}
+
+// clearGiveUp resets the round budget and forgets the give-up signature
+// (the gap healed, or new evidence restarted recovery).
+func (cs *connState) clearGiveUp() {
+	cs.resyncRounds = 0
+	cs.gaveUpR = nil
+	cs.gaveUpE = nil
+	cs.gaveUpOOO = 0
 }
 
 // ResyncFired is the gap-check timer callback: the host calls it once per
@@ -130,14 +155,20 @@ func (m *Machine) ResyncFired(conn lsa.ConnID) {
 // appropriate recovery action and re-arms.
 func (m *Machine) resyncCheck(cs *connState) {
 	if !cs.gapped() {
-		cs.resyncRounds = 0
+		cs.clearGiveUp()
 		return
 	}
 	if cs.resyncRounds >= m.resyncMax {
-		cs.resyncRounds = m.resyncMax + 1 // block further arming for this gap
+		// Explicit terminal state: block further arming for this gap and
+		// record the state we gave up on, so any later deviation from it
+		// counts as new evidence and re-arms recovery.
+		cs.resyncRounds = m.resyncMax + 1
+		cs.gaveUpR = cs.r.Clone()
+		cs.gaveUpE = cs.e.Clone()
+		cs.gaveUpOOO = cs.oooCount
 		m.metrics.ResyncGiveUps++
 		if m.host.TraceEnabled() {
-			m.host.Trace(TraceResync, ChainID{}, cs.id,
+			m.host.Trace(TraceGiveUp, ChainID{}, cs.id,
 				"giving up after %d resync rounds (R=%s E=%s C=%s)", m.resyncMax, cs.r, cs.e, cs.c)
 		}
 		return
@@ -169,15 +200,38 @@ func (m *Machine) resyncCheck(cs *connState) {
 // handleResyncRequest serves a neighbor's resync request from this switch's
 // event log: replay every logged event beyond the requester's R, close with
 // a pseudo-proposal carrying the installed topology, and let the request's
-// R advertise any events the requester has seen that we have not.
+// R advertise any events the requester has seen that we have not. The
+// wildcard lsa.AllConns serves every known connection — including dormant
+// ones, whose counters and logs survive dormancy — which is how a restarted
+// switch with no state at all rebuilds from a neighbor.
 func (m *Machine) handleResyncRequest(req *lsa.ResyncRequest) {
+	if req.Conn == lsa.AllConns {
+		for _, id := range m.AllConnections() {
+			m.serveResync(m.conns[id], req.From, req.R)
+		}
+		return
+	}
 	cs := m.conn(req.Conn)
-	if len(req.R) == len(cs.e) {
-		cs.e.MaxInPlace(req.R)
+	m.serveResync(cs, req.From, req.R)
+	m.maybeScheduleResync(cs) // the E merge may have revealed our own gap
+}
+
+// serveResync replays this switch's event-log suffix beyond r (an empty or
+// short r reads as all-zeros: replay everything) to the requesting neighbor
+// and merges r into E, making gap detection symmetric.
+func (m *Machine) serveResync(cs *connState, from topo.SwitchID, r stamp.Stamp) {
+	if len(r) == len(cs.e) {
+		cs.e.MaxInPlace(r)
+	}
+	rAt := func(x int) uint32 {
+		if x >= 0 && x < len(r) {
+			return r[x]
+		}
+		return 0
 	}
 	var batch []*lsa.MC
 	for _, msg := range cs.eventLog {
-		if int(msg.Src) < len(req.R) && msg.Stamp[int(msg.Src)] > req.R[int(msg.Src)] {
+		if msg.Stamp[int(msg.Src)] > rAt(int(msg.Src)) {
 			batch = append(batch, msg)
 		}
 	}
@@ -190,9 +244,72 @@ func (m *Machine) handleResyncRequest(req *lsa.ResyncRequest) {
 	if len(batch) > 0 {
 		m.metrics.ResyncResponses++
 		if m.host.TraceEnabled() {
-			m.host.Trace(TraceResync, ChainID{}, cs.id, "replaying %d LSAs to %d", len(batch), req.From)
+			m.host.Trace(TraceResync, ChainID{}, cs.id, "replaying %d LSAs to %d", len(batch), from)
 		}
-		m.host.SendUnicast(req.From, &lsa.ResyncResponse{Conn: cs.id, From: m.id, Batch: batch})
+		m.host.SendUnicast(from, &lsa.ResyncResponse{Conn: cs.id, From: m.id, Batch: batch})
 	}
-	m.maybeScheduleResync(cs) // the E merge may have revealed our own gap
+}
+
+// ResumeTimers re-arms the gap-check timer for every connection that had
+// one pending when the machine's state was captured: a snapshot taken with
+// resyncScheduled set carries the flag, but the timer itself died with the
+// old runtime, and nothing else would ever call ResyncFired for that gap
+// again. Call once after restoring a machine into a new runtime.
+func (m *Machine) ResumeTimers() {
+	if !m.resync {
+		return
+	}
+	for _, id := range m.AllConnections() {
+		if m.conns[id].resyncScheduled {
+			m.host.ArmResync(id)
+		}
+	}
+}
+
+// ReconcileNeighbor starts heal reconciliation with nb: for every known
+// connection, send nb a resync request advertising this switch's R. The
+// peer merges each R into its E (so it learns what we know that it does
+// not) and replays its log suffix beyond it (so we learn what it knows).
+// Called on both sides of a healed boundary, this converges the pair to
+// the elementwise-max event set; replayed events are then re-flooded
+// (see receiveLSA), so knowledge recovered at the boundary propagates to
+// the interior of each former partition side as ordinary flooding.
+//
+// The hosting runtime must serialize this with every other Machine call.
+func (m *Machine) ReconcileNeighbor(nb topo.SwitchID) {
+	for _, id := range m.AllConnections() {
+		cs := m.conns[id]
+		m.metrics.Reconciles++
+		m.metrics.ResyncRequests++
+		if m.host.TraceEnabled() {
+			m.host.Trace(TraceHeal, ChainID{}, cs.id,
+				"reconciling with %d after heal (R=%s E=%s C=%s)", nb, cs.r, cs.e, cs.c)
+		}
+		m.host.SendUnicast(nb, &lsa.ResyncRequest{Conn: cs.id, From: m.id, R: cs.r.Clone()})
+		m.maybeScheduleResync(cs)
+	}
+}
+
+// RequestFullResync is the cold-rejoin path of a restarted switch: ask
+// every current neighbor to replay everything it knows about every
+// connection (the lsa.AllConns wildcard with an empty R). Duplicate
+// replays from multiple neighbors are harmless — per-origin ordered apply
+// drops already-applied copies — and asking all neighbors tolerates
+// neighbors that themselves hold no state. Recovering the switch's own
+// event counter before originating new events is what makes a restart
+// safe: a fresh event flooded with a reset counter would be stale-dropped
+// network-wide.
+//
+// The hosting runtime must serialize this with every other Machine call.
+func (m *Machine) RequestFullResync() {
+	nbs := m.host.Neighbors()
+	for _, nb := range nbs {
+		m.metrics.Reconciles++
+		m.metrics.ResyncRequests++
+		if m.host.TraceEnabled() {
+			m.host.Trace(TraceHeal, ChainID{}, lsa.AllConns,
+				"cold rejoin: requesting full resync from %d", nb)
+		}
+		m.host.SendUnicast(nb, &lsa.ResyncRequest{Conn: lsa.AllConns, From: m.id, R: nil})
+	}
 }

@@ -31,8 +31,15 @@ const (
 	// TraceError: a protocol-level error was logged and absorbed.
 	TraceError
 	// TraceResync: gap-recovery activity (out-of-order buffering, resync
-	// requests, replays, give-ups).
+	// requests, replays).
 	TraceResync
+	// TraceGiveUp: gap recovery exhausted its round budget — the explicit
+	// terminal state of a gap. Recovery re-arms only when new evidence (any
+	// change to R, E, or the out-of-order buffer) arrives.
+	TraceGiveUp
+	// TraceHeal: a heal-reconciliation exchange with a neighbor was started
+	// (post-partition contact or a restarted switch's cold rejoin).
+	TraceHeal
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +63,10 @@ func (k TraceKind) String() string {
 		return "error"
 	case TraceResync:
 		return "resync"
+	case TraceGiveUp:
+		return "give-up"
+	case TraceHeal:
+		return "heal"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", uint8(k))
 	}

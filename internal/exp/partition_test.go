@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPartitionSweepSmall runs a scaled-down partition sweep end to end:
+// every run must survive its split/heal cycles and the nodal outage, and
+// the table must show real reconciliation work.
+func TestPartitionSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	tbl, err := Partition(PartitionParams{
+		Sizes:        []int{10},
+		Cycles:       2,
+		Crash:        true,
+		RunsPerPoint: 3,
+		BaseSeed:     7,
+		Events:       8,
+		Tc:           200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(tbl.Rows))
+	}
+	row := tbl.Rows[0]
+	if row.X != 10 {
+		t.Fatalf("row x = %g, want 10", row.X)
+	}
+	// Column 1 is reconciles/cycle: two healed bipartitions plus a nodal
+	// recovery must reconcile at least once per cycle on average.
+	if row.Cells[1].Mean <= 0 {
+		t.Fatalf("no heal reconciliations recorded: %+v", row)
+	}
+}
+
+func TestRandomBipartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		groups := randomBipartition(rng, 5)
+		if len(groups) != 2 || len(groups[0]) == 0 || len(groups[1]) == 0 {
+			t.Fatalf("bad bipartition %v", groups)
+		}
+		seen := map[int]bool{}
+		for _, g := range groups {
+			for _, s := range g {
+				if seen[int(s)] {
+					t.Fatalf("switch %d twice in %v", s, groups)
+				}
+				seen[int(s)] = true
+			}
+		}
+		if len(seen) != 5 {
+			t.Fatalf("bipartition %v does not cover 5 switches", groups)
+		}
+	}
+}

@@ -111,6 +111,11 @@ type Inject struct {
 // Scenario is the workload to explore.
 type Scenario struct {
 	Injects []Inject
+	// Faults is the ordered fault lane: partition, heal, crash, and
+	// restart operations that fire in list order, each interleaving freely
+	// with everything else (see faultops.go). Requires Config.Resync —
+	// partition and crash recovery are resync machinery.
+	Faults []FaultOp
 }
 
 func (s *Scenario) validate(g *topo.Graph) error {
@@ -137,7 +142,7 @@ func (s *Scenario) validate(g *topo.Graph) error {
 			return fmt.Errorf("explore: inject %d: invalid event kind %d", i, inj.Event.Kind)
 		}
 	}
-	return nil
+	return validateFaults(s.Faults, g)
 }
 
 // pendingMsg is one in-flight message: a flooded LSA copy addressed to one
@@ -166,6 +171,7 @@ const (
 	actDrop
 	actDup
 	actFire
+	actFault
 )
 
 // action is one enabled transition of a world state.
@@ -197,12 +203,30 @@ type World struct {
 	// per originating switch (ground truth for event conservation).
 	injectedMembership map[lsa.ConnID][]int
 
-	pending   []pendingMsg
+	pending []pendingMsg
+	// held parks frames sent across an active partition: the transport's
+	// forwarding/retry machinery would deliver them once connectivity
+	// returns, so a heal releases them back into pending (see faultops.go).
+	// Non-empty only while a split is active.
+	held      []pendingMsg
 	timers    []timer
 	dropsLeft int
 	dupsLeft  int
 	nextMsgID int
 	installs  int
+
+	// Fault-lane state (see faultops.go). side is nil when no partition is
+	// active, else side[s] is s's group. ownHigh[conn][x] records the most
+	// events origin x had issued at any crash of x — the origin-authority
+	// bound must survive the origin forgetting its own counter. crashedEver
+	// switches every quiescent check to the lossy standard; crashedOnce
+	// waives event conservation per switch.
+	faultPos    int
+	side        []int
+	crashed     []bool
+	crashedOnce []bool
+	crashedEver bool
+	ownHigh     map[lsa.ConnID][]uint32
 
 	tracing bool
 	trace   []string
@@ -224,6 +248,9 @@ func NewWorld(cfg Config, scn Scenario) (*World, error) {
 	if err := scn.validate(cfg.Graph); err != nil {
 		return nil, err
 	}
+	if len(scn.Faults) > 0 && !cfg.Resync {
+		return nil, fmt.Errorf("explore: fault operations require Resync (partition and crash recovery are resync machinery)")
+	}
 	n := cfg.Graph.NumSwitches()
 	w := &World{
 		cfg:                cfg,
@@ -236,6 +263,9 @@ func NewWorld(cfg Config, scn Scenario) (*World, error) {
 		injectedMembership: make(map[lsa.ConnID][]int),
 		dropsLeft:          cfg.MaxDrops,
 		dupsLeft:           cfg.MaxDups,
+		crashed:            make([]bool, n),
+		crashedOnce:        make([]bool, n),
+		ownHigh:            make(map[lsa.ConnID][]uint32),
 	}
 	for i, inj := range scn.Injects {
 		w.injectsBySwitch[inj.Switch] = append(w.injectsBySwitch[inj.Switch], i)
@@ -270,11 +300,23 @@ func (w *World) clone() *World {
 		injectsBySwitch: w.injectsBySwitch, // immutable after NewWorld
 		injectPos:       append([]int(nil), w.injectPos...),
 		pending:         append([]pendingMsg(nil), w.pending...),
+		held:            append([]pendingMsg(nil), w.held...),
 		timers:          append([]timer(nil), w.timers...),
 		dropsLeft:       w.dropsLeft,
 		dupsLeft:        w.dupsLeft,
 		nextMsgID:       w.nextMsgID,
 		installs:        w.installs,
+		faultPos:        w.faultPos,
+		crashed:         append([]bool(nil), w.crashed...),
+		crashedOnce:     append([]bool(nil), w.crashedOnce...),
+		crashedEver:     w.crashedEver,
+	}
+	if w.side != nil {
+		c.side = append([]int(nil), w.side...)
+	}
+	c.ownHigh = make(map[lsa.ConnID][]uint32, len(w.ownHigh))
+	for conn, hw := range w.ownHigh {
+		c.ownHigh[conn] = append([]uint32(nil), hw...)
 	}
 	c.injectedMembership = make(map[lsa.ConnID][]int, len(w.injectedMembership))
 	for conn, counts := range w.injectedMembership {
@@ -348,10 +390,15 @@ func (w *World) enabled() []action {
 		out = append(out, action{kind: actFire, timer: i, key: key})
 	}
 	for s := 0; s < w.n; s++ {
-		if w.injectPos[s] < len(w.injectsBySwitch[s]) {
+		// A dead switch accepts no local events; its remaining injects
+		// resume after the restart (the fault lane guarantees one comes).
+		if w.injectPos[s] < len(w.injectsBySwitch[s]) && !w.crashed[s] {
 			key := binary.BigEndian.AppendUint32([]byte{4}, uint32(s))
 			out = append(out, action{kind: actInject, sw: topo.SwitchID(s), key: key})
 		}
+	}
+	if w.faultPos < len(w.scn.Faults) {
+		out = append(out, action{kind: actFault, key: []byte{5}})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].key, out[j].key
@@ -387,6 +434,8 @@ func (w *World) describe(a action) string {
 	case actFire:
 		t := w.timers[a.timer]
 		return fmt.Sprintf("fire resync timer at switch %d (conn %d)", t.sw, t.conn)
+	case actFault:
+		return w.scn.Faults[w.faultPos].String()
 	default:
 		return fmt.Sprintf("action(%d)", a.kind)
 	}
@@ -459,6 +508,8 @@ func (w *World) apply(a action) {
 		t := w.timers[a.timer]
 		w.timers = append(w.timers[:a.timer], w.timers[a.timer+1:]...)
 		w.machines[t.sw].ResyncFired(t.conn)
+	case actFault:
+		w.applyFault()
 	}
 }
 
@@ -490,37 +541,8 @@ func (w *World) hash() [32]byte {
 			buf = append(buf, 0)
 		}
 	}
-	msgs := make([][]byte, 0, len(w.pending))
-	for i := range w.pending {
-		pm := &w.pending[i]
-		enc := binary.BigEndian.AppendUint32(nil, uint32(int32(pm.to)))
-		if pm.duped {
-			enc = append(enc, 1)
-		} else {
-			enc = append(enc, 0)
-		}
-		if pm.internal {
-			enc = append(enc, 1)
-		} else {
-			enc = append(enc, 0)
-		}
-		enc = append(enc, encodePayload(pm.payload)...)
-		msgs = append(msgs, enc)
-	}
-	sort.Slice(msgs, func(i, j int) bool {
-		a, b := msgs[i], msgs[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
-	})
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(msgs)))
-	for _, enc := range msgs {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(enc)))
-		buf = append(buf, enc...)
-	}
+	buf = appendMsgMultiset(buf, w.pending)
+	buf = appendMsgMultiset(buf, w.held)
 	ts := append([]timer(nil), w.timers...)
 	sort.Slice(ts, func(i, j int) bool {
 		if ts[i].sw != ts[j].sw {
@@ -538,7 +560,50 @@ func (w *World) hash() [32]byte {
 	for _, p := range w.injectPos {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
 	}
+	// The fault lane is sequential, so side/crashed/crashedOnce are pure
+	// functions of faultPos; hashing the position covers them. (ownHigh is
+	// path-dependent but only relaxes an invariant bound — excluding it
+	// from dedup at worst re-checks a state against a looser bound.)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(w.faultPos))
 	return sha256.Sum256(buf)
+}
+
+// appendMsgMultiset appends msgs to buf as an order-independent multiset
+// (two interleavings that produced the same messages in different orders
+// hash identically).
+func appendMsgMultiset(buf []byte, msgs []pendingMsg) []byte {
+	encs := make([][]byte, 0, len(msgs))
+	for i := range msgs {
+		pm := &msgs[i]
+		enc := binary.BigEndian.AppendUint32(nil, uint32(int32(pm.to)))
+		if pm.duped {
+			enc = append(enc, 1)
+		} else {
+			enc = append(enc, 0)
+		}
+		if pm.internal {
+			enc = append(enc, 1)
+		} else {
+			enc = append(enc, 0)
+		}
+		enc = append(enc, encodePayload(pm.payload)...)
+		encs = append(encs, enc)
+	}
+	sort.Slice(encs, func(i, j int) bool {
+		a, b := encs[i], encs[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(encs)))
+	for _, enc := range encs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+	}
+	return buf
 }
 
 // --- Host implementation ---
@@ -557,16 +622,29 @@ func (w *World) flood(src topo.SwitchID, payload any) {
 		if dst == src {
 			continue
 		}
-		w.pending = append(w.pending, pendingMsg{
-			id: w.nextMsgID, to: dst, origin: src, payload: payload,
-		})
+		// Copies to a dead switch are lost with it. Cross-partition copies
+		// are parked until the heal: under hop-by-hop flooding the frame
+		// reaches the boundary and is forwarded onward once connectivity
+		// returns (see faultops.go).
+		if w.crashed[dst] {
+			continue
+		}
+		pm := pendingMsg{id: w.nextMsgID, to: dst, origin: src, payload: payload}
 		w.nextMsgID++
+		if w.partitioned(src, dst) {
+			w.held = append(w.held, pm)
+		} else {
+			w.pending = append(w.pending, pm)
+		}
 	}
 }
 
 // SendUnicast implements core.Host. Unreachable destinations swallow the
 // message, like a fabric with no route.
 func (h *worldHost) SendUnicast(to topo.SwitchID, payload any) {
+	if h.w.crashed[to] {
+		return
+	}
 	reachable := false
 	for _, s := range h.w.graph.Component(h.id) {
 		if s == to {
@@ -577,10 +655,14 @@ func (h *worldHost) SendUnicast(to topo.SwitchID, payload any) {
 	if !reachable {
 		return
 	}
-	h.w.pending = append(h.w.pending, pendingMsg{
-		id: h.w.nextMsgID, to: to, origin: h.id, payload: payload,
-	})
+	pm := pendingMsg{id: h.w.nextMsgID, to: to, origin: h.id, payload: payload}
 	h.w.nextMsgID++
+	// Cross-partition unicasts park until the heal, like flooded copies.
+	if h.w.partitioned(h.id, to) {
+		h.w.held = append(h.w.held, pm)
+	} else {
+		h.w.pending = append(h.w.pending, pm)
+	}
 }
 
 // HoldCompute implements core.Host: computations are atomic under

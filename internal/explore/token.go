@@ -20,8 +20,14 @@ import (
 // schedule: the topology, configuration, scenario, and choice sequence.
 // `dgmccheck -replay TOKEN` decodes it and re-executes the schedule
 // byte-for-byte — no flags from the original run are needed. The encoding
-// is versioned varint/fixed binary under base64url.
-const tokenPrefix = "dgmc-sched-v1:"
+// is versioned varint/fixed binary under base64url. v2 appends the fault
+// lane (partition/heal/crash/restart operations) after the injects;
+// scenarios without fault operations still encode as v1, so every token
+// this package ever emitted keeps replaying.
+const (
+	tokenPrefix   = "dgmc-sched-v1:"
+	tokenPrefixV2 = "dgmc-sched-v2:"
+)
 
 // tokenAlgName canonicalizes an algorithm for the token: tokens carry the
 // route.ByName name, so decorated names like "incremental(sph)" map back
@@ -97,6 +103,26 @@ func EncodeToken(cfg Config, scn Scenario, sched []int) (string, error) {
 			buf = append(buf, 0)
 		}
 	}
+	// Fault lane (v2 only — fault-free scenarios stay v1).
+	prefix := tokenPrefix
+	if len(scn.Faults) > 0 {
+		if err := scn.validate(cfg.Graph); err != nil {
+			return "", err
+		}
+		prefix = tokenPrefixV2
+		buf = appendUvarint(buf, uint64(len(scn.Faults)))
+		for _, op := range scn.Faults {
+			buf = append(buf, byte(op.Kind))
+			buf = appendUvarint(buf, uint64(op.Switch))
+			buf = appendUvarint(buf, uint64(len(op.Groups)))
+			for _, grp := range op.Groups {
+				buf = appendUvarint(buf, uint64(len(grp)))
+				for _, s := range grp {
+					buf = appendUvarint(buf, uint64(s))
+				}
+			}
+		}
+	}
 	// Schedule.
 	buf = appendUvarint(buf, uint64(len(sched)))
 	for _, c := range sched {
@@ -105,7 +131,7 @@ func EncodeToken(cfg Config, scn Scenario, sched []int) (string, error) {
 		}
 		buf = appendUvarint(buf, uint64(c))
 	}
-	return tokenPrefix + base64.RawURLEncoding.EncodeToString(buf), nil
+	return prefix + base64.RawURLEncoding.EncodeToString(buf), nil
 }
 
 type tokenReader struct {
@@ -157,10 +183,18 @@ func (r *tokenReader) bytes(n int, what string) []byte {
 func DecodeToken(tok string) (Config, Scenario, []int, error) {
 	var cfg Config
 	var scn Scenario
-	if !strings.HasPrefix(tok, tokenPrefix) {
-		return cfg, scn, nil, fmt.Errorf("explore: not a %q token", tokenPrefix)
+	v2 := false
+	var payload string
+	switch {
+	case strings.HasPrefix(tok, tokenPrefix):
+		payload = strings.TrimPrefix(tok, tokenPrefix)
+	case strings.HasPrefix(tok, tokenPrefixV2):
+		payload = strings.TrimPrefix(tok, tokenPrefixV2)
+		v2 = true
+	default:
+		return cfg, scn, nil, fmt.Errorf("explore: not a %q or %q token", tokenPrefix, tokenPrefixV2)
 	}
-	raw, err := base64.RawURLEncoding.DecodeString(strings.TrimPrefix(tok, tokenPrefix))
+	raw, err := base64.RawURLEncoding.DecodeString(payload)
 	if err != nil {
 		return cfg, scn, nil, fmt.Errorf("explore: token payload: %w", err)
 	}
@@ -224,6 +258,35 @@ func DecodeToken(tok string) (Config, Scenario, []int, error) {
 		inj.Event.Link.Down = r.byteVal("inject link down") != 0
 		injects = append(injects, inj)
 	}
+	var faultOps []FaultOp
+	if v2 {
+		nFaults := int(r.uvarint("fault count"))
+		if r.err == nil && nFaults > 1<<16 {
+			return cfg, scn, nil, fmt.Errorf("explore: implausible fault count %d", nFaults)
+		}
+		faultOps = make([]FaultOp, 0, min(nFaults, 256))
+		for i := 0; i < nFaults && r.err == nil; i++ {
+			var op FaultOp
+			op.Kind = FaultKind(r.byteVal("fault kind"))
+			op.Switch = topo.SwitchID(r.uvarint("fault switch"))
+			nGroups := int(r.uvarint("fault group count"))
+			if r.err == nil && nGroups > 1<<16 {
+				return cfg, scn, nil, fmt.Errorf("explore: implausible group count %d", nGroups)
+			}
+			for gi := 0; gi < nGroups && r.err == nil; gi++ {
+				size := int(r.uvarint("fault group size"))
+				if r.err == nil && size > 1<<16 {
+					return cfg, scn, nil, fmt.Errorf("explore: implausible group size %d", size)
+				}
+				grp := make([]topo.SwitchID, 0, min(size, 1024))
+				for k := 0; k < size && r.err == nil; k++ {
+					grp = append(grp, topo.SwitchID(r.uvarint("fault group switch")))
+				}
+				op.Groups = append(op.Groups, grp)
+			}
+			faultOps = append(faultOps, op)
+		}
+	}
 	nSched := int(r.uvarint("schedule length"))
 	if r.err == nil && nSched > 1<<24 {
 		return cfg, scn, nil, fmt.Errorf("explore: implausible schedule length %d", nSched)
@@ -252,7 +315,7 @@ func DecodeToken(tok string) (Config, Scenario, []int, error) {
 		MaxDups:         maxDups,
 		Mutation:        core.Mutation(mutation),
 	}
-	scn = Scenario{Injects: injects}
+	scn = Scenario{Injects: injects, Faults: faultOps}
 	if err := cfg.validate(); err != nil {
 		return cfg, scn, nil, err
 	}

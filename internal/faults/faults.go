@@ -67,6 +67,106 @@ func (f Flap) String() string {
 	return fmt.Sprintf("flap(%d,%d) down %v..%v", f.A, f.B, f.DownAt, f.UpAt)
 }
 
+// PeriodicFlaps expands a periodically flapping link into explicit Flap
+// windows: starting at start, the link (a,b) repeats a cycle of length
+// period, down for the first duty fraction of each cycle and up for the
+// rest, for cycles cycles. duty must be in (0,1) — a mobility pattern, not
+// a permanent failure.
+func PeriodicFlaps(a, b topo.SwitchID, start, period sim.Time, duty float64, cycles int) []Flap {
+	if period <= 0 || duty <= 0 || duty >= 1 || cycles <= 0 {
+		return nil
+	}
+	out := make([]Flap, 0, cycles)
+	down := sim.Time(float64(period) * duty)
+	if down < 1 {
+		down = 1
+	}
+	for i := 0; i < cycles; i++ {
+		at := start + sim.Time(i)*period
+		out = append(out, Flap{A: a, B: b, DownAt: at, UpAt: at + down})
+	}
+	return out
+}
+
+// Partition cuts the network into groups for a window of virtual time:
+// every transmission between switches in *different* groups during
+// [At, HealAt) is dropped, atomically for the whole link set — both
+// directions, all crossing links, from the same instant. Switches not
+// listed in any group are unconstrained. Like a Flap, a Partition acts at
+// the transport level: the topology is not informed, modelling an
+// undetected split (the hardest case — no link-state event tells either
+// side to stop expecting the other). A zero HealAt means the partition
+// never heals within the run.
+//
+// The transport cut is only half of a partition scenario: on heal, the
+// protocol must reconcile the sides' diverged vector stamps. See
+// core.Domain.SchedulePartitionHeal, which pairs with this primitive.
+type Partition struct {
+	Groups [][]topo.SwitchID
+	At     sim.Time
+	HealAt sim.Time
+}
+
+// Crosses reports whether (a,b) connects two different groups of p.
+func (p Partition) Crosses(a, b topo.SwitchID) bool {
+	ga, gb := -1, -1
+	for i, g := range p.Groups {
+		for _, s := range g {
+			if s == a {
+				ga = i
+			}
+			if s == b {
+				gb = i
+			}
+		}
+	}
+	return ga >= 0 && gb >= 0 && ga != gb
+}
+
+func (p Partition) validate() error {
+	if len(p.Groups) < 2 {
+		return fmt.Errorf("faults: partition needs at least 2 groups, got %d", len(p.Groups))
+	}
+	seen := map[topo.SwitchID]bool{}
+	for _, g := range p.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("faults: partition has an empty group")
+		}
+		for _, s := range g {
+			if seen[s] {
+				return fmt.Errorf("faults: switch %d in two partition groups", s)
+			}
+			seen[s] = true
+		}
+	}
+	if p.At < 0 || (p.HealAt != 0 && p.HealAt <= p.At) {
+		return fmt.Errorf("faults: bad partition window %v..%v", p.At, p.HealAt)
+	}
+	return nil
+}
+
+func (p Partition) String() string {
+	var b strings.Builder
+	b.WriteString("partition(")
+	for i, g := range p.Groups {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j, s := range g {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+	}
+	if p.HealAt == 0 {
+		fmt.Fprintf(&b, ") from %v", p.At)
+	} else {
+		fmt.Fprintf(&b, ") %v..%v", p.At, p.HealAt)
+	}
+	return b.String()
+}
+
 func linkKey(a, b topo.SwitchID) [2]topo.SwitchID {
 	if a > b {
 		a, b = b, a
@@ -83,6 +183,8 @@ type Plan struct {
 	Default LinkFaults
 	// Flaps lists scheduled transient outages.
 	Flaps []Flap
+	// Partitions lists scheduled whole-network splits.
+	Partitions []Partition
 
 	links map[[2]topo.SwitchID]LinkFaults
 }
@@ -120,6 +222,11 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("faults: bad flap window %v", f)
 		}
 	}
+	for _, pt := range p.Partitions {
+		if err := pt.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -143,6 +250,9 @@ func (p *Plan) Describe() string {
 	for _, f := range p.Flaps {
 		fmt.Fprintf(&b, "; %s", f)
 	}
+	for _, pt := range p.Partitions {
+		fmt.Fprintf(&b, "; %s", pt)
+	}
 	return b.String()
 }
 
@@ -152,6 +262,8 @@ type Outcome struct {
 	Drop bool
 	// Flapped means the loss was caused by a flap window, not random loss.
 	Flapped bool
+	// Partitioned means the loss was caused by an active partition.
+	Partitioned bool
 	// Duplicate means a second, independent copy is also delivered.
 	Duplicate bool
 	// Jitter is the extra delay added to the (primary) delivery.
@@ -191,6 +303,11 @@ func (in *Injector) Applied() uint64 { return in.applied }
 func (in *Injector) Apply(a, b topo.SwitchID) Outcome {
 	in.applied++
 	now := in.k.Now()
+	for _, pt := range in.plan.Partitions {
+		if now >= pt.At && (pt.HealAt == 0 || now < pt.HealAt) && pt.Crosses(a, b) {
+			return Outcome{Drop: true, Partitioned: true}
+		}
+	}
 	for _, f := range in.plan.Flaps {
 		if linkKey(f.A, f.B) == linkKey(a, b) && now >= f.DownAt && now < f.UpAt {
 			return Outcome{Drop: true, Flapped: true}

@@ -135,3 +135,117 @@ func TestPerLinkOverrideAndDescribe(t *testing.T) {
 		}
 	}
 }
+
+func TestPartitionCrossesAndValidate(t *testing.T) {
+	p := Partition{Groups: [][]topo.SwitchID{{0, 1}, {2, 3}}, At: 5, HealAt: 10}
+	cases := []struct {
+		a, b    topo.SwitchID
+		crosses bool
+	}{
+		{0, 2, true},
+		{2, 0, true}, // direction ignored
+		{0, 1, false},
+		{2, 3, false},
+		{0, 7, false}, // unlisted switch unconstrained
+		{7, 8, false},
+	}
+	for _, c := range cases {
+		if got := p.Crosses(c.a, c.b); got != c.crosses {
+			t.Errorf("Crosses(%d,%d) = %v, want %v", c.a, c.b, got, c.crosses)
+		}
+	}
+
+	bad := []Partition{
+		{Groups: [][]topo.SwitchID{{0, 1}}, At: 0, HealAt: 5},         // one group
+		{Groups: [][]topo.SwitchID{{0}, {}}, At: 0, HealAt: 5},        // empty group
+		{Groups: [][]topo.SwitchID{{0, 1}, {1, 2}}, At: 0, HealAt: 5}, // overlap
+		{Groups: [][]topo.SwitchID{{0}, {1}}, At: 10, HealAt: 5},      // heal before split
+		{Groups: [][]topo.SwitchID{{0}, {1}}, At: -1, HealAt: 5},      // negative start
+	}
+	for i, pt := range bad {
+		if err := (&Plan{Partitions: []Partition{pt}}).Validate(); err == nil {
+			t.Errorf("bad partition %d accepted: %+v", i, pt)
+		}
+	}
+	never := Partition{Groups: [][]topo.SwitchID{{0}, {1}}, At: 3} // HealAt 0: never heals
+	if err := (&Plan{Partitions: []Partition{never}}).Validate(); err != nil {
+		t.Errorf("never-healing partition rejected: %v", err)
+	}
+	if s := p.String(); !strings.Contains(s, "partition(0,1|2,3)") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestPartitionWindowInjector(t *testing.T) {
+	plan := Plan{Partitions: []Partition{{
+		Groups: [][]topo.SwitchID{{0, 1}, {2, 3}},
+		At:     sim.Time(10 * time.Microsecond),
+		HealAt: sim.Time(20 * time.Microsecond),
+	}}}
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	in, err := New(k, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type probe struct {
+		at          sim.Time
+		a, b        topo.SwitchID
+		partitioned bool
+	}
+	probes := []probe{
+		{at: sim.Time(5 * time.Microsecond), a: 0, b: 2, partitioned: false},  // before the split
+		{at: sim.Time(10 * time.Microsecond), a: 0, b: 2, partitioned: true},  // split start inclusive
+		{at: sim.Time(12 * time.Microsecond), a: 1, b: 3, partitioned: true},  // whole link set, atomically
+		{at: sim.Time(12 * time.Microsecond), a: 3, b: 0, partitioned: true},  // both directions
+		{at: sim.Time(14 * time.Microsecond), a: 0, b: 1, partitioned: false}, // intra-group unaffected
+		{at: sim.Time(20 * time.Microsecond), a: 0, b: 2, partitioned: false}, // heal is exclusive
+	}
+	k.Spawn("probe", func(p *sim.Process) {
+		for _, pr := range probes {
+			p.Hold(pr.at - p.Now())
+			o := in.Apply(pr.a, pr.b)
+			if o.Partitioned != pr.partitioned || o.Drop != pr.partitioned {
+				t.Errorf("t=%v link(%d,%d): outcome %+v, want partitioned=%v", pr.at, pr.a, pr.b, o, pr.partitioned)
+			}
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodicFlaps(t *testing.T) {
+	flaps := PeriodicFlaps(1, 2, sim.Time(100), sim.Time(50), 0.4, 3)
+	if len(flaps) != 3 {
+		t.Fatalf("got %d flaps, want 3", len(flaps))
+	}
+	for i, f := range flaps {
+		wantDown := sim.Time(100 + 50*i)
+		if f.DownAt != wantDown || f.UpAt != wantDown+20 {
+			t.Errorf("cycle %d: window %v..%v, want %v..%v", i, f.DownAt, f.UpAt, wantDown, wantDown+20)
+		}
+		if f.A != 1 || f.B != 2 {
+			t.Errorf("cycle %d: link (%d,%d), want (1,2)", i, f.A, f.B)
+		}
+	}
+	// Expanded windows must validate as a plan.
+	if err := (&Plan{Flaps: flaps}).Validate(); err != nil {
+		t.Errorf("expanded flaps rejected: %v", err)
+	}
+	// A tiny duty still yields a non-empty down window.
+	tiny := PeriodicFlaps(0, 1, 0, sim.Time(10), 0.01, 1)
+	if len(tiny) != 1 || tiny[0].UpAt <= tiny[0].DownAt {
+		t.Errorf("tiny duty produced empty window: %+v", tiny)
+	}
+	for _, invalid := range [][]Flap{
+		PeriodicFlaps(0, 1, 0, 0, 0.5, 3),            // no period
+		PeriodicFlaps(0, 1, 0, sim.Time(10), 0, 3),   // zero duty
+		PeriodicFlaps(0, 1, 0, sim.Time(10), 1.0, 3), // permanent outage
+		PeriodicFlaps(0, 1, 0, sim.Time(10), 0.5, 0), // no cycles
+	} {
+		if invalid != nil {
+			t.Errorf("invalid parameters produced flaps: %+v", invalid)
+		}
+	}
+}

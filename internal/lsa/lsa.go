@@ -23,6 +23,13 @@ import (
 // ConnID identifies a multipoint connection (the paper's G).
 type ConnID uint32
 
+// AllConns is the wildcard connection ID used by a restarted switch's
+// full-resync request: "replay every connection you know about". It is
+// never a real connection — deployments derive connection IDs from group
+// addresses, which cannot be all-ones — and it only ever appears in the
+// Conn field of a ResyncRequest, whose codec passes any uint32 through.
+const AllConns ConnID = ^ConnID(0)
+
 // Event is the V field of an MC LSA.
 type Event uint8
 

@@ -16,18 +16,27 @@ import (
 // every neighbor while holding its machine lock, and a bounded channel
 // there is a recipe for distributed deadlock. Memory is bounded in practice
 // by the protocol's own quiescence.
+//
+// The fabric also models the fault surface the robustness harness needs:
+// Kill/Reset crash and restart one switch's attachment (in-flight frames to
+// a killed switch are dropped, like packets to a dead host), and
+// SetPartition atomically cuts every path between switch groups — silently,
+// the way an undetected split behaves, so senders see success, not errors.
 type ChanFabric struct {
-	queues []*frameQueue
+	queues []atomic.Pointer[frameQueue]
 	// inflight counts frames enqueued but not yet returned by Recv, letting
 	// the harness distinguish "quiescent" from "packets still in flight".
 	inflight atomic.Int64
+	// groups holds the active partition as a switch→group map (nil when the
+	// fabric is whole). Cross-group sends are silently dropped.
+	groups atomic.Pointer[map[topo.SwitchID]int]
 }
 
 // NewChanFabric builds a fabric for switches 0..n-1.
 func NewChanFabric(n int) *ChanFabric {
-	f := &ChanFabric{queues: make([]*frameQueue, n)}
+	f := &ChanFabric{queues: make([]atomic.Pointer[frameQueue], n)}
 	for i := range f.queues {
-		f.queues[i] = newFrameQueue()
+		f.queues[i].Store(newFrameQueue())
 	}
 	return f
 }
@@ -40,10 +49,69 @@ func (f *ChanFabric) Transport(id topo.SwitchID) Transport {
 // InFlight returns the number of frames sent but not yet received.
 func (f *ChanFabric) InFlight() int64 { return f.inflight.Load() }
 
+// Kill crashes switch id's attachment: its queue is closed (the node's
+// receive loop unblocks with ErrClosed, later sends to it fail) and every
+// frame still queued for it is dropped, exactly as datagrams to a dead host
+// would be. Reset revives the attachment.
+func (f *ChanFabric) Kill(id topo.SwitchID) error {
+	if int(id) < 0 || int(id) >= len(f.queues) {
+		return fmt.Errorf("rt: kill of unknown switch %d", id)
+	}
+	q := f.queues[id].Load()
+	q.close()
+	f.inflight.Add(-int64(q.drain()))
+	return nil
+}
+
+// Reset installs a fresh, empty queue for switch id — the transport half of
+// a restart. Frames sent to id during its dead window stay lost.
+func (f *ChanFabric) Reset(id topo.SwitchID) error {
+	if int(id) < 0 || int(id) >= len(f.queues) {
+		return fmt.Errorf("rt: reset of unknown switch %d", id)
+	}
+	old := f.queues[id].Swap(newFrameQueue())
+	// A sender racing the swap may have pushed onto the dying queue after
+	// Kill's drain; account for anything still there.
+	old.close()
+	f.inflight.Add(-int64(old.drain()))
+	return nil
+}
+
+// SetPartition cuts the fabric into groups: every send between switches in
+// different groups is silently dropped (the sender sees success — an
+// undetected split, not a link-down event). Switches absent from all groups
+// are unconstrained. ClearPartition restores full connectivity.
+func (f *ChanFabric) SetPartition(groups [][]topo.SwitchID) {
+	m := make(map[topo.SwitchID]int)
+	for i, g := range groups {
+		for _, s := range g {
+			m[s] = i
+		}
+	}
+	f.groups.Store(&m)
+}
+
+// ClearPartition restores full connectivity.
+func (f *ChanFabric) ClearPartition() {
+	f.groups.Store(nil)
+}
+
+// blocked reports whether the active partition separates from and to.
+func (f *ChanFabric) blocked(from, to topo.SwitchID) bool {
+	gp := f.groups.Load()
+	if gp == nil {
+		return false
+	}
+	m := *gp
+	gf, okf := m[from]
+	gt, okt := m[to]
+	return okf && okt && gf != gt
+}
+
 // Close closes every queue.
 func (f *ChanFabric) Close() error {
-	for _, q := range f.queues {
-		q.close()
+	for i := range f.queues {
+		f.queues[i].Load().close()
 	}
 	return nil
 }
@@ -58,11 +126,15 @@ func (p *chanPort) Send(to topo.SwitchID, data []byte) error {
 	if int(to) < 0 || int(to) >= len(p.fabric.queues) {
 		return fmt.Errorf("rt: send to unknown switch %d", to)
 	}
+	if p.fabric.blocked(p.id, to) {
+		return nil // partitioned: the frame vanishes, undetected
+	}
 	// Copy: the wire would; and the caller is free to patch its buffer for
 	// the next neighbor while this copy sits queued. The copy comes from the
 	// frame pool and goes back once the receiving node has handled it.
 	buf := append(getBuf(len(data)), data...)
-	if !p.fabric.queues[to].push(buf) {
+	if !p.fabric.queues[to].Load().push(buf) {
+		putBuf(buf)
 		return ErrClosed
 	}
 	p.fabric.inflight.Add(1)
@@ -70,7 +142,7 @@ func (p *chanPort) Send(to topo.SwitchID, data []byte) error {
 }
 
 func (p *chanPort) Recv() ([]byte, error) {
-	buf, ok := p.fabric.queues[p.id].pop()
+	buf, ok := p.fabric.queues[p.id].Load().pop()
 	if !ok {
 		return nil, ErrClosed
 	}
@@ -79,7 +151,7 @@ func (p *chanPort) Recv() ([]byte, error) {
 }
 
 func (p *chanPort) Close() error {
-	p.fabric.queues[p.id].close()
+	p.fabric.queues[p.id].Load().close()
 	return nil
 }
 
@@ -120,6 +192,19 @@ func (q *frameQueue) pop() ([]byte, bool) {
 	buf := q.items[0]
 	q.items = q.items[1:]
 	return buf, true
+}
+
+// drain discards everything queued and returns how many frames were
+// dropped (so the fabric's in-flight count stays balanced).
+func (q *frameQueue) drain() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.items)
+	for _, buf := range q.items {
+		putBuf(buf)
+	}
+	q.items = nil
+	return n
 }
 
 func (q *frameQueue) close() {

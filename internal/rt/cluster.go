@@ -2,6 +2,7 @@ package rt
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dgmc/internal/core"
@@ -42,12 +43,31 @@ type ClusterConfig struct {
 
 // Cluster boots one Node per switch of a graph over a shared fabric: the
 // live-runtime counterpart of core.Domain, used by the live harness tests
-// and the sim-vs-live equivalence test.
+// and the sim-vs-live equivalence test. Beyond booting and converging, it
+// is the fault harness: KillNode/RestartNode crash and recover individual
+// switches, Partition/Heal split and reconcile the whole fabric.
 type Cluster struct {
+	cfg     ClusterConfig
 	graph   *topo.Graph
 	fabric  Fabric
 	chanFab *ChanFabric // non-nil when fabric supports in-flight counting
-	nodes   []*Node
+
+	// healed / restarts count fault-recovery operations cluster-wide.
+	// Plain counters (not funcs) so re-registration across restarts is a
+	// no-op by registry idempotency.
+	healed   *obs.Counter
+	restarts *obs.Counter
+
+	// mu guards nodes, last, epochs, and partition against concurrent fault
+	// operations; steady-state reads (Settle, CheckAgreement) take it too.
+	mu    sync.RWMutex
+	nodes []*Node // nil entry = switch currently dead
+	last  []*Node // most recent incarnation ever, alive or dead
+	// epochs tracks each switch's restart epoch; bumped on every restart.
+	epochs []uint64
+	// partition remembers the active split so Heal knows which boundary
+	// links to reconcile.
+	partition [][]topo.SwitchID
 }
 
 // NewCluster starts one node per switch. It takes ownership of fabric and
@@ -60,67 +80,232 @@ func NewCluster(cfg ClusterConfig, fabric Fabric) (*Cluster, error) {
 		fabric.Close()
 		return nil, fmt.Errorf("rt: fabric graph is not connected")
 	}
-	c := &Cluster{graph: cfg.Graph, fabric: fabric}
+	c := &Cluster{
+		cfg:      cfg,
+		graph:    cfg.Graph,
+		fabric:   fabric,
+		healed:   cfg.Registry.Counter("dgmc_partitions_healed_total"),
+		restarts: cfg.Registry.Counter("dgmc_node_restarts_total"),
+		epochs:   make([]uint64, cfg.Graph.NumSwitches()),
+	}
 	c.chanFab, _ = fabric.(*ChanFabric)
 	for i := 0; i < cfg.Graph.NumSwitches(); i++ {
-		n, err := NewNode(NodeConfig{
-			ID:                  topo.SwitchID(i),
-			Graph:               cfg.Graph,
-			Algorithm:           cfg.Algorithm,
-			Kinds:               cfg.Kinds,
-			ReoptimizeThreshold: cfg.ReoptimizeThreshold,
-			ResyncTimeout:       cfg.ResyncTimeout,
-			ResyncMaxRounds:     cfg.ResyncMaxRounds,
-			ComputeDelay:        cfg.ComputeDelay,
-			Logf:                cfg.Logf,
-			Tracer:              cfg.Tracer,
-			Registry:            cfg.Registry,
-		}, fabric.Transport(topo.SwitchID(i)))
+		n, err := c.newNode(topo.SwitchID(i), 0, nil)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		c.nodes = append(c.nodes, n)
+		c.last = append(c.last, n)
 	}
 	return c, nil
 }
 
-// Node returns the node for switch id.
-func (c *Cluster) Node(id topo.SwitchID) *Node { return c.nodes[id] }
+// newNode boots one switch at the given restart epoch, optionally from a
+// snapshot.
+func (c *Cluster) newNode(id topo.SwitchID, epoch uint64, snap *NodeSnapshot) (*Node, error) {
+	return NewNode(NodeConfig{
+		ID:                  id,
+		Graph:               c.cfg.Graph,
+		Algorithm:           c.cfg.Algorithm,
+		Kinds:               c.cfg.Kinds,
+		ReoptimizeThreshold: c.cfg.ReoptimizeThreshold,
+		ResyncTimeout:       c.cfg.ResyncTimeout,
+		ResyncMaxRounds:     c.cfg.ResyncMaxRounds,
+		ComputeDelay:        c.cfg.ComputeDelay,
+		Logf:                c.cfg.Logf,
+		Tracer:              c.cfg.Tracer,
+		Registry:            c.cfg.Registry,
+		Epoch:               epoch,
+		Restore:             snap,
+	}, c.fabric.Transport(id))
+}
 
-// Nodes returns the cluster's nodes, indexed by switch ID.
-func (c *Cluster) Nodes() []*Node { return c.nodes }
+// Node returns the node currently serving switch id (nil while killed).
+func (c *Cluster) Node(id topo.SwitchID) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[id]
+}
+
+// Nodes returns the cluster's nodes, indexed by switch ID (nil entries for
+// killed switches). The slice is a copy; the nodes are shared.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// KillNode crashes switch id: its goroutines stop, its transport attachment
+// closes, and every frame queued for it is dropped — no farewell, no
+// link-state event, exactly like a power cut. Requires a ChanFabric (the
+// only fabric whose attachments can die independently).
+func (c *Cluster) KillNode(id topo.SwitchID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.chanFab == nil {
+		return fmt.Errorf("rt: KillNode requires a ChanFabric")
+	}
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return fmt.Errorf("rt: no switch %d", id)
+	}
+	n := c.nodes[id]
+	if n == nil {
+		return fmt.Errorf("rt: switch %d is already dead", id)
+	}
+	// Kill the transport first so the node's receive loop exits, then stop
+	// the goroutines. Frames other nodes send it meanwhile fail or drop.
+	if err := c.chanFab.Kill(id); err != nil {
+		return err
+	}
+	n.Close()
+	c.nodes[id] = nil
+	return nil
+}
+
+// RestartNode boots a fresh incarnation of a killed switch at the next
+// restart epoch. With a snapshot, the incarnation resumes from the captured
+// protocol state; without one it boots blank. Either way it immediately
+// runs the cold-rejoin path — asking every neighbor for a full replay —
+// because even a snapshot is stale by however long the switch was down.
+func (c *Cluster) RestartNode(id topo.SwitchID, snap *NodeSnapshot) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.chanFab == nil {
+		return fmt.Errorf("rt: RestartNode requires a ChanFabric")
+	}
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return fmt.Errorf("rt: no switch %d", id)
+	}
+	if c.nodes[id] != nil {
+		return fmt.Errorf("rt: switch %d is not dead", id)
+	}
+	if err := c.chanFab.Reset(id); err != nil {
+		return err
+	}
+	c.epochs[id]++
+	n, err := c.newNode(id, c.epochs[id], snap)
+	if err != nil {
+		return err
+	}
+	if prev := c.last[id]; prev != nil {
+		prev.succ.Store(n) // keep registry closures pointed at the live machine
+	}
+	c.nodes[id] = n
+	c.last[id] = n
+	c.restarts.Inc()
+	n.RejoinFromNeighbors()
+	return nil
+}
+
+// Partition splits the fabric into groups: every frame between switches in
+// different groups is silently dropped from now on. Requires a ChanFabric.
+func (c *Cluster) Partition(groups [][]topo.SwitchID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.chanFab == nil {
+		return fmt.Errorf("rt: Partition requires a ChanFabric")
+	}
+	cp := make([][]topo.SwitchID, len(groups))
+	for i, g := range groups {
+		cp[i] = append([]topo.SwitchID(nil), g...)
+	}
+	c.partition = cp
+	c.chanFab.SetPartition(cp)
+	return nil
+}
+
+// Heal removes the active partition and starts heal reconciliation on both
+// ends of every graph link the partition had cut: each boundary switch
+// advertises its R to its re-reachable neighbor and asks for the log suffix
+// beyond it; replayed events re-flood into the interior, so the whole
+// network converges to the union of what the sides learned apart.
+func (c *Cluster) Heal() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.chanFab == nil {
+		return fmt.Errorf("rt: Heal requires a ChanFabric")
+	}
+	if c.partition == nil {
+		return fmt.Errorf("rt: no active partition")
+	}
+	group := map[topo.SwitchID]int{}
+	for i, g := range c.partition {
+		for _, s := range g {
+			group[s] = i
+		}
+	}
+	c.partition = nil
+	c.chanFab.ClearPartition()
+	for s := 0; s < c.graph.NumSwitches(); s++ {
+		a := topo.SwitchID(s)
+		for _, b := range c.graph.Neighbors(a) {
+			ga, oka := group[a]
+			gb, okb := group[b]
+			if a < b && oka && okb && ga != gb {
+				if c.nodes[a] != nil {
+					c.nodes[a].Reconcile(b)
+				}
+				if c.nodes[b] != nil {
+					c.nodes[b].Reconcile(a)
+				}
+			}
+		}
+	}
+	c.healed.Inc()
+	return nil
+}
 
 // Join injects a join at switch sw for conn.
 func (c *Cluster) Join(sw topo.SwitchID, conn lsa.ConnID, role mctree.Role) error {
-	if int(sw) < 0 || int(sw) >= len(c.nodes) {
-		return fmt.Errorf("rt: no switch %d", sw)
+	n := c.aliveNode(sw)
+	if n == nil {
+		return fmt.Errorf("rt: no live switch %d", sw)
 	}
-	return c.nodes[sw].Join(conn, role)
+	return n.Join(conn, role)
 }
 
 // Leave injects a leave at switch sw for conn.
 func (c *Cluster) Leave(sw topo.SwitchID, conn lsa.ConnID) error {
-	if int(sw) < 0 || int(sw) >= len(c.nodes) {
-		return fmt.Errorf("rt: no switch %d", sw)
+	n := c.aliveNode(sw)
+	if n == nil {
+		return fmt.Errorf("rt: no live switch %d", sw)
 	}
-	return c.nodes[sw].Leave(conn)
+	return n.Leave(conn)
 }
 
-// activity sums the nodes' work counters.
+// aliveNode returns the live node for sw, or nil if out of range or dead.
+func (c *Cluster) aliveNode(sw topo.SwitchID) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if int(sw) < 0 || int(sw) >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[sw]
+}
+
+// activity sums the live nodes' work counters.
 func (c *Cluster) activity() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var sum uint64
 	for _, n := range c.nodes {
-		sum += n.activity.Load()
+		if n != nil {
+			sum += n.activity.Load()
+		}
 	}
 	return sum
 }
 
-// quiet reports whether every node is idle and (when countable) no frames
-// are in flight.
+// quiet reports whether every live node is idle and (when countable) no
+// frames are in flight.
 func (c *Cluster) quiet() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, n := range c.nodes {
-		if !n.idle() {
+		if n != nil && !n.idle() {
 			return false
 		}
 	}
@@ -157,8 +342,16 @@ func (c *Cluster) Settle(idleFor, timeout time.Duration) error {
 // stamps are mutually consistent (R = C, R ≥ E), and with two or more
 // members all nodes have installed the same valid topology spanning them.
 func (c *Cluster) CheckAgreement() error {
+	nodes := c.Nodes()
+	alive := nodes[:0]
+	for _, n := range nodes {
+		if n != nil {
+			alive = append(alive, n)
+		}
+	}
+	nodes = alive
 	conns := map[lsa.ConnID]bool{}
-	for _, n := range c.nodes {
+	for _, n := range nodes {
 		for _, id := range n.Connections() {
 			conns[id] = true
 		}
@@ -167,7 +360,7 @@ func (c *Cluster) CheckAgreement() error {
 		var ref core.Snapshot
 		var refNode topo.SwitchID
 		first := true
-		for _, n := range c.nodes {
+		for _, n := range nodes {
 			snap, ok := n.Connection(conn)
 			if !ok {
 				return fmt.Errorf("conn %d: switch %d has no state", conn, n.ID())
@@ -238,6 +431,8 @@ func (c *Cluster) WaitConverged(timeout time.Duration) error {
 
 // Close shuts down every node, then the fabric.
 func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, n := range c.nodes {
 		if n != nil {
 			n.Close()

@@ -49,6 +49,17 @@ type NodeConfig struct {
 	// gauges, histograms, labeled per switch). nil disables metrics with
 	// near-zero overhead.
 	Registry *obs.Registry
+	// Epoch is the node's restart epoch (zero for a first boot). It
+	// namespaces the node's flood sequence numbers — seq = epoch<<48 |
+	// counter — so frames originated by a previous incarnation can never
+	// collide with, or be mistaken for, frames from this one: receivers'
+	// duplicate-suppression windows slide forward to the new epoch on first
+	// contact and then discard any stale pre-crash frame still in flight.
+	Epoch uint64
+	// Restore, when set, boots the node from a snapshot of a previous
+	// incarnation's protocol state instead of a blank machine. The snapshot
+	// must be for the same switch ID. Pair with a bumped Epoch.
+	Restore *NodeSnapshot
 }
 
 // Node is one live switch: a core.Machine guarded by a mutex, driven by the
@@ -58,11 +69,18 @@ type NodeConfig struct {
 // EventHandler per injected local event), and wall-clock resync timers.
 type Node struct {
 	id        topo.SwitchID
+	epoch     uint64
 	tr        Transport
 	neighbors []topo.SwitchID
 	logf      func(format string, args ...any)
 	tracer    core.Tracer
 	obs       nodeObs
+
+	// succ points to the node that replaced this one after a crash–restart.
+	// Metric closures registered by the first incarnation follow the chain
+	// (see nodeObs), so a shared registry keeps reporting the live machine
+	// instead of a corpse.
+	succ atomic.Pointer[Node]
 
 	// mu serializes all access to machine (it is not concurrency-safe).
 	// Lock order: mu before inMu — the machine calls PendingMC/SelfNudge
@@ -121,8 +139,12 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 	if cfg.EventBuffer <= 0 {
 		cfg.EventBuffer = 256
 	}
+	if cfg.Restore != nil && cfg.Restore.id != cfg.ID {
+		return nil, fmt.Errorf("rt: snapshot of switch %d cannot restore switch %d", cfg.Restore.id, cfg.ID)
+	}
 	n := &Node{
 		id:           cfg.ID,
+		epoch:        cfg.Epoch,
 		tr:           tr,
 		neighbors:    cfg.Graph.Neighbors(cfg.ID),
 		logf:         cfg.Logf,
@@ -135,29 +157,88 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 		closed:       make(chan struct{}),
 	}
 	n.inCond = sync.NewCond(&n.inMu)
-	m, err := core.NewMachine(core.MachineConfig{
-		ID:                  cfg.ID,
-		Graph:               cfg.Graph,
-		Algorithm:           cfg.Algorithm,
-		Kinds:               cfg.Kinds,
-		ReoptimizeThreshold: cfg.ReoptimizeThreshold,
-		Resync:              cfg.ResyncTimeout > 0,
-		ResyncMaxRounds:     cfg.ResyncMaxRounds,
-	}, n)
-	if err != nil {
-		return nil, err
+	// Seed the flood sequence counter into this incarnation's epoch window.
+	// 48 bits of counter per epoch is beyond any realistic uptime, and the
+	// jump past every prior epoch is what invalidates stale pre-crash frames
+	// at the receivers' duplicate-suppression windows.
+	n.seq.Store(cfg.Epoch << 48)
+	if cfg.Restore != nil {
+		if err := cfg.Restore.verify(); err != nil {
+			return nil, err
+		}
+		// Adopt a copy bound to this node, leaving the snapshot reusable.
+		n.machine = cfg.Restore.machine.CloneWith(n)
+	} else {
+		m, err := core.NewMachine(core.MachineConfig{
+			ID:                  cfg.ID,
+			Graph:               cfg.Graph,
+			Algorithm:           cfg.Algorithm,
+			Kinds:               cfg.Kinds,
+			ReoptimizeThreshold: cfg.ReoptimizeThreshold,
+			Resync:              cfg.ResyncTimeout > 0,
+			ResyncMaxRounds:     cfg.ResyncMaxRounds,
+		}, n)
+		if err != nil {
+			return nil, err
+		}
+		n.machine = m
 	}
-	n.machine = m
 	n.registerMachineFuncs(cfg.Registry)
 	n.wg.Add(3)
 	go n.recvLoop()
 	go n.lsaLoop()
 	go n.eventLoop()
+	if cfg.Restore != nil {
+		// Gap timers pending at snapshot time died with the old runtime.
+		n.machine.ResumeTimers()
+	}
 	return n, nil
 }
 
 // ID returns the switch's network ID.
 func (n *Node) ID() topo.SwitchID { return n.id }
+
+// Epoch returns the node's restart epoch (zero for a first boot).
+func (n *Node) Epoch() uint64 { return n.epoch }
+
+// live follows the succession chain to the node currently serving this
+// switch ID: n itself until a crash–restart replaces it.
+func (n *Node) live() *Node {
+	cur := n
+	for {
+		next := cur.succ.Load()
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// Reconcile starts heal reconciliation with neighbor nb: for every known
+// connection, advertise our R to nb and ask for its log suffix beyond it.
+// The cluster harness calls this on both ends of every boundary link when a
+// partition heals.
+func (n *Node) Reconcile(nb topo.SwitchID) {
+	n.busy.Add(1)
+	n.mu.Lock()
+	n.machine.ReconcileNeighbor(nb)
+	n.mu.Unlock()
+	n.busy.Add(-1)
+	n.activity.Add(1)
+}
+
+// RejoinFromNeighbors runs the cold-rejoin path after a crash–restart with
+// no snapshot: ask every neighbor to replay everything about every
+// connection, so the node rebuilds membership, stamps, and — critically —
+// its own event counter before it originates anything new.
+func (n *Node) RejoinFromNeighbors() {
+	n.busy.Add(1)
+	n.mu.Lock()
+	n.machine.RequestFullResync()
+	n.mu.Unlock()
+	n.busy.Add(-1)
+	n.activity.Add(1)
+}
 
 // Inject hands the node one local event (a join, leave, or link change),
 // as the co-resident host application would. It blocks only if the event
@@ -266,6 +347,14 @@ func (n *Node) handleFrame(buf []byte) {
 	}
 	switch f.Kind {
 	case lsa.FrameFlood:
+		if f.Origin == n.id {
+			// Our own flood came back — either a forwarding loop (the relay
+			// rule skips the origin, so this should not happen) or a frame
+			// originated by a pre-crash incarnation of this switch. Neither
+			// must re-enter the machine.
+			n.obs.framesDup.Inc()
+			return
+		}
 		if !n.markSeen(f.Origin, f.Seq) {
 			n.obs.framesDup.Inc()
 			return // duplicate delivery of a flood we already handled

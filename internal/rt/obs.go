@@ -83,6 +83,11 @@ func (o *nodeObs) mcReceived(conn lsa.ConnID) {
 // registerMachineFuncs exports the protocol machine's counters (guarded by
 // n.mu) as scrape-time callbacks: the machine's hot path is untouched and
 // each scrape briefly takes the node lock, exactly like Node.Metrics().
+//
+// The registry deduplicates func-instruments by (name, labels) and keeps the
+// first closure, so a restarted switch cannot re-register its series — the
+// closures instead follow the succession chain (Node.live) to whatever
+// incarnation currently serves the switch ID.
 func (n *Node) registerMachineFuncs(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -90,9 +95,10 @@ func (n *Node) registerMachineFuncs(reg *obs.Registry) {
 	sw := obs.L("switch", strconv.Itoa(int(n.id)))
 	mf := func(sel func(*core.Metrics) float64) func() float64 {
 		return func() float64 {
-			n.mu.Lock()
-			defer n.mu.Unlock()
-			return sel(n.machine.Metrics())
+			ln := n.live()
+			ln.mu.Lock()
+			defer ln.mu.Unlock()
+			return sel(ln.machine.Metrics())
 		}
 	}
 	type series struct {
@@ -112,20 +118,26 @@ func (n *Node) registerMachineFuncs(reg *obs.Registry) {
 		{"dgmc_machine_resync_requests_total", func(m *core.Metrics) float64 { return float64(m.ResyncRequests) }},
 		{"dgmc_machine_resync_responses_total", func(m *core.Metrics) float64 { return float64(m.ResyncResponses) }},
 		{"dgmc_machine_resync_giveups_total", func(m *core.Metrics) float64 { return float64(m.ResyncGiveUps) }},
+		{"dgmc_resync_gave_up_total", func(m *core.Metrics) float64 { return float64(m.ResyncGiveUps) }},
+		{"dgmc_machine_resync_rearms_total", func(m *core.Metrics) float64 { return float64(m.ResyncRearms) }},
+		{"dgmc_machine_reconciles_total", func(m *core.Metrics) float64 { return float64(m.Reconciles) }},
+		{"dgmc_machine_replay_refloods_total", func(m *core.Metrics) float64 { return float64(m.Replays) }},
 	} {
 		reg.CounterFunc(s.name, mf(s.sel), sw)
 	}
 	reg.GaugeFunc("dgmc_gap_buffer_depth", func() float64 {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		return float64(n.machine.GapBufferDepth())
+		ln := n.live()
+		ln.mu.Lock()
+		defer ln.mu.Unlock()
+		return float64(ln.machine.GapBufferDepth())
 	}, sw)
 	reg.GaugeFunc("dgmc_inbox_depth", func() float64 {
-		n.inMu.Lock()
-		defer n.inMu.Unlock()
-		return float64(len(n.inbox))
+		ln := n.live()
+		ln.inMu.Lock()
+		defer ln.inMu.Unlock()
+		return float64(len(ln.inbox))
 	}, sw)
 	reg.GaugeFunc("dgmc_seen_origins", func() float64 {
-		return float64(n.seen.size())
+		return float64(n.live().seen.size())
 	}, sw)
 }

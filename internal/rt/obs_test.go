@@ -6,8 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"dgmc/internal/lsa"
 	"dgmc/internal/mctree"
 	"dgmc/internal/obs"
+	"dgmc/internal/topo"
 )
 
 // TestChurnSoakWithObservability repeats the chan-transport churn soak with
@@ -116,6 +118,88 @@ func TestChurnSoakWithObservability(t *testing.T) {
 	}
 	if !found {
 		t.Error("no span reconstructs a multi-switch event→flood→install chain")
+	}
+}
+
+// TestFaultMetricsExported asserts the fault-recovery series reach a
+// Prometheus scrape: the cluster-wide heal and restart counters count the
+// harness operations, the per-switch give-up counter is present, and a
+// restarted switch's machine series keep reporting the live incarnation
+// (the registry pins the first closure per series, so this exercises the
+// succession chain).
+func TestFaultMetricsExported(t *testing.T) {
+	g, err := topo.Grid(2, 3, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c, err := NewCluster(ClusterConfig{
+		Graph: g, Registry: reg, ResyncTimeout: resyncFast,
+	}, NewChanFabric(g.NumSwitches()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	conn := lsa.ConnID(1)
+	for _, sw := range []topo.SwitchID{0, 5} {
+		if err := c.Join(sw, conn, mctree.SenderReceiver); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitConverged(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Partition(gridGroups(2, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartNode(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitConverged(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Churn through the restarted switch so its second incarnation has
+	// machine activity of its own.
+	if err := c.Join(2, conn, mctree.SenderReceiver); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitConverged(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dgmc_resync_gave_up_total counter",
+		"# TYPE dgmc_partitions_healed_total counter",
+		"# TYPE dgmc_node_restarts_total counter",
+		"dgmc_partitions_healed_total 1",
+		"dgmc_node_restarts_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// The switch-2 machine series must report the second incarnation: its
+	// join above was handled by the new machine, the old one is closed.
+	var sw2Events float64
+	for _, p := range reg.Snapshot() {
+		if p.Name == "dgmc_machine_events_total" && len(p.Labels) == 1 && p.Labels[0].Value == "2" {
+			sw2Events = p.Value
+		}
+	}
+	if want := float64(c.Node(2).Metrics().Events); sw2Events != want || want == 0 {
+		t.Errorf("switch 2 machine series = %v, live machine says %v", sw2Events, want)
 	}
 }
 

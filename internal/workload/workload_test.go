@@ -247,3 +247,90 @@ func TestChurnValidation(t *testing.T) {
 		t.Error("bad join bias accepted")
 	}
 }
+
+func TestMobilityGenerator(t *testing.T) {
+	g, err := topo.Grid(3, 4, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MobilityConfig{
+		Config:     Config{N: 12, Events: 60, Seed: 5, MeanGap: 1000},
+		Graph:      g,
+		Partitions: 2,
+		FlapLinks:  3,
+	}
+	events, plan, err := Mobility(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 60 {
+		t.Fatalf("got %d events, want 60", len(events))
+	}
+	if len(plan.Partitions) != 2 {
+		t.Fatalf("got %d partitions, want 2", len(plan.Partitions))
+	}
+	first, last := Span(events)
+	prevHeal := sim.Time(0)
+	for i, p := range plan.Partitions {
+		if len(p.Groups) != 2 {
+			t.Fatalf("partition %d has %d groups", i, len(p.Groups))
+		}
+		if got := len(p.Groups[0]) + len(p.Groups[1]); got != 12 {
+			t.Errorf("partition %d covers %d switches, want 12", i, got)
+		}
+		if p.At < first || p.HealAt > last+1 || p.HealAt <= p.At {
+			t.Errorf("partition %d window %v..%v outside span %v..%v", i, p.At, p.HealAt, first, last)
+		}
+		if p.At < prevHeal {
+			t.Errorf("partition %d overlaps the previous one", i)
+		}
+		prevHeal = p.HealAt
+		// Group A must be internally connected so its side keeps flooding.
+		inA := map[topo.SwitchID]bool{}
+		for _, s := range p.Groups[0] {
+			inA[s] = true
+		}
+		reached := map[topo.SwitchID]bool{p.Groups[0][0]: true}
+		queue := []topo.SwitchID{p.Groups[0][0]}
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			for _, nb := range g.Neighbors(s) {
+				if inA[nb] && !reached[nb] {
+					reached[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if len(reached) != len(p.Groups[0]) {
+			t.Errorf("partition %d: group A not connected (%d of %d reachable)", i, len(reached), len(p.Groups[0]))
+		}
+	}
+	if len(plan.Flaps) != 3*4 {
+		t.Fatalf("got %d flap windows, want 12 (3 links x 4 cycles)", len(plan.Flaps))
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Determinism: same config, same scenario.
+	events2, plan2, err := Mobility(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events2) != len(events) || events2[0] != events[0] {
+		t.Error("mobility events not reproducible from the seed")
+	}
+	if plan2.Describe() != plan.Describe() {
+		t.Error("mobility fault plan not reproducible from the seed")
+	}
+
+	if _, _, err := Mobility(MobilityConfig{Config: cfg.Config}); err == nil {
+		t.Error("missing graph accepted")
+	}
+	bad := cfg
+	bad.Config.N = 5
+	if _, _, err := Mobility(bad); err == nil {
+		t.Error("graph/config size mismatch accepted")
+	}
+}
