@@ -76,6 +76,35 @@ func TestAllocGateFrameCodec(t *testing.T) {
 	})
 }
 
+// TestAllocGateFIBForward pins the data plane's steady-state per-packet
+// composition — frame decode, payload decode, FIB lookup, in-place forward
+// rewrite — at exactly zero allocations. No slack: one allocation per
+// packet is the difference between a forwarding plane and a garbage
+// generator, and internal/rt's white-box gate holds the same line on the
+// real Node.handleData.
+func TestAllocGateFIBForward(t *testing.T) {
+	g, states, self := benchFIBSetup(t, 8)
+	tbl := compileFIB(g, states, self)
+	d := lsa.DataFrame{Conn: states[0].conn, Src: 0, Seq: 1, Hops: 64, Payload: make([]byte, 64)}
+	buf := lsa.AppendDataFrame(nil, &d, 0)
+	var f lsa.Frame
+	var dec lsa.DataFrame
+	gate(t, "data-plane forward (decode+lookup+patch)", 0, func() {
+		if err := lsa.DecodeFrameInto(&f, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := lsa.DecodeDataInto(&dec, &f); err != nil {
+			t.Fatal(err)
+		}
+		if e := tbl.Lookup(dec.Conn); e == nil || !e.Entered() {
+			t.Fatal("gate entry missing")
+		}
+		if err := lsa.PatchDataForward(buf, self, dec.Hops); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // TestAllocGateFloodFanout bounds a full hop-by-hop flood on a 60-switch
 // random graph, amortized per delivered copy: simulator event scheduling is
 // closure-free and mailbox delivery is inlined into the event record, so

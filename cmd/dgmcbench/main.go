@@ -10,7 +10,13 @@
 //	dgmcbench -experiment hier       # flat vs hierarchical extension
 //	dgmcbench -experiment loss       # convergence under injected loss
 //	dgmcbench -experiment partition  # split/heal reconciliation cost
-//	dgmcbench -experiment all        # everything
+//	dgmcbench -experiment delivery   # live data-plane delivery ratio sweep
+//	dgmcbench -experiment all        # every simulator experiment above
+//
+// The delivery sweep drives live goroutine clusters under wall-clock
+// timing, so unlike the simulator experiments its ratios vary slightly
+// run to run; it is therefore opt-in rather than part of -experiment all,
+// which stays byte-deterministic for a fixed -seed.
 //
 // Use -graphs and -sizes to trade fidelity for speed, and -csv for
 // machine-readable output.
@@ -47,7 +53,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dgmcbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "1, 2, 3, baselines, trees, burst, hier, loss, partition, or all")
+	experiment := fs.String("experiment", "all", "1, 2, 3, baselines, trees, burst, hier, loss, partition, delivery, or all (delivery is live/timing-dependent and excluded from all)")
 	graphs := fs.Int("graphs", 20, "random graphs per network size")
 	sizes := fs.String("sizes", "20,40,60,80,100", "comma-separated network sizes")
 	events := fs.Int("events", 10, "membership events per run")
@@ -197,6 +203,24 @@ func run(args []string, w io.Writer) error {
 			RunsPerPoint:    *graphs / 2,
 			BaseSeed:        *seed,
 			Events:          *events,
+		})
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	// Opt-in only: live clusters under wall-clock timing, so the table is
+	// not byte-deterministic and would break -experiment all's guarantee.
+	if want["delivery"] {
+		runs := *graphs / 4
+		if runs < 1 {
+			runs = 1
+		}
+		t, err := exp.Delivery(exp.DeliveryParams{
+			RunsPerPoint: runs,
+			BaseSeed:     *seed,
 		})
 		if err != nil {
 			return err

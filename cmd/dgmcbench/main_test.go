@@ -55,6 +55,18 @@ func TestRunBaselinesAndTrees(t *testing.T) {
 	}
 }
 
+func TestRunDeliverySmall(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "delivery", "-graphs", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Delivery sweep") || !strings.Contains(out, "ratio-settled") {
+		t.Errorf("output malformed:\n%s", out)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-sizes", "nope"}, &sb); err == nil {

@@ -10,12 +10,19 @@
 //	addr 1 127.0.0.1:7701
 //	addr 2 127.0.0.1:7702
 //
-// Start one daemon per switch and drive membership from stdin:
+// Start one daemon per switch and drive membership — and live traffic —
+// from stdin:
 //
 //	dgmcd -topo fabric.topo -id 0
 //	> join 7 both
 //	> show 7
+//	> send 7 hello everyone
+//	> stat
 //	> quit
+//
+// Payloads other members send on a joined connection print as they arrive:
+//
+//	recv conn 7 from switch 2 seq 3: hello back
 package main
 
 import (
@@ -90,6 +97,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		reopt:     *reopt,
 		admin:     *admin,
 		epoch:     *epoch,
+		recvW:     stdout,
 	}
 	if *verbose {
 		cfg.logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
@@ -116,6 +124,7 @@ type daemonConfig struct {
 	reopt     float64
 	admin     string // admin HTTP listen address; empty disables
 	epoch     uint64 // restart epoch; nonzero means crash-restart rejoin
+	recvW     io.Writer // delivered payloads print here; nil discards them
 	logf      func(format string, args ...any)
 }
 
@@ -158,6 +167,14 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		ResyncTimeout:       cfg.resync,
 		Epoch:               cfg.epoch,
 		Logf:                cfg.logf,
+	}
+	if cfg.recvW != nil {
+		w := cfg.recvW
+		nodeCfg.DataHandler = func(conn lsa.ConnID, src topo.SwitchID, seq uint64, payload []byte) {
+			// string(payload) copies — required, since payload aliases a
+			// pooled receive buffer that dies when this callback returns.
+			fmt.Fprintf(w, "recv conn %d from switch %d seq %d: %s\n", conn, src, seq, string(payload))
+		}
 	}
 	if cfg.admin != "" {
 		d.registry = obs.NewRegistry()
@@ -217,6 +234,8 @@ type stateJSON struct {
 	Addr         string          `json:"addr"`
 	Metrics      core.Metrics    `json:"metrics"`
 	DecodeErrors uint64          `json:"decode_errors"`
+	Forward      rt.ForwardStats `json:"forward"`
+	FIBEntries   int             `json:"fib_entries"`
 	Connections  []connStateJSON `json:"connections"`
 }
 
@@ -236,6 +255,8 @@ func (d *daemon) stateSnapshot() any {
 		Addr:         d.tr.LocalAddr().String(),
 		Metrics:      d.node.Metrics(),
 		DecodeErrors: d.node.DecodeErrors(),
+		Forward:      d.node.ForwardStats(),
+		FIBEntries:   d.node.FIB().Size(),
 		Connections:  []connStateJSON{},
 	}
 	for _, conn := range d.node.Connections() {
@@ -349,6 +370,25 @@ func (d *daemon) exec(line string, w io.Writer) (quit bool, err error) {
 		if snap.Topology != nil {
 			fmt.Fprintf(w, "conn %d: topology=%s\n", conn, snap.Topology)
 		}
+	case "send":
+		if len(fields) < 3 {
+			return false, fmt.Errorf("usage: send <conn> <text...>")
+		}
+		conn, err := parseConn(fields[1])
+		if err != nil {
+			return false, err
+		}
+		seq, err := d.node.SendData(conn, []byte(strings.Join(fields[2:], " ")))
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "ok: sent conn %d seq %d\n", conn, seq)
+	case "stat":
+		s := d.node.ForwardStats()
+		fmt.Fprintf(w, "data: originated=%d forwarded=%d delivered=%d drops=%d (no-entry=%d no-route=%d hop-budget=%d loop=%d) fib-entries=%d fib-compiles=%d\n",
+			s.Originated, s.Forwarded, s.Delivered, s.Drops(),
+			s.DropNoEntry, s.DropNoRoute, s.DropHops, s.DropLoop,
+			d.node.FIB().Size(), d.node.FIBCompiles())
 	case "conns":
 		fmt.Fprintf(w, "connections: %v\n", d.node.Connections())
 	case "metrics":
@@ -356,7 +396,7 @@ func (d *daemon) exec(line string, w io.Writer) (quit bool, err error) {
 		fmt.Fprintf(w, "events=%d computations=%d installs=%d mc-lsas=%d withdrawn=%d resync-req=%d decode-errs=%d\n",
 			m.Events, m.Computations, m.Installs, m.MCLSAs, m.Withdrawn, m.ResyncRequests, d.node.DecodeErrors())
 	case "help":
-		fmt.Fprint(w, "commands: join <conn> [sender|receiver|both], leave <conn>, show <conn>, conns, metrics, quit\n")
+		fmt.Fprint(w, "commands: join <conn> [sender|receiver|both], leave <conn>, show <conn>, send <conn> <text...>, stat, conns, metrics, quit\n")
 	case "quit", "exit":
 		return true, nil
 	default:

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -139,6 +140,119 @@ func TestThreeDaemonFabric(t *testing.T) {
 	}
 	if _, err := daemons[0].exec("join x", &out); err == nil {
 		t.Fatal("bad connection ID accepted")
+	}
+}
+
+// syncBuf is a writer safe for the delivery callback, which runs on the
+// node's receive goroutine while the test reads.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDaemonSendRecv pushes a live payload across a 3-daemon UDP fabric:
+// `send` at one end must print as a `recv` line at the other, and `stat`
+// must account for the frame at both ends.
+func TestDaemonSendRecv(t *testing.T) {
+	ports := reservePorts(t, 3)
+	path := writeTopoFile(t, ports)
+	tf, err := rt.LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemons := make([]*daemon, 3)
+	recvs := make([]*syncBuf, 3)
+	for i := range daemons {
+		recvs[i] = &syncBuf{}
+		d, err := newDaemon(daemonConfig{
+			id:        topo.SwitchID(i),
+			topology:  tf,
+			algorithm: route.SPH{},
+			resync:    100 * time.Millisecond,
+			recvW:     recvs[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		daemons[i] = d
+	}
+
+	var out strings.Builder
+	if _, err := daemons[0].exec("join 7 both", &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := daemons[2].exec("join 7 both", &out); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		agreed := true
+		for _, d := range daemons {
+			snap, ok := d.node.Connection(7)
+			if !ok || len(snap.Members) != 2 || snap.Topology == nil ||
+				!snap.R.Equal(snap.C) || !snap.R.Geq(snap.E) {
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemons did not agree on conn 7")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Sending before joining is refused at the origin.
+	if _, err := daemons[1].exec("send 7 not a member", &out); err == nil {
+		t.Fatal("non-member send accepted")
+	}
+
+	out.Reset()
+	if _, err := daemons[0].exec("send 7 hello fabric", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok: sent conn 7") {
+		t.Fatalf("send output: %q", out.String())
+	}
+	want := "recv conn 7 from switch 0"
+	deadline = time.Now().Add(10 * time.Second)
+	for !strings.Contains(recvs[2].String(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("switch 2 never printed %q; got %q", want, recvs[2].String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(recvs[2].String(), "hello fabric") {
+		t.Fatalf("payload mangled: %q", recvs[2].String())
+	}
+	if got := recvs[1].String(); got != "" {
+		t.Fatalf("relay switch delivered to its app: %q", got)
+	}
+
+	out.Reset()
+	if _, err := daemons[0].exec("stat", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "originated=1") {
+		t.Fatalf("stat output: %q", out.String())
+	}
+	if _, err := daemons[0].exec("send 7", &out); err == nil {
+		t.Fatal("send without text accepted")
 	}
 }
 

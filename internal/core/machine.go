@@ -79,6 +79,14 @@ type Host interface {
 	// NoteInstall records that a topology was installed (convergence
 	// bookkeeping).
 	NoteInstall()
+	// ForwardingChanged tells the runtime that forwarding-relevant state
+	// for conn (installed topology, membership, or dormancy) may have
+	// changed, or — with conn == lsa.AllConns — that the unicast link-state
+	// image changed, invalidating contact routes for every connection.
+	// Hosts with a data plane recompile their FIB from ForwardingState
+	// after the current Machine call returns (not from inside the hook);
+	// control-plane-only hosts ignore it.
+	ForwardingChanged(conn lsa.ConnID)
 	// Trace observes protocol activity; implementations may drop entries.
 	// chain names the causal chain the step belongs to (zero when no
 	// single local event caused it).
@@ -226,6 +234,21 @@ func (m *Machine) ID() topo.SwitchID { return m.id }
 // Unicast returns the switch's LSR instance (its local network image).
 func (m *Machine) Unicast() *lsr.Instance { return m.uni }
 
+// ForwardingState invokes fn for every live (non-dormant) connection in
+// ascending ID order with the state the data plane compiles from: MC kind,
+// membership, and the installed topology (nil when none is installed yet).
+// The members map and tree are the machine's own — fn must only read them
+// and must not retain them beyond the call.
+func (m *Machine) ForwardingState(fn func(conn lsa.ConnID, kind mctree.Kind, members mctree.Members, t *mctree.Tree)) {
+	for _, id := range sortedConnIDs(m.conns) {
+		cs := m.conns[id]
+		if cs.dormant {
+			continue
+		}
+		fn(id, cs.kind, cs.members, cs.topology)
+	}
+}
+
 // Metrics returns the machine's counters.
 func (m *Machine) Metrics() *Metrics { return m.metrics }
 
@@ -312,6 +335,7 @@ func (m *Machine) HandleLocalEvent(ctx any, ev LocalEvent) {
 		// Keep the runtime's fabric in sync so floods route around the
 		// failure (the physical network changed, not just images).
 		m.host.FabricLinkChanged(ev.Link)
+		m.host.ForwardingChanged(lsa.AllConns)
 		m.host.FloodNonMC(nm)
 		m.metrics.NonMCLSAs++
 		// One MC LSA per connection whose topology uses the affected link.
@@ -447,6 +471,7 @@ func (m *Machine) eventHandler(ctx any, event lsa.Event, role mctree.Role, cs *c
 		cs.makeProposal = true
 	}
 	m.updateDormancy(cs, chain)
+	m.host.ForwardingChanged(cs.id)
 	m.maybeScheduleResync(cs)
 }
 
@@ -473,10 +498,15 @@ func (m *Machine) ReceiveBatch(ctx any, batch []any) {
 		perConn[mc.Conn] = append(perConn[mc.Conn], mc)
 	}
 	handleNonMC := func(nm *lsa.NonMC) {
-		if _, err := m.uni.HandleLSA(nm); err != nil {
+		changed, err := m.uni.HandleLSA(nm)
+		if err != nil {
 			if m.host.TraceEnabled() {
 				m.host.Trace(TraceError, ChainID{}, 0, "unicast LSA: %v", err)
 			}
+			return
+		}
+		if changed {
+			m.host.ForwardingChanged(lsa.AllConns)
 		}
 	}
 	var consume func(raw any)
@@ -638,6 +668,7 @@ func (m *Machine) receiveLSA(ctx any, cs *connState, batch []*lsa.MC, replayed m
 		m.install(cs, candidateChain, candidate, "receive-lsa")
 	}
 	m.updateDormancy(cs, batchChain)
+	m.host.ForwardingChanged(cs.id)
 	m.maybeScheduleResync(cs)
 }
 

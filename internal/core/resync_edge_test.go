@@ -44,6 +44,7 @@ func (h *scriptHost) FabricLinkChanged(lsa.LinkChange)                     {}
 func (h *scriptHost) ArmResync(conn lsa.ConnID)                            { h.armed = append(h.armed, conn) }
 func (h *scriptHost) SelfNudge(conn lsa.ConnID)                            { h.nudges = append(h.nudges, conn) }
 func (h *scriptHost) NoteInstall()                                         {}
+func (h *scriptHost) ForwardingChanged(lsa.ConnID)                         {}
 func (h *scriptHost) Trace(TraceKind, ChainID, lsa.ConnID, string, ...any) {}
 func (h *scriptHost) TraceEnabled() bool                                   { return false }
 

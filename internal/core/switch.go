@@ -188,6 +188,10 @@ func (s *Switch) SelfNudge(conn lsa.ConnID) {
 // NoteInstall implements Host.
 func (s *Switch) NoteInstall() { s.d.noteInstall() }
 
+// ForwardingChanged implements Host. The simulator has no live data plane —
+// its delivery model (internal/deliver) reads installed topologies directly.
+func (s *Switch) ForwardingChanged(lsa.ConnID) {}
+
 // Trace implements Host.
 func (s *Switch) Trace(kind TraceKind, chain ChainID, conn lsa.ConnID, format string, args ...any) {
 	s.d.trace(kind, chain, s.id, conn, format, args...)

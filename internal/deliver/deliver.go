@@ -4,11 +4,19 @@
 //
 //   - symmetric: any member sends; the packet fans out over the shared
 //     tree from the sender's switch;
-//   - receiver-only: a (possibly non-member) sender first delivers the
-//     packet to a contact node — the nearest member switch — which then
-//     forwards it over the MC (the paper's two-stage delivery);
+//   - receiver-only: a (possibly non-member) sender first forwards the
+//     packet toward a contact node — each switch independently toward its
+//     own nearest receiving member — and the packet enters the MC at the
+//     first switch on the topology, which fans it out (the paper's
+//     two-stage delivery, §1);
 //   - asymmetric: only senders may transmit; the tree is rooted at the
 //     source.
+//
+// The contact stage is resolved greedily per switch (minimum image delay,
+// member-ID tie-break, lowest-ID predecessor chains) precisely because that
+// is the only decision a distributed per-switch FIB can make: internal/fib
+// compiles the same rule into each switch's table, and the oracle
+// cross-check test holds the two implementations bit-for-bit equal.
 //
 // The package verifies exactly-once delivery and reports per-receiver
 // latencies and link transmissions, which the tests use to prove that the
@@ -71,31 +79,57 @@ func Multicast(g *topo.Graph, t *mctree.Tree, members mctree.Members, source top
 
 	var entryDelay time.Duration
 	entry := source
-	onTree := t.On(source) || (len(members) == 1 && members[source] != 0)
-	if !onTree {
+	entered := func(s topo.SwitchID) bool { return t.On(s) || members[s] != 0 }
+	if !entered(entry) {
 		if t.Kind != mctree.ReceiverOnly {
 			return nil, fmt.Errorf("deliver: source %d is not on the MC topology", source)
 		}
-		// Stage one: unicast to the nearest member (the contact node).
-		spt := g.ShortestPaths(source)
-		best := topo.NoSwitch
-		bestD := time.Duration(-1)
-		for _, m := range members.IDs() {
-			d := spt.Delay[m]
-			if d < 0 {
-				continue
+		// Stage one: forward greedily, hop by hop, toward the contact node.
+		// Each switch routes toward its own nearest receiving member
+		// (minimum delay, then lowest member ID, along lowest-ID-predecessor
+		// shortest paths — the pooled SSSP kernel's tie-break) and the
+		// packet enters the MC at the first switch on the topology. This is
+		// exactly what internal/fib compiles into each switch, so the trace
+		// predicts distributed forwarding hop for hop.
+		sc := topo.AcquireSSSP()
+		defer topo.ReleaseSSSP(sc)
+		n := g.NumSwitches()
+		for steps := 0; !entered(entry); steps++ {
+			if steps > n {
+				return nil, fmt.Errorf("deliver: contact route from %d does not converge", source)
 			}
-			if bestD < 0 || d < bestD || (d == bestD && m < best) {
-				best, bestD = m, d
+			sc.Reset(n)
+			sc.Seed(entry)
+			g.RunSSSP(sc, 0)
+			best := topo.NoSwitch
+			bestD := topo.Unreachable
+			for _, m := range members.Receivers() {
+				if int(m) < 0 || int(m) >= n {
+					continue
+				}
+				if d := sc.Dist[m]; d < bestD || (d == bestD && (best == topo.NoSwitch || m < best)) {
+					best, bestD = m, d
+				}
 			}
+			if best == topo.NoSwitch || bestD == topo.Unreachable {
+				return nil, fmt.Errorf("deliver: no reachable contact node for source %d", source)
+			}
+			next := best
+			for sc.Pred[next] != entry {
+				next = sc.Pred[next]
+				if next == topo.NoSwitch {
+					return nil, fmt.Errorf("deliver: broken contact route at %d", entry)
+				}
+			}
+			l, ok := g.Link(entry, next)
+			if !ok || l.Down {
+				return nil, fmt.Errorf("deliver: contact hop (%d,%d) unusable", entry, next)
+			}
+			rep.Copies++
+			entryDelay += l.Delay
+			entry = next
 		}
-		if best == topo.NoSwitch {
-			return nil, fmt.Errorf("deliver: no reachable contact node for source %d", source)
-		}
-		entry = best
-		entryDelay = bestD
-		rep.Contact = best
-		rep.Copies += len(spt.Path(best)) - 1
+		rep.Contact = entry
 	}
 
 	// Stage two: fan out over the tree from the entry point, BFS with

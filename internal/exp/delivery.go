@@ -1,0 +1,269 @@
+package exp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/metrics"
+	"dgmc/internal/rt"
+	"dgmc/internal/topo"
+	"dgmc/internal/workload"
+)
+
+// DeliveryParams configures the data-plane delivery sweep: payload streams
+// pumped through a live rt.Cluster (real goroutines, real FIBs — not the
+// simulator) while the fabric drops data frames at a configured probability
+// and the control plane churns membership. The sweep measures what the
+// paper's figures never did — the delivery ratio, duplication, and loss the
+// installed trees actually give an application.
+type DeliveryParams struct {
+	// Rows/Cols shape the grid fabric. Defaults to 4×4.
+	Rows, Cols int
+	// DropProbs lists the per-link data-frame drop probabilities to sweep.
+	// Defaults to {0, 0.01, 0.05}.
+	DropProbs []float64
+	// ChurnEvery lists the churn cadences to measure: one membership event
+	// per that many packets in the churn phase. Defaults to {10, 40}.
+	ChurnEvery []int
+	// Packets is the stream length per phase. Defaults to 200.
+	Packets int
+	// RunsPerPoint is the number of independent runs per drop probability.
+	// Defaults to 3.
+	RunsPerPoint int
+	// BaseSeed makes the sweep reproducible (loss draws and run layout; the
+	// runtime's goroutine interleavings are real and stay nondeterministic).
+	BaseSeed int64
+}
+
+func (p DeliveryParams) normalized() DeliveryParams {
+	if p.Rows == 0 {
+		p.Rows = 4
+	}
+	if p.Cols == 0 {
+		p.Cols = 4
+	}
+	if len(p.DropProbs) == 0 {
+		p.DropProbs = []float64{0, 0.01, 0.05}
+	}
+	if len(p.ChurnEvery) == 0 {
+		p.ChurnEvery = []int{10, 40}
+	}
+	if p.Packets == 0 {
+		p.Packets = 200
+	}
+	if p.RunsPerPoint == 0 {
+		p.RunsPerPoint = 3
+	}
+	return p
+}
+
+// Delivery runs the delivery sweep and reports, per drop probability, the
+// settled-phase delivery ratio, the ratio under each churn cadence, and the
+// duplicate and refused-send rates per thousand expected deliveries (means
+// with 95% CIs across RunsPerPoint runs).
+func Delivery(p DeliveryParams) (*metrics.Table, error) {
+	p = p.normalized()
+	cols := []string{"ratio-settled"}
+	for _, ce := range p.ChurnEvery {
+		cols = append(cols, fmt.Sprintf("ratio-churn@%d", ce))
+	}
+	cols = append(cols, "dups/1k", "refused/1k")
+	t := &metrics.Table{
+		Title: fmt.Sprintf(
+			"Delivery sweep — %d×%d live cluster, %d-packet streams (%d runs/point)",
+			p.Rows, p.Cols, p.Packets, p.RunsPerPoint),
+		XLabel:  "drop-%",
+		Columns: cols,
+	}
+	for _, prob := range p.DropProbs {
+		results, err := parallelMap(p.RunsPerPoint, func(run int) (deliveryResult, error) {
+			res, err := runDelivery(p, prob, run)
+			if err != nil {
+				return deliveryResult{}, fmt.Errorf("drop=%.2f run %d: %w", prob, run, err)
+			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		settled := &metrics.Sample{}
+		churn := make([]*metrics.Sample, len(p.ChurnEvery))
+		for i := range churn {
+			churn[i] = &metrics.Sample{}
+		}
+		dups, refused := &metrics.Sample{}, &metrics.Sample{}
+		for _, res := range results {
+			settled.Add(res.settledRatio)
+			for i, r := range res.churnRatios {
+				churn[i].Add(r)
+			}
+			dups.Add(res.dupsPer1k)
+			refused.Add(res.refusedPer1k)
+		}
+		cells := make([]metrics.Summary, 0, len(cols))
+		for _, s := range append(append([]*metrics.Sample{settled}, churn...), dups, refused) {
+			sum, err := s.Summarize()
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, sum)
+		}
+		if err := t.AddRow(prob*100, cells...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+type deliveryResult struct {
+	settledRatio float64
+	churnRatios  []float64
+	dupsPer1k    float64
+	refusedPer1k float64
+}
+
+// runDelivery executes one live run: boot the cluster, converge a member
+// set spanning the grid, then pump one settled stream and one stream per
+// churn cadence, auditing each with its own ledger.
+func runDelivery(p DeliveryParams, prob float64, run int) (deliveryResult, error) {
+	seed := p.BaseSeed*104_729 + int64(prob*10_000)*31 + int64(run)
+	g, err := topo.Grid(p.Rows, p.Cols, 10*time.Microsecond)
+	if err != nil {
+		return deliveryResult{}, err
+	}
+	n := p.Rows * p.Cols
+	conn := lsa.ConnID(1)
+
+	var led atomic.Pointer[workload.Ledger]
+	led.Store(workload.NewLedger())
+	fab := rt.NewChanFabric(n)
+	fab.SetLoss(prob, seed)
+	c, err := rt.NewCluster(rt.ClusterConfig{
+		Graph: g, ResyncTimeout: 50 * time.Millisecond,
+		DataHandler: func(at topo.SwitchID, conn lsa.ConnID, src topo.SwitchID, seq uint64, payload []byte) {
+			led.Load().RecordRecv(at, workload.PacketID{Src: src, Seq: seq})
+		},
+	}, fab)
+	if err != nil {
+		return deliveryResult{}, err
+	}
+	defer c.Close()
+
+	members := map[topo.SwitchID]bool{}
+	join := func(sw topo.SwitchID) error {
+		if err := c.Join(sw, conn, mctree.SenderReceiver); err != nil {
+			return err
+		}
+		members[sw] = true
+		return nil
+	}
+	leave := func(sw topo.SwitchID) error {
+		if err := c.Leave(sw, conn); err != nil {
+			return err
+		}
+		delete(members, sw)
+		return nil
+	}
+	// Corners plus one interior switch: trees span the whole grid.
+	base := []topo.SwitchID{0, topo.SwitchID(p.Cols - 1), topo.SwitchID(p.Cols + 1),
+		topo.SwitchID(n - p.Cols), topo.SwitchID(n - 1)}
+	for _, sw := range base {
+		if err := join(sw); err != nil {
+			return deliveryResult{}, err
+		}
+	}
+	if err := c.WaitConverged(60 * time.Second); err != nil {
+		return deliveryResult{}, err
+	}
+
+	sources := func() []topo.SwitchID {
+		out := make([]topo.SwitchID, 0, len(members))
+		for s := 0; s < n; s++ {
+			if members[topo.SwitchID(s)] {
+				out = append(out, topo.SwitchID(s))
+			}
+		}
+		return out
+	}
+	expect := func(src topo.SwitchID) []topo.SwitchID {
+		var out []topo.SwitchID
+		for sw := range members {
+			if sw != src {
+				out = append(out, sw)
+			}
+		}
+		return out
+	}
+	pump := func(pace func(i int) error) (workload.Summary, error) {
+		l := workload.NewLedger()
+		led.Store(l)
+		var paceErr error
+		err := workload.Pump(c, l, workload.TrafficConfig{
+			Conn: conn, Sources: sources(), Packets: p.Packets, Expect: expect,
+			Pace: func(i int) {
+				if paceErr == nil && pace != nil {
+					paceErr = pace(i)
+				}
+				time.Sleep(100 * time.Microsecond)
+			},
+		})
+		if err == nil {
+			err = paceErr
+		}
+		if err != nil {
+			return workload.Summary{}, err
+		}
+		if err := c.Settle(50*time.Millisecond, 60*time.Second); err != nil {
+			return workload.Summary{}, err
+		}
+		return l.Summary(), nil
+	}
+
+	var res deliveryResult
+	var totalDups, totalRefused, totalExpected int
+
+	sum, err := pump(nil)
+	if err != nil {
+		return deliveryResult{}, err
+	}
+	res.settledRatio = sum.Ratio()
+	totalDups += sum.Dups
+	totalRefused += sum.Refused
+	totalExpected += sum.Expected
+
+	// Churn phases: every ce packets, a spare switch joins or a previous
+	// joiner leaves, so trees re-install while the stream flows.
+	spares := []topo.SwitchID{1, topo.SwitchID(p.Cols), topo.SwitchID(n - 2), 2}
+	for _, ce := range p.ChurnEvery {
+		next := 0
+		sum, err := pump(func(i int) error {
+			if i%ce != ce-1 {
+				return nil
+			}
+			sw := spares[next%len(spares)]
+			next++
+			if members[sw] {
+				return leave(sw)
+			}
+			return join(sw)
+		})
+		if err != nil {
+			return deliveryResult{}, err
+		}
+		res.churnRatios = append(res.churnRatios, sum.Ratio())
+		totalDups += sum.Dups
+		totalRefused += sum.Refused
+		totalExpected += sum.Expected
+		if err := c.WaitConverged(60 * time.Second); err != nil {
+			return deliveryResult{}, err
+		}
+	}
+	if totalExpected > 0 {
+		res.dupsPer1k = 1000 * float64(totalDups) / float64(totalExpected)
+		res.refusedPer1k = 1000 * float64(totalRefused) / float64(totalExpected)
+	}
+	return res, nil
+}

@@ -713,6 +713,10 @@ func (h *worldHost) SelfNudge(conn lsa.ConnID) {
 // NoteInstall implements core.Host.
 func (h *worldHost) NoteInstall() { h.w.installs++ }
 
+// ForwardingChanged implements core.Host. The checker explores control-plane
+// interleavings only; there is no FIB to recompile.
+func (h *worldHost) ForwardingChanged(lsa.ConnID) {}
+
 // Trace implements core.Host.
 func (h *worldHost) TraceEnabled() bool { return h.w.tracing }
 

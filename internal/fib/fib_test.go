@@ -1,0 +1,152 @@
+package fib
+
+import (
+	"testing"
+	"time"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/topo"
+)
+
+// line builds a 6-switch line 0-1-2-3-4-5 with 10µs links.
+func line(t *testing.T) *topo.Graph {
+	t.Helper()
+	g, err := topo.Line(6, 10*time.Microsecond)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	return g
+}
+
+// lineTree is the tree 0-1-2 over the line graph.
+func lineTree(kind mctree.Kind) *mctree.Tree {
+	tr := mctree.New(kind)
+	tr.AddEdge(0, 1)
+	tr.AddEdge(1, 2)
+	return tr
+}
+
+func compile(g *topo.Graph, self topo.SwitchID, kind mctree.Kind, members mctree.Members, tr *mctree.Tree) *Entry {
+	b := NewBuilder(self, g)
+	b.Add(1, kind, members, tr)
+	return b.Build().Lookup(1)
+}
+
+func TestNilTable(t *testing.T) {
+	var tbl *Table
+	if tbl.Lookup(1) != nil {
+		t.Fatal("nil table returned an entry")
+	}
+	if tbl.Size() != 0 {
+		t.Fatal("nil table has nonzero size")
+	}
+	if tbl.Conns() != nil {
+		t.Fatal("nil table has conns")
+	}
+}
+
+func TestSymmetricEntries(t *testing.T) {
+	g := line(t)
+	members := mctree.Members{0: mctree.SenderReceiver, 2: mctree.SenderReceiver}
+	tr := lineTree(mctree.Symmetric)
+
+	e := compile(g, 1, mctree.Symmetric, members, tr)
+	if e == nil {
+		t.Fatal("no entry at relay switch 1")
+	}
+	if e.Local || e.CanSend || !e.Entered() {
+		t.Fatalf("relay entry wrong: %+v", e)
+	}
+	if len(e.Neighbors) != 2 || e.Neighbors[0] != 0 || e.Neighbors[1] != 2 {
+		t.Fatalf("relay neighbors = %v, want [0 2]", e.Neighbors)
+	}
+
+	e = compile(g, 0, mctree.Symmetric, members, tr)
+	if !e.Local || !e.CanSend || !e.Member {
+		t.Fatalf("member entry wrong: %+v", e)
+	}
+
+	e = compile(g, 4, mctree.Symmetric, members, tr)
+	if e.Entered() || e.CanSend || e.ContactNext != topo.NoSwitch {
+		t.Fatalf("off-tree symmetric entry wrong: %+v", e)
+	}
+}
+
+func TestReceiverOnlyContactRoute(t *testing.T) {
+	g := line(t)
+	members := mctree.Members{0: mctree.Receiver, 2: mctree.Receiver}
+	tr := lineTree(mctree.ReceiverOnly)
+
+	// Switch 5 is off-tree: its contact is the nearest receiver (2, 30µs
+	// away) and the next hop toward it is 4.
+	e := compile(g, 5, mctree.ReceiverOnly, members, tr)
+	if e == nil || e.Entered() {
+		t.Fatalf("off-tree entry wrong: %+v", e)
+	}
+	if !e.CanSend {
+		t.Fatal("receiver-only MCs accept any sender")
+	}
+	if e.Contact != 2 || e.ContactNext != 4 || e.ContactDelay != 30*time.Microsecond {
+		t.Fatalf("contact route = (%d via %d, %v), want (2 via 4, 30µs)", e.Contact, e.ContactNext, e.ContactDelay)
+	}
+
+	// On-tree switches carry fan-out, no contact route.
+	e = compile(g, 1, mctree.ReceiverOnly, members, tr)
+	if !e.Entered() || e.ContactNext != topo.NoSwitch {
+		t.Fatalf("on-tree entry wrong: %+v", e)
+	}
+}
+
+func TestAsymmetricSendRule(t *testing.T) {
+	g := line(t)
+	members := mctree.Members{0: mctree.Sender, 2: mctree.Receiver}
+	tr := lineTree(mctree.Asymmetric)
+
+	if e := compile(g, 0, mctree.Asymmetric, members, tr); !e.CanSend || e.Local {
+		t.Fatalf("sender entry wrong: %+v", e)
+	}
+	if e := compile(g, 2, mctree.Asymmetric, members, tr); e.CanSend || !e.Local {
+		t.Fatalf("receiver entry wrong: %+v", e)
+	}
+	if e := compile(g, 1, mctree.Asymmetric, members, tr); e.CanSend {
+		t.Fatalf("relay may not send: %+v", e)
+	}
+}
+
+func TestSingleMemberEntry(t *testing.T) {
+	g := line(t)
+	members := mctree.Members{3: mctree.SenderReceiver}
+	e := compile(g, 3, mctree.Symmetric, members, nil)
+	if !e.Entered() || !e.Local || !e.CanSend || len(e.Neighbors) != 0 {
+		t.Fatalf("single-member entry wrong: %+v", e)
+	}
+	// Other switches see a receiver-only singleton as a contact target.
+	e = compile(g, 5, mctree.ReceiverOnly, mctree.Members{3: mctree.Receiver}, nil)
+	if e.Contact != 3 || e.ContactNext != 4 {
+		t.Fatalf("contact to singleton = %d via %d, want 3 via 4", e.Contact, e.ContactNext)
+	}
+}
+
+func TestUnreachableContact(t *testing.T) {
+	g := line(t)
+	if err := g.SetLinkDown(3, 4, true); err != nil {
+		t.Fatalf("SetLinkDown: %v", err)
+	}
+	members := mctree.Members{0: mctree.Receiver, 2: mctree.Receiver}
+	e := compile(g, 5, mctree.ReceiverOnly, members, lineTree(mctree.ReceiverOnly))
+	if e.Contact != topo.NoSwitch || e.ContactNext != topo.NoSwitch {
+		t.Fatalf("expected no contact route across a cut, got %+v", e)
+	}
+}
+
+func TestTableConns(t *testing.T) {
+	g := line(t)
+	b := NewBuilder(0, g)
+	b.Add(9, mctree.Symmetric, mctree.Members{0: mctree.SenderReceiver}, nil)
+	b.Add(2, mctree.ReceiverOnly, mctree.Members{1: mctree.Receiver, 3: mctree.Receiver}, lineTree(mctree.ReceiverOnly))
+	tbl := b.Build()
+	conns := tbl.Conns()
+	if tbl.Size() != 2 || len(conns) != 2 || conns[0] != 2 || conns[1] != 9 {
+		t.Fatalf("conns = %v (size %d), want [2 9]", conns, tbl.Size())
+	}
+}

@@ -1,0 +1,205 @@
+package fib
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dgmc/internal/deliver"
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/route"
+	"dgmc/internal/topo"
+)
+
+// This file is the FIB-vs-oracle cross-check: on randomized topologies and
+// memberships, forwarding a packet hop by hop through per-switch compiled
+// tables must reproduce deliver.Multicast exactly — same receiver set
+// (exactly-once), same per-receiver latency, same Copies link-transmission
+// count — for all three MC kinds. The distributed data plane and the
+// centralized trace are two implementations of one delivery model; any
+// divergence is a bug in one of them.
+
+const oracleConn = lsa.ConnID(1)
+
+// compileAll builds every switch's table for one connection state.
+func compileAll(g *topo.Graph, kind mctree.Kind, members mctree.Members, tr *mctree.Tree) map[topo.SwitchID]*Table {
+	tables := make(map[topo.SwitchID]*Table, g.NumSwitches())
+	for _, s := range g.Switches() {
+		b := NewBuilder(s, g)
+		b.Add(oracleConn, kind, members, tr)
+		tables[s] = b.Build()
+	}
+	return tables
+}
+
+// fibForward simulates distributed forwarding: each hop consults only the
+// receiving switch's own table, exactly as rt.Node does live.
+func fibForward(g *topo.Graph, tables map[topo.SwitchID]*Table, source topo.SwitchID) (map[topo.SwitchID]time.Duration, int, error) {
+	e := tables[source].Lookup(oracleConn)
+	if e == nil {
+		return nil, 0, fmt.Errorf("no entry at source %d", source)
+	}
+	if !e.CanSend {
+		return nil, 0, fmt.Errorf("source %d may not send", source)
+	}
+	type packet struct {
+		at, from topo.SwitchID
+		delay    time.Duration
+		hops     int
+	}
+	maxHops := 2 * g.NumSwitches()
+	latency := make(map[topo.SwitchID]time.Duration)
+	copies := 0
+	queue := []packet{{at: source, from: topo.NoSwitch, delay: 0}}
+	for qi := 0; qi < len(queue); qi++ {
+		p := queue[qi]
+		if p.hops > maxHops {
+			return nil, 0, fmt.Errorf("packet exceeded %d hops (forwarding loop)", maxHops)
+		}
+		pe := tables[p.at].Lookup(oracleConn)
+		if pe == nil {
+			return nil, 0, fmt.Errorf("no entry at %d", p.at)
+		}
+		if pe.Local && p.at != source {
+			if _, dup := latency[p.at]; dup {
+				return nil, 0, fmt.Errorf("duplicate delivery at %d", p.at)
+			}
+			latency[p.at] = p.delay
+		}
+		send := func(to topo.SwitchID) error {
+			l, ok := g.Link(p.at, to)
+			if !ok || l.Down {
+				return fmt.Errorf("hop (%d,%d) unusable", p.at, to)
+			}
+			copies++
+			queue = append(queue, packet{at: to, from: p.at, delay: p.delay + l.Delay, hops: p.hops + 1})
+			return nil
+		}
+		if pe.Entered() {
+			for _, nb := range pe.Neighbors {
+				if nb == p.from {
+					continue
+				}
+				if err := send(nb); err != nil {
+					return nil, 0, err
+				}
+			}
+		} else if pe.ContactNext != topo.NoSwitch {
+			if err := send(pe.ContactNext); err != nil {
+				return nil, 0, err
+			}
+		} else if p.at == source {
+			return nil, 0, fmt.Errorf("source %d has no route into the MC", source)
+		}
+	}
+	return latency, copies, nil
+}
+
+// checkParity runs both implementations from source and requires identical
+// outcomes.
+func checkParity(t *testing.T, g *topo.Graph, kind mctree.Kind, members mctree.Members, tr *mctree.Tree,
+	tables map[topo.SwitchID]*Table, source topo.SwitchID, label string) {
+	t.Helper()
+	rep, oerr := deliver.Multicast(g, tr, members, source)
+	latency, copies, ferr := fibForward(g, tables, source)
+	if (oerr == nil) != (ferr == nil) {
+		t.Fatalf("%s src=%d: oracle err=%v, fib err=%v", label, source, oerr, ferr)
+	}
+	if oerr != nil {
+		return
+	}
+	if copies != rep.Copies {
+		t.Fatalf("%s src=%d: fib used %d copies, oracle %d", label, source, copies, rep.Copies)
+	}
+	if len(latency) != len(rep.Latency) {
+		t.Fatalf("%s src=%d: fib reached %d receivers, oracle %d (%v vs %v)",
+			label, source, len(latency), len(rep.Latency), latency, rep.Latency)
+	}
+	for m, d := range rep.Latency {
+		if got, ok := latency[m]; !ok || got != d {
+			t.Fatalf("%s src=%d: receiver %d latency fib=%v oracle=%v", label, source, m, latency[m], d)
+		}
+	}
+}
+
+func TestOracleParityRandomized(t *testing.T) {
+	algos := map[mctree.Kind]route.Algorithm{
+		mctree.Symmetric:    route.SPH{},
+		mctree.ReceiverOnly: route.SPH{},
+		mctree.Asymmetric:   route.SPT{},
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed * 7919))
+		n := 8 + rng.Intn(16)
+		g, err := topo.Waxman(topo.DefaultGenConfig(n, seed))
+		if err != nil {
+			t.Fatalf("Waxman(n=%d, seed=%d): %v", n, seed, err)
+		}
+		for kind, algo := range algos {
+			members := randomMembers(rng, n, kind)
+			tr, err := algo.Compute(g, kind, members)
+			if err != nil {
+				t.Fatalf("seed=%d kind=%v: Compute: %v", seed, kind, err)
+			}
+			tables := compileAll(g, kind, members, tr)
+			label := fmt.Sprintf("seed=%d kind=%v members=%v", seed, kind, members.IDs())
+			// Every switch attempts to send: members exercise tree fan-out,
+			// non-members exercise the contact stage (receiver-only) or the
+			// not-a-sender rejection (symmetric/asymmetric).
+			for _, src := range g.Switches() {
+				checkParity(t, g, kind, members, tr, tables, src, label)
+			}
+		}
+	}
+}
+
+// TestOracleParitySingleMember pins the edgeless-topology corner for all
+// three kinds.
+func TestOracleParitySingleMember(t *testing.T) {
+	g, err := topo.Line(4, 10*time.Microsecond)
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	for _, kind := range []mctree.Kind{mctree.Symmetric, mctree.ReceiverOnly, mctree.Asymmetric} {
+		role := mctree.SenderReceiver
+		if kind == mctree.ReceiverOnly {
+			role = mctree.Receiver
+		}
+		members := mctree.Members{2: role}
+		tr := mctree.New(kind)
+		if kind == mctree.Asymmetric {
+			tr.Root = 2
+		}
+		tables := compileAll(g, kind, members, tr)
+		for _, src := range g.Switches() {
+			checkParity(t, g, kind, members, tr, tables, src, fmt.Sprintf("single-member kind=%v", kind))
+		}
+	}
+}
+
+func randomMembers(rng *rand.Rand, n int, kind mctree.Kind) mctree.Members {
+	k := 2 + rng.Intn(4)
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	members := make(mctree.Members, k)
+	switch kind {
+	case mctree.Symmetric:
+		for i := 0; i < k; i++ {
+			members[topo.SwitchID(perm[i])] = mctree.SenderReceiver
+		}
+	case mctree.ReceiverOnly:
+		for i := 0; i < k; i++ {
+			members[topo.SwitchID(perm[i])] = mctree.Receiver
+		}
+	case mctree.Asymmetric:
+		members[topo.SwitchID(perm[0])] = mctree.Sender
+		for i := 1; i < k; i++ {
+			members[topo.SwitchID(perm[i])] = mctree.Receiver
+		}
+	}
+	return members
+}

@@ -1,0 +1,83 @@
+package lsa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dgmc/internal/topo"
+)
+
+// Data-plane framing. A FrameData frame reuses the common 26-byte wire
+// header (Origin = source switch, Seq = the source's data sequence, From =
+// link-level forwarder) and prefixes the application payload with a small
+// data header:
+//
+//	conn (4, big-endian) | hops (1) | application payload
+//
+// The hop budget is decremented at every forwarding hop and the frame is
+// dropped when it reaches zero — the only loop guard the data plane has
+// while trees at different switches transiently disagree during
+// reconvergence. Forwarders relay the received buffer in place via
+// PatchDataForward (From + hops + CRC rewrite), never re-encoding.
+
+// dataHeaderLen is conn(4) + hops(1).
+const dataHeaderLen = 5
+
+// MaxDataHops is the largest encodable hop budget.
+const MaxDataHops = 255
+
+// DataFrame is the decoded view of a FrameData frame's identity and
+// data-plane header. Src and Seq mirror the outer frame's Origin and Seq;
+// Payload aliases the decoded buffer.
+type DataFrame struct {
+	Conn    ConnID
+	Src     topo.SwitchID
+	Seq     uint64
+	Hops    uint8
+	Payload []byte
+}
+
+// AppendDataFrame appends a complete wire frame (outer header + data header
+// + payload) for d to dst and returns the extended slice. from is the
+// link-level sender stamped into the outer header.
+func AppendDataFrame(dst []byte, d *DataFrame, from topo.SwitchID) []byte {
+	f := Frame{Version: FrameVersion, Kind: FrameData, Origin: d.Src, From: from, Seq: d.Seq}
+	return AppendFrameWith(dst, &f, func(b []byte) []byte {
+		b = binary.BigEndian.AppendUint32(b, uint32(d.Conn))
+		b = append(b, d.Hops)
+		return append(b, d.Payload...)
+	})
+}
+
+// DecodeDataInto parses the data-plane header out of an already-decoded
+// FrameData frame into d. It errors on non-data frames and truncated data
+// headers; it never panics on hostile input (see FuzzDecodeDataFrame).
+// d.Payload aliases f.Payload.
+func DecodeDataInto(d *DataFrame, f *Frame) error {
+	if f.Kind != FrameData {
+		return fmt.Errorf("lsa: frame kind %v is not a data frame", f.Kind)
+	}
+	if len(f.Payload) < dataHeaderLen {
+		return fmt.Errorf("lsa: truncated data header (%d bytes, need %d)", len(f.Payload), dataHeaderLen)
+	}
+	d.Conn = ConnID(binary.BigEndian.Uint32(f.Payload))
+	d.Hops = f.Payload[4]
+	d.Src = f.Origin
+	d.Seq = f.Seq
+	d.Payload = f.Payload[dataHeaderLen:]
+	return nil
+}
+
+// PatchDataForward rewrites the link-level From field and the hop budget of
+// an encoded data frame in place and fixes the CRC in a single pass, so a
+// forwarder can relay the buffer it received without re-encoding.
+func PatchDataForward(buf []byte, from topo.SwitchID, hops uint8) error {
+	if len(buf) < frameHeaderLen+dataHeaderLen {
+		return fmt.Errorf("lsa: data frame too short to patch (%d bytes)", len(buf))
+	}
+	binary.BigEndian.PutUint32(buf[frameFromOffset:], uint32(int32(from)))
+	buf[frameHeaderLen+4] = hops
+	binary.BigEndian.PutUint32(buf[frameHeaderLen-4:],
+		frameCRC(buf[:frameHeaderLen-4], buf[frameHeaderLen:]))
+	return nil
+}

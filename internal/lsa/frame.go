@@ -25,11 +25,16 @@ const (
 	FrameResyncReq FrameKind = 2
 	// FrameResyncResp carries a point-to-point ResyncResponse.
 	FrameResyncResp FrameKind = 3
+	// FrameData carries an application payload riding an installed MC
+	// topology: it is forwarded hop by hop along the per-switch FIB, not
+	// flooded. Origin is the sending switch, Seq its per-source data
+	// sequence, From the link-level forwarder (patched at each hop).
+	FrameData FrameKind = 4
 )
 
 // Valid reports whether k is a defined frame kind.
 func (k FrameKind) Valid() bool {
-	return k == FrameFlood || k == FrameResyncReq || k == FrameResyncResp
+	return k == FrameFlood || k == FrameResyncReq || k == FrameResyncResp || k == FrameData
 }
 
 // String implements fmt.Stringer.
@@ -41,6 +46,8 @@ func (k FrameKind) String() string {
 		return "resync-req"
 	case FrameResyncResp:
 		return "resync-resp"
+	case FrameData:
+		return "data"
 	default:
 		return fmt.Sprintf("FrameKind(%d)", uint8(k))
 	}

@@ -2,9 +2,11 @@ package rt
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
+	"dgmc/internal/lsa"
 	"dgmc/internal/topo"
 )
 
@@ -30,6 +32,31 @@ type ChanFabric struct {
 	// groups holds the active partition as a switch→group map (nil when the
 	// fabric is whole). Cross-group sends are silently dropped.
 	groups atomic.Pointer[map[topo.SwitchID]int]
+	// loss, when set, drops payload (FrameData) frames at random. Control
+	// frames are never dropped: the loss knob stresses the data plane's
+	// delivery ratio, not the control plane's loss recovery — that has its
+	// own faults (Kill, Partition).
+	loss atomic.Pointer[lossCfg]
+	// lost counts frames the loss knob discarded.
+	lost atomic.Uint64
+}
+
+// lossCfg is one SetLoss configuration: a fixed drop threshold and a
+// counter-mode PRNG state, so drop decisions are reproducible for a given
+// seed and arrival order without any shared lock on the send path.
+type lossCfg struct {
+	thresh uint64 // drop when mix64(seed+ctr) < thresh
+	seed   uint64
+	ctr    atomic.Uint64
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed hash of the
+// per-send counter.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // NewChanFabric builds a fabric for switches 0..n-1.
@@ -96,6 +123,40 @@ func (f *ChanFabric) ClearPartition() {
 	f.groups.Store(nil)
 }
 
+// SetLoss makes the fabric drop each payload (FrameData) frame with
+// probability prob, using a deterministic per-send hash seeded by seed.
+// prob ≤ 0 disables loss. Control frames are never dropped.
+func (f *ChanFabric) SetLoss(prob float64, seed int64) {
+	if prob <= 0 {
+		f.loss.Store(nil)
+		return
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	f.loss.Store(&lossCfg{
+		thresh: uint64(prob * float64(math.MaxUint64)),
+		seed:   uint64(seed),
+	})
+}
+
+// Lost returns the number of frames discarded by the loss knob.
+func (f *ChanFabric) Lost() uint64 { return f.lost.Load() }
+
+// dropData reports whether the loss knob claims this frame. Only payload
+// frames are eligible; the kind byte sits at a fixed header offset.
+func (f *ChanFabric) dropData(data []byte) bool {
+	lc := f.loss.Load()
+	if lc == nil || len(data) < 2 || lsa.FrameKind(data[1]) != lsa.FrameData {
+		return false
+	}
+	if mix64(lc.seed+lc.ctr.Add(1)) >= lc.thresh {
+		return false
+	}
+	f.lost.Add(1)
+	return true
+}
+
 // blocked reports whether the active partition separates from and to.
 func (f *ChanFabric) blocked(from, to topo.SwitchID) bool {
 	gp := f.groups.Load()
@@ -128,6 +189,9 @@ func (p *chanPort) Send(to topo.SwitchID, data []byte) error {
 	}
 	if p.fabric.blocked(p.id, to) {
 		return nil // partitioned: the frame vanishes, undetected
+	}
+	if p.fabric.dropData(data) {
+		return nil // lossy fabric ate the payload; the sender never knows
 	}
 	// Copy: the wire would; and the caller is free to patch its buffer for
 	// the next neighbor while this copy sits queued. The copy comes from the

@@ -39,7 +39,19 @@ type ClusterConfig struct {
 	// collector and one registry with per-switch labels); see NodeConfig.
 	Tracer   core.Tracer
 	Registry *obs.Registry
+	// DataHandler, if set, receives every payload the data plane delivers
+	// anywhere in the cluster, tagged with the delivering switch. Same
+	// contract as NodeConfig.DataHandler: called on the receive goroutine,
+	// must not block, payload aliases a pooled buffer.
+	DataHandler ClusterDataHandler
+	// DataHops is the hop budget on originated payloads (default
+	// DefaultDataHops).
+	DataHops int
 }
+
+// ClusterDataHandler is ClusterConfig.DataHandler: a node-level DataHandler
+// plus the identity of the switch that delivered.
+type ClusterDataHandler func(at topo.SwitchID, conn lsa.ConnID, src topo.SwitchID, seq uint64, payload []byte)
 
 // Cluster boots one Node per switch of a graph over a shared fabric: the
 // live-runtime counterpart of core.Domain, used by the live harness tests
@@ -104,6 +116,13 @@ func NewCluster(cfg ClusterConfig, fabric Fabric) (*Cluster, error) {
 // newNode boots one switch at the given restart epoch, optionally from a
 // snapshot.
 func (c *Cluster) newNode(id topo.SwitchID, epoch uint64, snap *NodeSnapshot) (*Node, error) {
+	var dh DataHandler
+	if c.cfg.DataHandler != nil {
+		h := c.cfg.DataHandler
+		dh = func(conn lsa.ConnID, src topo.SwitchID, seq uint64, payload []byte) {
+			h(id, conn, src, seq, payload)
+		}
+	}
 	return NewNode(NodeConfig{
 		ID:                  id,
 		Graph:               c.cfg.Graph,
@@ -118,6 +137,8 @@ func (c *Cluster) newNode(id topo.SwitchID, epoch uint64, snap *NodeSnapshot) (*
 		Registry:            c.cfg.Registry,
 		Epoch:               epoch,
 		Restore:             snap,
+		DataHandler:         dh,
+		DataHops:            c.cfg.DataHops,
 	}, c.fabric.Transport(id))
 }
 
@@ -274,6 +295,47 @@ func (c *Cluster) Leave(sw topo.SwitchID, conn lsa.ConnID) error {
 		return fmt.Errorf("rt: no live switch %d", sw)
 	}
 	return n.Leave(conn)
+}
+
+// SendData originates one payload on conn at switch sw. Errors if the
+// switch is dead or may not send (see Node.SendData).
+func (c *Cluster) SendData(sw topo.SwitchID, conn lsa.ConnID, payload []byte) (uint64, error) {
+	n := c.aliveNode(sw)
+	if n == nil {
+		return 0, fmt.Errorf("rt: no live switch %d", sw)
+	}
+	return n.SendData(conn, payload)
+}
+
+// ForwardStats sums the data-plane counters across switches: live nodes
+// plus the latest incarnation of any currently-dead switch. A crashed
+// incarnation's counters vanish with it, exactly as a real switch's would.
+func (c *Cluster) ForwardStats() ForwardStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var sum ForwardStats
+	seen := map[*Node]bool{}
+	add := func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		s := n.ForwardStats()
+		sum.Originated += s.Originated
+		sum.Forwarded += s.Forwarded
+		sum.Delivered += s.Delivered
+		sum.DropNoEntry += s.DropNoEntry
+		sum.DropNoRoute += s.DropNoRoute
+		sum.DropHops += s.DropHops
+		sum.DropLoop += s.DropLoop
+	}
+	for _, n := range c.nodes {
+		add(n)
+	}
+	for _, n := range c.last {
+		add(n)
+	}
+	return sum
 }
 
 // aliveNode returns the live node for sw, or nil if out of range or dead.

@@ -1,0 +1,223 @@
+package rt
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/topo"
+	"dgmc/internal/workload"
+)
+
+// TestDeliverySoak is the data-plane acceptance soak: a 16-switch live
+// cluster carries payload streams while the control plane churns membership
+// and survives a partition/heal cycle. Fault-free settled phases are gated —
+// delivery ratio ≥ 0.99 with zero duplicates — and the faulted phase is
+// recorded, since packets crossing a live partition are supposed to die.
+// Runs race-enabled in CI as a blocking gate.
+func TestDeliverySoak(t *testing.T) {
+	const rows, cols = 4, 4
+	conn := lsa.ConnID(1)
+	g, err := topo.Grid(rows, cols, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The active phase's ledger; the delivery handler runs on receive
+	// goroutines, so the swap is atomic.
+	var led atomic.Pointer[workload.Ledger]
+	led.Store(workload.NewLedger())
+	c, err := NewCluster(ClusterConfig{
+		Graph: g, ResyncTimeout: resyncFast,
+		DataHandler: func(at topo.SwitchID, conn lsa.ConnID, src topo.SwitchID, seq uint64, payload []byte) {
+			led.Load().RecordRecv(at, workload.PacketID{Src: src, Seq: seq})
+		},
+	}, NewChanFabric(rows*cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The test tracks membership itself; in settled phases this is exactly
+	// what every switch has installed, so expectations are exact.
+	members := map[topo.SwitchID]bool{}
+	join := func(sw topo.SwitchID) {
+		if err := c.Join(sw, conn, mctree.SenderReceiver); err != nil {
+			t.Fatal(err)
+		}
+		members[sw] = true
+	}
+	leave := func(sw topo.SwitchID) {
+		if err := c.Leave(sw, conn); err != nil {
+			t.Fatal(err)
+		}
+		delete(members, sw)
+	}
+	sources := func() []topo.SwitchID {
+		var out []topo.SwitchID
+		for sw := range members {
+			out = append(out, sw)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	expect := func(src topo.SwitchID) []topo.SwitchID {
+		var out []topo.SwitchID
+		for sw := range members {
+			if sw != src {
+				out = append(out, sw)
+			}
+		}
+		return out
+	}
+
+	pump := func(packets int, pace func(i int)) workload.Summary {
+		l := workload.NewLedger()
+		led.Store(l)
+		if err := workload.Pump(c, l, workload.TrafficConfig{
+			Conn: conn, Sources: sources(), Packets: packets,
+			Expect: expect, Pace: pace,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Settle(50*time.Millisecond, 60*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return l.Summary()
+	}
+
+	// Members on both sides of the future partition boundary.
+	for _, sw := range []topo.SwitchID{0, 3, 5, 12, 15} {
+		join(sw)
+	}
+	if err := c.WaitConverged(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1 (gated): settled cluster, no faults.
+	sum := pump(200, nil)
+	t.Logf("phase 1 (settled): %+v ratio=%.4f", sum, sum.Ratio())
+	if sum.Ratio() < 0.99 {
+		t.Fatalf("settled delivery ratio %.4f < 0.99: %+v", sum.Ratio(), sum)
+	}
+	if sum.Dups != 0 || sum.Strays != 0 {
+		t.Fatalf("settled phase produced %d dups, %d strays", sum.Dups, sum.Strays)
+	}
+
+	// Phase 2 (recorded): traffic keeps flowing while membership churns and
+	// the fabric partitions and heals mid-stream. Expectations are computed
+	// against full membership, so cross-partition packets read as missing —
+	// the measurement, not a failure.
+	groups := gridGroups(rows, cols, 2)
+	faulted := pump(240, func(i int) {
+		switch i {
+		case 20:
+			join(6)
+		case 60:
+			if err := c.Partition(groups); err != nil {
+				t.Fatal(err)
+			}
+		case 140:
+			if err := c.Heal(); err != nil {
+				t.Fatal(err)
+			}
+		case 200:
+			leave(5)
+		}
+		time.Sleep(200 * time.Microsecond)
+	})
+	t.Logf("phase 2 (churn + partition/heal): %+v ratio=%.4f", faulted, faulted.Ratio())
+	if faulted.Packets == 0 || faulted.Delivered == 0 {
+		t.Fatalf("no traffic survived the faulted phase: %+v", faulted)
+	}
+
+	// Phase 3 (gated): after reconvergence the stream must be clean again.
+	if err := c.WaitConverged(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sum = pump(200, nil)
+	t.Logf("phase 3 (reconverged): %+v ratio=%.4f", sum, sum.Ratio())
+	if sum.Ratio() < 0.99 {
+		t.Fatalf("post-heal delivery ratio %.4f < 0.99: %+v", sum.Ratio(), sum)
+	}
+	if sum.Dups != 0 || sum.Strays != 0 {
+		t.Fatalf("reconverged phase produced %d dups, %d strays", sum.Dups, sum.Strays)
+	}
+
+	stats := c.ForwardStats()
+	t.Logf("cluster forward stats: %+v", stats)
+	if stats.Originated == 0 || stats.Delivered == 0 {
+		t.Fatalf("forward counters never moved: %+v", stats)
+	}
+}
+
+// TestDeliveryUnderLoss turns on fabric-level payload loss and checks the
+// plumbing end to end: the loss knob eats data frames only (the control
+// plane still converges), the delivery ratio lands roughly where the drop
+// probability says it should, and disabling loss restores a clean stream.
+func TestDeliveryUnderLoss(t *testing.T) {
+	conn := lsa.ConnID(1)
+	g, err := topo.Line(4, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var led atomic.Pointer[workload.Ledger]
+	led.Store(workload.NewLedger())
+	fab := NewChanFabric(4)
+	c, err := NewCluster(ClusterConfig{
+		Graph: g, ResyncTimeout: resyncFast,
+		DataHandler: func(at topo.SwitchID, conn lsa.ConnID, src topo.SwitchID, seq uint64, payload []byte) {
+			led.Load().RecordRecv(at, workload.PacketID{Src: src, Seq: seq})
+		},
+	}, fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Heavy loss from the start: joins still converge because only payload
+	// frames are eligible.
+	fab.SetLoss(0.5, 42)
+	for _, sw := range []topo.SwitchID{0, 3} {
+		if err := c.Join(sw, conn, mctree.SenderReceiver); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitConverged(30 * time.Second); err != nil {
+		t.Fatalf("control plane must be immune to payload loss: %v", err)
+	}
+
+	pump := func(packets int) workload.Summary {
+		l := workload.NewLedger()
+		led.Store(l)
+		if err := workload.Pump(c, l, workload.TrafficConfig{
+			Conn: conn, Sources: []topo.SwitchID{0}, Packets: packets,
+			Expect: func(topo.SwitchID) []topo.SwitchID { return []topo.SwitchID{3} },
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Settle(50*time.Millisecond, 30*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return l.Summary()
+	}
+
+	lossy := pump(400)
+	if fab.Lost() == 0 {
+		t.Fatal("loss knob never dropped a frame")
+	}
+	// Each packet crosses 3 links, each surviving with p=0.5: expect ~12.5%
+	// end-to-end. Anything clearly below lossless and above zero will do.
+	if r := lossy.Ratio(); r > 0.6 || lossy.Delivered == 0 {
+		t.Fatalf("lossy ratio = %.4f (delivered %d), want heavy but partial loss", r, lossy.Delivered)
+	}
+
+	fab.SetLoss(0, 0)
+	clean := pump(100)
+	if clean.Ratio() != 1 || clean.Dups != 0 {
+		t.Fatalf("loss disabled but stream not clean: %+v", clean)
+	}
+}

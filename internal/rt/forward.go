@@ -1,0 +1,253 @@
+package rt
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"dgmc/internal/fib"
+	"dgmc/internal/lsa"
+	"dgmc/internal/topo"
+)
+
+// This file is the node's data plane: originate (SendData) and relay
+// (handleData) payload frames over the per-connection FIB compiled from the
+// installed MC topologies.
+//
+// The steady-state forward path is allocation-free by construction (the
+// root alloc gate pins it at 0 allocs/op): the frame decodes into stack
+// values, the table lookup is one atomic pointer load plus a map read, the
+// relay patches From/hops/CRC into the received buffer in place, and every
+// counter is a plain atomic. It runs on the transport receive goroutine and
+// never takes the machine lock — installs swap the table under the hot
+// path, they never block it.
+//
+// Deliberately NOT here: duplicate suppression. Duplicates during
+// reconvergence (two switches briefly installed on different trees) are a
+// headline metric of this reproduction, so the data plane forwards what the
+// FIB says and the sinks count what arrives; the hop budget bounds the cost
+// of any transient loop.
+
+// DefaultDataHops is the default hop budget on originated payload frames —
+// comfortably above any tree path in the fabrics this repo drives, small
+// enough that a reconvergence loop dies quickly.
+const DefaultDataHops = 64
+
+// DataHandler receives payloads the data plane delivers to the co-resident
+// application: the connection, the originating switch, its per-source data
+// sequence number, and the payload bytes (valid only for the duration of
+// the call — they alias a pooled receive buffer).
+type DataHandler func(conn lsa.ConnID, src topo.SwitchID, seq uint64, payload []byte)
+
+// ErrNotSender is returned by SendData when the local switch is not
+// entitled to originate on the connection (not a sending member of a
+// symmetric/asymmetric MC).
+var ErrNotSender = errors.New("rt: switch may not send on this connection")
+
+// ErrNoRoute is returned by SendData when the switch has no forwarding
+// state for the connection, or no route into its MC topology.
+var ErrNoRoute = errors.New("rt: no route into the MC")
+
+// forwardCounters are the data plane's per-node statistics: plain atomics
+// so they work (and stay allocation-free) with or without a registry.
+type forwardCounters struct {
+	originated  atomic.Uint64
+	forwarded   atomic.Uint64
+	delivered   atomic.Uint64
+	dropNoEntry atomic.Uint64
+	dropNoRoute atomic.Uint64
+	dropHops    atomic.Uint64
+	dropLoop    atomic.Uint64
+}
+
+// ForwardStats is a snapshot of one node's data-plane counters.
+type ForwardStats struct {
+	// Originated counts payload frames this node sent into the network.
+	Originated uint64
+	// Forwarded counts relay transmissions (one per link copy).
+	Forwarded uint64
+	// Delivered counts payloads handed to the local application.
+	Delivered uint64
+	// DropNoEntry counts frames for connections with no FIB entry.
+	DropNoEntry uint64
+	// DropNoRoute counts frames stranded off-tree with no contact route.
+	DropNoRoute uint64
+	// DropHops counts frames that exhausted their hop budget.
+	DropHops uint64
+	// DropLoop counts own frames that looped back.
+	DropLoop uint64
+}
+
+// Drops returns the sum of all drop reasons.
+func (s ForwardStats) Drops() uint64 {
+	return s.DropNoEntry + s.DropNoRoute + s.DropHops + s.DropLoop
+}
+
+// ForwardStats returns a snapshot of the node's data-plane counters.
+func (n *Node) ForwardStats() ForwardStats {
+	return ForwardStats{
+		Originated:  n.fwd.originated.Load(),
+		Forwarded:   n.fwd.forwarded.Load(),
+		Delivered:   n.fwd.delivered.Load(),
+		DropNoEntry: n.fwd.dropNoEntry.Load(),
+		DropNoRoute: n.fwd.dropNoRoute.Load(),
+		DropHops:    n.fwd.dropHops.Load(),
+		DropLoop:    n.fwd.dropLoop.Load(),
+	}
+}
+
+// FIB returns the node's current forwarding table (never nil after NewNode;
+// read-only).
+func (n *Node) FIB() *fib.Table { return n.fib.Load() }
+
+// FIBCompiles counts table recompilations since boot.
+func (n *Node) FIBCompiles() uint64 { return n.fibCompiles.Load() }
+
+// maybeRecompileLocked recompiles the FIB if the machine call that just
+// returned reported a forwarding change. Must be called with n.mu held,
+// after the machine call, before releasing the lock.
+func (n *Node) maybeRecompileLocked() {
+	if !n.fibDirty {
+		return
+	}
+	n.fibDirty = false
+	n.recompileFIBLocked()
+}
+
+// recompileFIBLocked compiles a fresh table from the machine's forwarding
+// state and swaps it in atomically. Must be called with n.mu held (or
+// before the goroutine cluster starts).
+func (n *Node) recompileFIBLocked() {
+	b := fib.NewBuilder(n.id, n.machine.Unicast().Image())
+	n.machine.ForwardingState(b.Add)
+	n.fib.Store(b.Build())
+	n.fibCompiles.Add(1)
+	n.obs.fibCompiles.Inc()
+}
+
+// SendData originates one payload on conn, fanning it out exactly as a
+// forwarded frame would: over the tree if this switch is on it, or toward
+// the contact node of a receiver-only MC. It returns the frame's data
+// sequence number. Like handleData it consults only the atomic FIB — it
+// never takes the machine lock.
+func (n *Node) SendData(conn lsa.ConnID, payload []byte) (uint64, error) {
+	select {
+	case <-n.closed:
+		return 0, ErrClosed
+	default:
+	}
+	e := n.fib.Load().Lookup(conn)
+	if e == nil {
+		return 0, ErrNoRoute
+	}
+	if !e.CanSend {
+		return 0, ErrNotSender
+	}
+	if !e.Entered() && e.ContactNext == topo.NoSwitch {
+		return 0, ErrNoRoute
+	}
+	seq := n.dataSeq.Add(1)
+	d := lsa.DataFrame{Conn: conn, Src: n.id, Seq: seq, Hops: n.dataHops, Payload: payload}
+	buf := lsa.AppendDataFrame(getBuf(64+len(payload)), &d, n.id)
+	if e.Entered() {
+		for _, nb := range e.Neighbors {
+			if err := n.tr.Send(nb, buf); err != nil {
+				n.obs.sendErrs.Inc()
+				n.tracef("sw%d: data to %d: %v", n.id, nb, err)
+			}
+		}
+	} else if err := n.tr.Send(e.ContactNext, buf); err != nil {
+		n.obs.sendErrs.Inc()
+		n.tracef("sw%d: data to contact %d: %v", n.id, e.ContactNext, err)
+	}
+	putBuf(buf)
+	n.fwd.originated.Add(1)
+	n.obs.dataOrig.Inc()
+	return seq, nil
+}
+
+// handleData is the steady-state forward path: deliver locally if this
+// switch is a receiving member, then relay per the FIB entry — tree fan-out
+// (minus the arrival link) on-tree, one contact hop off-tree. Runs on the
+// transport receive goroutine; zero allocations, no locks.
+func (n *Node) handleData(buf []byte, f *lsa.Frame) {
+	if f.Origin == n.id {
+		// Our own frame came back: a transient loop while trees disagree, or
+		// a stale frame from a pre-crash incarnation. Either way it stops
+		// here — the origin already fanned it out once.
+		n.fwd.dropLoop.Add(1)
+		n.obs.dataDropLoop.Inc()
+		return
+	}
+	var d lsa.DataFrame
+	if err := lsa.DecodeDataInto(&d, f); err != nil {
+		n.decodeErrs.Add(1)
+		n.obs.decodeErrs.Inc()
+		return
+	}
+	e := n.fib.Load().Lookup(d.Conn)
+	if e == nil {
+		n.fwd.dropNoEntry.Add(1)
+		n.obs.dataDropNoEntry.Inc()
+		return
+	}
+	if e.Local {
+		n.fwd.delivered.Add(1)
+		n.obs.dataDeliv.Inc()
+		if h := n.dataHandler; h != nil {
+			h(d.Conn, d.Src, d.Seq, d.Payload)
+		}
+	}
+	if e.Entered() {
+		// Leaf check first: exhausting the hop budget at a switch with
+		// nowhere further to forward is normal termination, not a drop.
+		from := f.From
+		want := 0
+		for _, nb := range e.Neighbors {
+			if nb != from {
+				want++
+			}
+		}
+		if want == 0 {
+			return
+		}
+		if d.Hops == 0 {
+			n.fwd.dropHops.Add(1)
+			n.obs.dataDropHops.Inc()
+			return
+		}
+		if err := lsa.PatchDataForward(buf, n.id, d.Hops-1); err != nil {
+			return
+		}
+		for _, nb := range e.Neighbors {
+			if nb == from {
+				continue
+			}
+			if err := n.tr.Send(nb, buf); err != nil {
+				n.obs.sendErrs.Inc()
+				n.tracef("sw%d: data relay to %d: %v", n.id, nb, err)
+			} else {
+				n.fwd.forwarded.Add(1)
+				n.obs.dataFwd.Inc()
+			}
+		}
+	} else if e.ContactNext != topo.NoSwitch {
+		if d.Hops == 0 {
+			n.fwd.dropHops.Add(1)
+			n.obs.dataDropHops.Inc()
+			return
+		}
+		if err := lsa.PatchDataForward(buf, n.id, d.Hops-1); err != nil {
+			return
+		}
+		if err := n.tr.Send(e.ContactNext, buf); err != nil {
+			n.obs.sendErrs.Inc()
+			n.tracef("sw%d: data relay to contact %d: %v", n.id, e.ContactNext, err)
+		} else {
+			n.fwd.forwarded.Add(1)
+			n.obs.dataFwd.Inc()
+		}
+	} else {
+		n.fwd.dropNoRoute.Add(1)
+		n.obs.dataDropNoRoute.Inc()
+	}
+}

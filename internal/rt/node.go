@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dgmc/internal/core"
+	"dgmc/internal/fib"
 	"dgmc/internal/lsa"
 	"dgmc/internal/mctree"
 	"dgmc/internal/obs"
@@ -49,6 +50,17 @@ type NodeConfig struct {
 	// gauges, histograms, labeled per switch). nil disables metrics with
 	// near-zero overhead.
 	Registry *obs.Registry
+	// DataHandler, when set, receives every payload delivered to this
+	// switch's co-resident application by the data plane (the switch is a
+	// receiving member of conn). It is called from the transport receive
+	// goroutine and must not block or retain payload, which aliases a pooled
+	// receive buffer valid only for the duration of the call.
+	DataHandler DataHandler
+	// DataHops is the hop budget stamped on payload frames this node
+	// originates (default DefaultDataHops, max lsa.MaxDataHops). The budget
+	// is the data plane's only loop guard while trees at different switches
+	// transiently disagree during reconvergence.
+	DataHops int
 	// Epoch is the node's restart epoch (zero for a first boot). It
 	// namespaces the node's flood sequence numbers — seq = epoch<<48 |
 	// counter — so frames originated by a previous incarnation can never
@@ -88,6 +100,22 @@ type Node struct {
 	// mu while holding inMu.
 	mu      sync.Mutex
 	machine *core.Machine
+	// fibDirty marks that the last machine call reported a forwarding
+	// change (Host.ForwardingChanged); guarded by mu. Every machine call
+	// site runs maybeRecompileLocked before releasing mu, so the swapped
+	// table can never lag the control plane by more than the call that is
+	// currently holding the lock.
+	fibDirty bool
+
+	// fib is the data plane's forwarding table, recompiled from machine
+	// state on every forwarding change and swapped atomically — the forward
+	// hot path (handleData/SendData) reads it without taking mu.
+	fib         atomic.Pointer[fib.Table]
+	fibCompiles atomic.Uint64
+	dataHandler DataHandler
+	dataHops    uint8
+	dataSeq     atomic.Uint64
+	fwd         forwardCounters
 
 	// inbox is the receive queue feeding the LSA loop: decoded LSAs and
 	// resync messages. Unbounded — backpressure on the receive path would
@@ -139,6 +167,12 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 	if cfg.EventBuffer <= 0 {
 		cfg.EventBuffer = 256
 	}
+	if cfg.DataHops <= 0 {
+		cfg.DataHops = DefaultDataHops
+	}
+	if cfg.DataHops > lsa.MaxDataHops {
+		cfg.DataHops = lsa.MaxDataHops
+	}
 	if cfg.Restore != nil && cfg.Restore.id != cfg.ID {
 		return nil, fmt.Errorf("rt: snapshot of switch %d cannot restore switch %d", cfg.Restore.id, cfg.ID)
 	}
@@ -151,6 +185,8 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 		tracer:       cfg.Tracer,
 		obs:          newNodeObs(cfg.Registry, int(cfg.ID)),
 		events:       make(chan core.LocalEvent, cfg.EventBuffer),
+		dataHandler:  cfg.DataHandler,
+		dataHops:     uint8(cfg.DataHops),
 		computeDelay: cfg.ComputeDelay,
 		resyncAfter:  cfg.ResyncTimeout,
 		timers:       make(map[*time.Timer]struct{}),
@@ -162,6 +198,7 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 	// jump past every prior epoch is what invalidates stale pre-crash frames
 	// at the receivers' duplicate-suppression windows.
 	n.seq.Store(cfg.Epoch << 48)
+	n.dataSeq.Store(cfg.Epoch << 48)
 	if cfg.Restore != nil {
 		if err := cfg.Restore.verify(); err != nil {
 			return nil, err
@@ -184,6 +221,9 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 		n.machine = m
 	}
 	n.registerMachineFuncs(cfg.Registry)
+	// Compile the initial table before any goroutine can race on it: empty
+	// for a blank boot, the restored trees for a snapshot warm restart.
+	n.recompileFIBLocked()
 	n.wg.Add(3)
 	go n.recvLoop()
 	go n.lsaLoop()
@@ -222,6 +262,7 @@ func (n *Node) Reconcile(nb topo.SwitchID) {
 	n.busy.Add(1)
 	n.mu.Lock()
 	n.machine.ReconcileNeighbor(nb)
+	n.maybeRecompileLocked()
 	n.mu.Unlock()
 	n.busy.Add(-1)
 	n.activity.Add(1)
@@ -235,6 +276,7 @@ func (n *Node) RejoinFromNeighbors() {
 	n.busy.Add(1)
 	n.mu.Lock()
 	n.machine.RequestFullResync()
+	n.maybeRecompileLocked()
 	n.mu.Unlock()
 	n.busy.Add(-1)
 	n.activity.Add(1)
@@ -404,6 +446,8 @@ func (n *Node) handleFrame(buf []byte) {
 			return
 		}
 		n.enqueue(resp)
+	case lsa.FrameData:
+		n.handleData(buf, &f)
 	}
 }
 
@@ -451,6 +495,7 @@ func (n *Node) lsaLoop() {
 		}
 		n.mu.Lock()
 		n.machine.ReceiveBatch(nil, batch)
+		n.maybeRecompileLocked()
 		n.mu.Unlock()
 		if n.obs.enabled() {
 			n.obs.batchDur.Observe(time.Since(start).Seconds())
@@ -476,6 +521,7 @@ func (n *Node) eventLoop() {
 			}
 			n.mu.Lock()
 			n.machine.HandleLocalEvent(nil, ev)
+			n.maybeRecompileLocked()
 			n.mu.Unlock()
 			if n.obs.enabled() {
 				n.obs.eventDur.Observe(time.Since(start).Seconds())
@@ -614,6 +660,7 @@ func (n *Node) ArmResync(conn lsa.ConnID) {
 		n.busy.Add(1)
 		n.mu.Lock()
 		n.machine.ResyncFired(conn)
+		n.maybeRecompileLocked()
 		n.mu.Unlock()
 		n.busy.Add(-1)
 		n.activity.Add(1)
@@ -634,6 +681,12 @@ func (n *Node) SelfNudge(conn lsa.ConnID) {
 
 // NoteInstall implements core.Host.
 func (n *Node) NoteInstall() { n.installs.Add(1) }
+
+// ForwardingChanged implements core.Host: mark the FIB stale. The machine
+// calls this mid-mutation (mu held by the caller driving it), so the actual
+// recompile is deferred to maybeRecompileLocked at the machine-call sites —
+// one table swap per batch however many installs the batch performed.
+func (n *Node) ForwardingChanged(lsa.ConnID) { n.fibDirty = true }
 
 // Trace implements core.Host. Entries are stamped with wall-clock
 // nanoseconds since the Unix epoch so spans collected from different nodes

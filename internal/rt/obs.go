@@ -31,6 +31,17 @@ type nodeObs struct {
 	eventsIn  *obs.Counter   // local events handled
 	eventDur  *obs.Histogram // seconds per event, machine lock held
 	resyncTmr *obs.Counter   // resync timer firings
+
+	// data plane (per-packet sites: all handles cached, nil-safe, zero
+	// allocation on the forward hot path)
+	dataOrig        *obs.Counter // payload frames originated locally
+	dataFwd         *obs.Counter // payload frames relayed along the FIB
+	dataDeliv       *obs.Counter // payloads delivered to the local application
+	dataDropNoEntry *obs.Counter // drops: no FIB entry for the connection
+	dataDropNoRoute *obs.Counter // drops: no fan-out and no contact route
+	dataDropHops    *obs.Counter // drops: hop budget exhausted
+	dataDropLoop    *obs.Counter // drops: own frame looped back
+	fibCompiles     *obs.Counter // FIB recompilations (atomic table swaps)
 }
 
 // newNodeObs registers the node's series (labeled by switch) and returns the
@@ -55,6 +66,15 @@ func newNodeObs(reg *obs.Registry, id int) nodeObs {
 		eventsIn:   reg.Counter("dgmc_local_events_total", sw),
 		eventDur:   reg.Histogram("dgmc_event_handle_seconds", obs.DurationBuckets, sw),
 		resyncTmr:  reg.Counter("dgmc_resync_timer_fires_total", sw),
+
+		dataOrig:        reg.Counter("dgmc_data_frames_originated_total", sw),
+		dataFwd:         reg.Counter("dgmc_data_frames_forwarded_total", sw),
+		dataDeliv:       reg.Counter("dgmc_data_delivered_total", sw),
+		dataDropNoEntry: reg.Counter("dgmc_data_drops_total", sw, obs.L("reason", "no-entry")),
+		dataDropNoRoute: reg.Counter("dgmc_data_drops_total", sw, obs.L("reason", "no-route")),
+		dataDropHops:    reg.Counter("dgmc_data_drops_total", sw, obs.L("reason", "hop-budget")),
+		dataDropLoop:    reg.Counter("dgmc_data_drops_total", sw, obs.L("reason", "loop")),
+		fibCompiles:     reg.Counter("dgmc_fib_compiles_total", sw),
 	}
 }
 
@@ -139,5 +159,8 @@ func (n *Node) registerMachineFuncs(reg *obs.Registry) {
 	}, sw)
 	reg.GaugeFunc("dgmc_seen_origins", func() float64 {
 		return float64(n.live().seen.size())
+	}, sw)
+	reg.GaugeFunc("dgmc_fib_entries", func() float64 {
+		return float64(n.live().fib.Load().Size())
 	}, sw)
 }

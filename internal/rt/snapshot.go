@@ -83,5 +83,6 @@ func (parkedHost) FabricLinkChanged(lsa.LinkChange)                             
 func (parkedHost) ArmResync(lsa.ConnID)                                           {}
 func (parkedHost) SelfNudge(lsa.ConnID)                                           {}
 func (parkedHost) NoteInstall()                                                   {}
+func (parkedHost) ForwardingChanged(lsa.ConnID)                                   {}
 func (parkedHost) Trace(core.TraceKind, core.ChainID, lsa.ConnID, string, ...any) {}
 func (parkedHost) TraceEnabled() bool                                             { return false }

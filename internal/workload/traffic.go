@@ -1,0 +1,200 @@
+// Traffic: payload streams pumped through a live cluster and the ledger
+// that audits what came out — delivered, missing, duplicated, or stray.
+// The pump speaks to the runtime through the narrow Sender interface so the
+// package stays independent of internal/rt (whose tests are its callers).
+
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/topo"
+)
+
+// Sender originates one payload on a connection at a given switch.
+// rt.Cluster satisfies it.
+type Sender interface {
+	SendData(sw topo.SwitchID, conn lsa.ConnID, payload []byte) (uint64, error)
+}
+
+// PacketID identifies one originated payload network-wide: the sending
+// switch plus its per-source data sequence number.
+type PacketID struct {
+	Src topo.SwitchID
+	Seq uint64
+}
+
+// TrafficConfig parameterizes a Pump run.
+type TrafficConfig struct {
+	// Conn is the connection to send on.
+	Conn lsa.ConnID
+	// Sources are the switches that take turns originating (round-robin).
+	Sources []topo.SwitchID
+	// Packets is the total number of payloads to originate.
+	Packets int
+	// PayloadSize is the app-payload size in bytes (default 64).
+	PayloadSize int
+	// Expect, when set, is consulted per packet for the switches that should
+	// deliver it (the receiving members other than the source, at send
+	// time). Delivery to any of them is recorded as expected in the ledger;
+	// without Expect the ledger only counts duplicates and strays.
+	Expect func(src topo.SwitchID) []topo.SwitchID
+	// Pace, when set, is called between packets (e.g. a sleep, or fault
+	// injection mid-stream).
+	Pace func(i int)
+}
+
+// Pump originates cfg.Packets payloads round-robin over cfg.Sources,
+// recording each send (and its expected receivers) in the ledger. Send
+// errors are recorded, not fatal: a source that is currently not entitled
+// to send (e.g. mid-churn) counts as refused, and the delivery audit
+// excludes it.
+func Pump(s Sender, led *Ledger, cfg TrafficConfig) error {
+	if len(cfg.Sources) == 0 || cfg.Packets <= 0 {
+		return fmt.Errorf("workload: traffic needs sources and a packet count")
+	}
+	size := cfg.PayloadSize
+	if size <= 0 {
+		size = 64
+	}
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < cfg.Packets; i++ {
+		src := cfg.Sources[i%len(cfg.Sources)]
+		seq, err := s.SendData(src, cfg.Conn, payload)
+		if err != nil {
+			led.RecordRefused()
+		} else {
+			var want []topo.SwitchID
+			if cfg.Expect != nil {
+				want = cfg.Expect(src)
+			}
+			led.RecordSend(PacketID{Src: src, Seq: seq}, want)
+		}
+		if cfg.Pace != nil {
+			cfg.Pace(i)
+		}
+	}
+	return nil
+}
+
+// Ledger audits a traffic run: every send is recorded with its expected
+// receiver set, every delivery checks in against it, and Summary folds the
+// result into the delivery-ratio/duplicate/loss figures the experiments
+// report. Safe for concurrent use — deliveries arrive on the cluster's
+// receive goroutines while the pump records sends.
+type Ledger struct {
+	mu      sync.Mutex
+	packets map[PacketID]*packetRecord
+	refused uint64
+	// early holds deliveries that raced ahead of their RecordSend (the
+	// fabric can deliver before SendData's caller regains control).
+	early map[PacketID]map[topo.SwitchID]uint64
+}
+
+type packetRecord struct {
+	expected map[topo.SwitchID]bool
+	got      map[topo.SwitchID]uint64 // delivery count per switch
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		packets: make(map[PacketID]*packetRecord),
+		early:   make(map[PacketID]map[topo.SwitchID]uint64),
+	}
+}
+
+// RecordSend registers an originated packet and the switches expected to
+// deliver it. Deliveries that already checked in (the race is real: the
+// fabric is faster than the sending goroutine) are folded in.
+func (l *Ledger) RecordSend(id PacketID, expected []topo.SwitchID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := &packetRecord{expected: make(map[topo.SwitchID]bool, len(expected)), got: l.early[id]}
+	delete(l.early, id)
+	if rec.got == nil {
+		rec.got = make(map[topo.SwitchID]uint64)
+	}
+	for _, sw := range expected {
+		rec.expected[sw] = true
+	}
+	l.packets[id] = rec
+}
+
+// RecordRefused counts a send the runtime rejected (e.g. the source was not
+// entitled to originate at that moment).
+func (l *Ledger) RecordRefused() {
+	l.mu.Lock()
+	l.refused++
+	l.mu.Unlock()
+}
+
+// RecordRecv checks one delivery in at switch `at`.
+func (l *Ledger) RecordRecv(at topo.SwitchID, id PacketID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.packets[id]
+	if !ok {
+		e := l.early[id]
+		if e == nil {
+			e = make(map[topo.SwitchID]uint64)
+			l.early[id] = e
+		}
+		e[at]++
+		return
+	}
+	rec.got[at]++
+}
+
+// Summary is the audited outcome of a traffic run.
+type Summary struct {
+	// Packets is the number of sends the runtime accepted; Refused the
+	// number it rejected.
+	Packets, Refused int
+	// Expected is the total number of (packet, expected receiver) pairs;
+	// Delivered how many of them arrived at least once; Missing the rest.
+	Expected, Delivered, Missing int
+	// Dups counts extra copies at expected receivers (arrivals beyond the
+	// first); Strays counts deliveries at switches that were not expected —
+	// including deliveries never matched to a recorded send.
+	Dups, Strays int
+}
+
+// Ratio is Delivered/Expected (1 when nothing was expected).
+func (s Summary) Ratio() float64 {
+	if s.Expected == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(s.Expected)
+}
+
+// Summary folds the ledger. Call after the fabric has quiesced, or
+// in-flight packets will read as missing.
+func (l *Ledger) Summary() Summary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Summary{Packets: len(l.packets), Refused: int(l.refused)}
+	for _, rec := range l.packets {
+		s.Expected += len(rec.expected)
+		for sw, n := range rec.got {
+			if rec.expected[sw] {
+				s.Delivered++
+				s.Dups += int(n) - 1
+			} else {
+				s.Strays += int(n)
+			}
+		}
+	}
+	s.Missing = s.Expected - s.Delivered
+	for _, e := range l.early {
+		for _, n := range e {
+			s.Strays += int(n)
+		}
+	}
+	return s
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dgmc/internal/core"
+	"dgmc/internal/fib"
 	"dgmc/internal/flood"
 	"dgmc/internal/lsa"
 	"dgmc/internal/mctree"
@@ -33,6 +34,7 @@ func (nullHost) FabricLinkChanged(lsa.LinkChange)                               
 func (nullHost) ArmResync(lsa.ConnID)                                           {}
 func (nullHost) SelfNudge(lsa.ConnID)                                           {}
 func (nullHost) NoteInstall()                                                   {}
+func (nullHost) ForwardingChanged(lsa.ConnID)                                   {}
 func (nullHost) Trace(core.TraceKind, core.ChainID, lsa.ConnID, string, ...any) {}
 func (nullHost) TraceEnabled() bool                                             { return false }
 
@@ -139,6 +141,97 @@ func BenchmarkFloodFanout(b *testing.B) {
 		k.Shutdown()
 	}
 	b.ReportMetric(float64(copies), "copies/flood")
+}
+
+// benchFIBSetup builds a 64-switch graph with installed trees on several
+// connections, compiled from one relay switch's point of view.
+func benchFIBSetup(b testing.TB, conns int) (*topo.Graph, []fibConnState, topo.SwitchID) {
+	b.Helper()
+	const n = 64
+	g, err := topo.Waxman(topo.DefaultGenConfig(n, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := make([]fibConnState, 0, conns)
+	for c := 1; c <= conns; c++ {
+		members := mctree.Members{}
+		for s := c; len(members) < 10; s += 7 {
+			members[topo.SwitchID(s%n)] = mctree.SenderReceiver
+		}
+		tree, err := (route.SPH{}).Compute(g, mctree.Symmetric, members)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = append(states, fibConnState{conn: lsa.ConnID(c), members: members, tree: tree})
+	}
+	// Compile at a switch on the first tree so lookups hit a fan-out entry.
+	var self topo.SwitchID = topo.NoSwitch
+	for s := 0; s < n; s++ {
+		if states[0].tree.On(topo.SwitchID(s)) && len(states[0].tree.Neighbors(topo.SwitchID(s))) >= 2 {
+			self = topo.SwitchID(s)
+			break
+		}
+	}
+	if self == topo.NoSwitch {
+		b.Fatal("no relay switch on the benchmark tree")
+	}
+	return g, states, self
+}
+
+type fibConnState struct {
+	conn    lsa.ConnID
+	members mctree.Members
+	tree    *mctree.Tree
+}
+
+func compileFIB(g *topo.Graph, states []fibConnState, self topo.SwitchID) *fib.Table {
+	bl := fib.NewBuilder(self, g)
+	for _, st := range states {
+		bl.Add(st.conn, mctree.Symmetric, st.members, st.tree)
+	}
+	return bl.Build()
+}
+
+// BenchmarkFIBForward measures the steady-state per-packet cost of the data
+// plane as a relay switch sees it: frame decode, table lookup, and the
+// in-place From/hops/CRC rewrite before fan-out. The same composition is
+// pinned at zero allocations by TestAllocGateFIBForward.
+func BenchmarkFIBForward(b *testing.B) {
+	g, states, self := benchFIBSetup(b, 8)
+	tbl := compileFIB(g, states, self)
+	d := lsa.DataFrame{Conn: states[0].conn, Src: 0, Seq: 1, Hops: 64, Payload: make([]byte, 64)}
+	buf := lsa.AppendDataFrame(nil, &d, 0)
+	var f lsa.Frame
+	var dec lsa.DataFrame
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lsa.DecodeFrameInto(&f, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := lsa.DecodeDataInto(&dec, &f); err != nil {
+			b.Fatal(err)
+		}
+		e := tbl.Lookup(dec.Conn)
+		if e == nil || !e.Entered() {
+			b.Fatal("benchmark entry missing")
+		}
+		if err := lsa.PatchDataForward(buf, self, dec.Hops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFIBCompile measures one full table compilation — the work every
+// install/withdraw triggers on each switch — at 8 connections with
+// 10-member trees on a 64-switch graph.
+func BenchmarkFIBCompile(b *testing.B) {
+	g, states, self := benchFIBSetup(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if compileFIB(g, states, self).Size() != len(states) {
+			b.Fatal("compile lost entries")
+		}
+	}
 }
 
 // BenchmarkTopoCompute measures one from-scratch topology computation (the

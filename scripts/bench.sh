@@ -14,7 +14,7 @@ benchtime="${2:-1s}"
 out="BENCH_${label}.json"
 
 go test -run '^$' \
-  -bench '^(BenchmarkMachineStep|BenchmarkFrameEncode|BenchmarkFrameDecode|BenchmarkFloodFanout|BenchmarkTopoCompute)$' \
+  -bench '^(BenchmarkMachineStep|BenchmarkFrameEncode|BenchmarkFrameDecode|BenchmarkFloodFanout|BenchmarkTopoCompute|BenchmarkFIBForward|BenchmarkFIBCompile)$' \
   -benchmem -benchtime "$benchtime" . |
   go run ./cmd/benchjson -label "$label" > "$out"
 
