@@ -175,3 +175,96 @@ func TestBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// gateArgs is the guided-search CI gate scenario: a 6-switch ring with a
+// join/leave pair at switch 0, joins at 1 and 3, and a 3|3 split/heal —
+// far beyond what exhaustive search can drain within a CI state budget.
+func gateArgs(extra ...string) []string {
+	args := []string{"-topo", "ring", "-n", "6", "-resync",
+		"-scenario", "join@0,leave@0,join@1,join@3,split@0.1.2|3.4.5,heal"}
+	return append(args, extra...)
+}
+
+// TestGuidedGateClean: guided mode runs the gate scenario mutation-free
+// within its budget, prints the coverage map, and reports no violation.
+func TestGuidedGateClean(t *testing.T) {
+	var out strings.Builder
+	err := run(gateArgs("-guided"), &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "mode guided") || !strings.Contains(text, "coverage:") {
+		t.Fatalf("missing guided coverage report:\n%s", text)
+	}
+	if !strings.Contains(text, "fault depth 2/2") {
+		t.Fatalf("guided search did not complete the fault lane:\n%s", text)
+	}
+}
+
+// TestGuidedGateCatchesCorpus: every seeded mutation is caught by guided
+// mode on the gate scenario, and each printed v2 token reproduces the
+// same violation through -replay.
+func TestGuidedGateCatchesCorpus(t *testing.T) {
+	for _, mu := range []string{"accept-stale", "ignore-event-order", "uncapped-pseudo-proposal"} {
+		t.Run(mu, func(t *testing.T) {
+			var out strings.Builder
+			err := run(gateArgs("-guided", "-budget", "200000", "-mutate", mu), &out)
+			if !errors.Is(err, errViolation) {
+				t.Fatalf("want errViolation, got %v\n%s", err, out.String())
+			}
+			tok := regexp.MustCompile(`dgmc-sched-v2:[A-Za-z0-9_-]+`).FindString(out.String())
+			if tok == "" {
+				t.Fatalf("no v2 replay token:\n%s", out.String())
+			}
+			var replayOut strings.Builder
+			if err := run([]string{"-replay", tok}, &replayOut); !errors.Is(err, errViolation) {
+				t.Fatalf("replay: want errViolation, got %v\n%s", err, replayOut.String())
+			}
+		})
+	}
+}
+
+// TestBackwardSuspectReports: backward mode harvests, minimizes, and
+// prints suspect reports with replayable prefix tokens on the clean gate.
+func TestBackwardSuspectReports(t *testing.T) {
+	var out strings.Builder
+	err := run(gateArgs("-suspect", "all", "-budget", "60000"), &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "mode backward") || !strings.Contains(text, "suspects:") {
+		t.Fatalf("missing suspect report:\n%s", text)
+	}
+	tok := regexp.MustCompile(`dgmc-sched-v2:[A-Za-z0-9_-]+`).FindString(text)
+	if tok == "" {
+		t.Fatalf("no suspect prefix token:\n%s", text)
+	}
+	// A suspect prefix is a near-violation, not a violation: replaying it
+	// (with deterministic completion) must come up clean.
+	var replayOut strings.Builder
+	if err := run([]string{"-replay", tok}, &replayOut); err != nil {
+		t.Fatalf("suspect prefix replay: %v\n%s", err, replayOut.String())
+	}
+}
+
+// TestGuidedFlagValidation covers the new flag surface: suspect-kind
+// parsing, mode conflicts, and the mutation registry wiring.
+func TestGuidedFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-suspect", "no-such-kind"},
+		{"-guided", "-mode", "walk"},
+		{"-suspect", "all", "-mode", "walk"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil || errors.Is(err, errViolation) {
+			t.Errorf("args %v: want flag error, got %v", args, err)
+		}
+	}
+	// -mode backward without -suspect defaults to all kinds.
+	var out strings.Builder
+	if err := run(gateArgs("-mode", "backward", "-budget", "20000"), &out); err != nil {
+		t.Fatalf("-mode backward: %v\n%s", err, out.String())
+	}
+}

@@ -116,10 +116,25 @@ const (
 	// correction afterwards. Under concurrent events, specific delivery
 	// orders then quiesce with switches installed on different trees.
 	MutationAcceptStaleProposal
+	// MutationIgnoreEventOrder disables per-origin ordered application of
+	// event LSAs (the stale-drop/buffer machinery of applyEventLSA):
+	// every arriving copy is applied to the member list immediately, as if
+	// the fabric were trusted never to reorder or duplicate. A leave
+	// delivered before the join it follows then resurrects the member at
+	// that switch when the join's copy lands, and specific delivery orders
+	// quiesce with member lists diverged.
+	MutationIgnoreEventOrder
+	// MutationUncappedPseudoProposal stamps the pseudo-proposal that
+	// closes a resync replay (serveResync) with the server's expectation
+	// vector E instead of its committed stamp C. After a heal the server's
+	// E covers the requester's knowledge too, so a stale installed
+	// topology gains a stamp that dominates everything the requester will
+	// ever expect and overwrites fresher trees.
+	MutationUncappedPseudoProposal
 )
 
 // Valid reports whether mu is a defined mutation.
-func (mu Mutation) Valid() bool { return mu <= MutationAcceptStaleProposal }
+func (mu Mutation) Valid() bool { return mu <= MutationUncappedPseudoProposal }
 
 // String implements fmt.Stringer.
 func (mu Mutation) String() string {
@@ -128,9 +143,32 @@ func (mu Mutation) String() string {
 		return "none"
 	case MutationAcceptStaleProposal:
 		return "accept-stale"
+	case MutationIgnoreEventOrder:
+		return "ignore-event-order"
+	case MutationUncappedPseudoProposal:
+		return "uncapped-pseudo-proposal"
 	default:
 		return fmt.Sprintf("Mutation(%d)", uint8(mu))
 	}
+}
+
+// Mutations returns every defined mutation, MutationNone first.
+func Mutations() []Mutation {
+	var out []Mutation
+	for mu := MutationNone; mu.Valid(); mu++ {
+		out = append(out, mu)
+	}
+	return out
+}
+
+// ParseMutation resolves a mutation by its String name.
+func ParseMutation(name string) (Mutation, error) {
+	for _, mu := range Mutations() {
+		if mu.String() == name {
+			return mu, nil
+		}
+	}
+	return MutationNone, fmt.Errorf("core: unknown mutation %q", name)
 }
 
 // MachineConfig configures one switch's protocol state machine.

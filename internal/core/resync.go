@@ -56,6 +56,17 @@ func (m *Machine) applyEventLSA(cs *connState, msg *lsa.MC) []*lsa.MC {
 	src := msg.Src
 	x := int(src)
 	idx := msg.Stamp[x]
+	if m.mutation == MutationIgnoreEventOrder {
+		// Seeded bug (checker validation): trust the fabric never to
+		// reorder or duplicate — apply every copy the moment it arrives,
+		// with no stale-drop and no out-of-order buffering.
+		if idx > cs.r[x] {
+			cs.r[x] = idx
+		}
+		cs.applyMembership(msg.Event, x, msg.Role)
+		cs.logEvent(msg)
+		return []*lsa.MC{msg}
+	}
 	switch {
 	case idx <= cs.r[x]:
 		// Already applied: a retransmitted, fault-duplicated, or replayed
@@ -236,9 +247,18 @@ func (m *Machine) serveResync(cs *connState, from topo.SwitchID, r stamp.Stamp) 
 		}
 	}
 	if cs.topology != nil {
+		// The capstone must carry C — the stamp the topology was actually
+		// committed at. Stamping it with E is the seeded-bug site for
+		// MutationUncappedPseudoProposal (checker validation): post-heal E
+		// dominates the requester's expectations, so a stale tree would be
+		// accepted over fresher ones.
+		capStamp := cs.c.Clone()
+		if m.mutation == MutationUncappedPseudoProposal {
+			capStamp = cs.e.Clone()
+		}
 		batch = append(batch, &lsa.MC{
 			Src: m.id, Event: lsa.None, Conn: cs.id,
-			Proposal: cs.topology, Stamp: cs.c.Clone(),
+			Proposal: cs.topology, Stamp: capStamp,
 		})
 	}
 	if len(batch) > 0 {

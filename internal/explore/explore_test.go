@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -58,7 +59,7 @@ func TestExhaustiveDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if prev != nil && *prev != *res {
+		if prev != nil && !reflect.DeepEqual(prev, res) {
 			t.Fatalf("non-deterministic search: run 1 %+v, run 2 %+v", prev.Stats, res.Stats)
 		}
 		r := *res

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -303,7 +304,7 @@ func TestExhaustiveFaultsDeterministic(t *testing.T) {
 		if res.Violation != nil {
 			t.Fatalf("violation: %v\ntrace:\n%s", res.Violation.Err, strings.Join(res.Violation.Trace, "\n"))
 		}
-		if prev != nil && *prev != *res {
+		if prev != nil && !reflect.DeepEqual(prev, res) {
 			t.Fatalf("non-deterministic search: run 1 %+v, run 2 %+v", prev.Stats, res.Stats)
 		}
 		r := *res

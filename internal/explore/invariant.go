@@ -129,15 +129,20 @@ func (w *World) checkStep() error {
 	return nil
 }
 
+// lossyStandard reports whether this schedule's history downgrades it to
+// the weakened quiescent standard. Crashes, like budgeted drops,
+// legitimately lose information (frames queued at the dead switch, events
+// a blank restart finds no holder for), so any schedule containing either
+// is held to the lossy standard. Pure split/heal schedules lose nothing
+// heal reconciliation cannot replay and keep the strict standard.
+func (w *World) lossyStandard() bool {
+	return w.dropsLeft < w.cfg.MaxDrops || w.crashedEver
+}
+
 // checkQuiescent verifies the consensus invariants. Call only when no
 // action is enabled.
 func (w *World) checkQuiescent() error {
-	// Crashes, like budgeted drops, legitimately lose information (frames
-	// queued at the dead switch, events a blank restart finds no holder
-	// for), so any schedule containing one is held to the lossy standard.
-	// Pure split/heal schedules lose nothing heal reconciliation cannot
-	// replay and keep the strict standard.
-	if w.dropsLeft < w.cfg.MaxDrops || w.crashedEver {
+	if w.lossyStandard() {
 		return w.checkQuiescentLossy()
 	}
 	seen := make(map[topo.SwitchID]bool, w.n)

@@ -1,0 +1,84 @@
+package explore
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCounterexampleRegression replays every archived schedule token in
+// testdata/corpus.txt and asserts its recorded verdict: violation tokens
+// must still reproduce an invariant violation, clean tokens must still
+// converge cleanly. The corpus is the memory of the checker — every
+// counterexample the searches have found (shrunk, across token versions)
+// plus clean witnesses guarding against false alarms — so a protocol or
+// checker change that silently alters any of these outcomes fails here
+// first, with a replayable token in hand.
+func TestCounterexampleRegression(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "corpus.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	versions := map[string]bool{}
+	entries := 0
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("corpus.txt:%d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		name, verdict, token := fields[0], fields[1], fields[2]
+		if verdict != "violation" && verdict != "clean" {
+			t.Fatalf("corpus.txt:%d: unknown verdict %q", lineNo, verdict)
+		}
+		if seen[name] {
+			t.Fatalf("corpus.txt:%d: duplicate entry %q", lineNo, name)
+		}
+		seen[name] = true
+		entries++
+		versions[token[:strings.Index(token, ":")]] = true
+
+		t.Run(name, func(t *testing.T) {
+			cfg, scn, sched, err := DecodeToken(token)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			_, v, err := Replay(cfg, scn, sched)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			switch verdict {
+			case "violation":
+				if v == nil {
+					t.Fatal("archived counterexample no longer violates — the bug it pinned has moved")
+				}
+				if len(v.Trace) == 0 {
+					t.Fatal("replay produced no trace")
+				}
+			case "clean":
+				if v != nil {
+					t.Fatalf("archived clean witness now violates: %v", v.Err)
+				}
+			}
+		})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if entries < 6 {
+		t.Fatalf("corpus shrank to %d entries", entries)
+	}
+	if !versions["dgmc-sched-v1"] || !versions["dgmc-sched-v2"] {
+		t.Fatalf("corpus must cover both token versions, has %v", versions)
+	}
+}

@@ -21,10 +21,31 @@ type Options struct {
 	MaxStates int
 	// Walks is the number of random schedules in walk mode (default 256).
 	Walks int
-	// Seed seeds walk mode. Equal seeds reproduce the same walks.
+	// Seed seeds walk mode, and perturbs guided-mode tie-breaking. Equal
+	// seeds reproduce the same search.
 	Seed int64
+	// Budget caps the total transitions — frontier expansions plus
+	// drain-probe steps — of guided and backward search (default 200,000).
+	Budget int
+	// Frontier caps the guided priority queue: when more states are live,
+	// the lowest-priority ones are discarded (beam behavior, marks
+	// Truncated). Default 4,096.
+	Frontier int
+	// SuspectKinds restricts backward search to schedules reaching the
+	// given suspect kinds (nil/empty = all kinds).
+	SuspectKinds []SuspectKind
+	// TopSuspects is how many minimized suspect states backward search
+	// expands in its second phase (default 16).
+	TopSuspects int
+	// BackDepth bounds the exhaustive neighborhood explored around each
+	// minimized suspect state (default 6).
+	BackDepth int
 	// Progress, when non-nil, receives periodic search statistics.
 	Progress func(Stats)
+
+	// expandHook observes every frontier expansion of guided/backward
+	// search in order (tests pin search-order determinism with it).
+	expandHook func(depth, score int, hash [32]byte)
 }
 
 func (o *Options) fill() {
@@ -33,6 +54,39 @@ func (o *Options) fill() {
 	}
 	if o.Walks <= 0 {
 		o.Walks = 256
+	}
+	if o.Budget <= 0 {
+		o.Budget = 200000
+	}
+	if o.Frontier <= 0 {
+		o.Frontier = 4096
+	}
+	if o.TopSuspects <= 0 {
+		o.TopSuspects = 16
+	}
+	if o.BackDepth <= 0 {
+		o.BackDepth = 6
+	}
+}
+
+// Coverage is the exploration map guided search persists in Stats: which
+// qualitative stamp-vector shapes the search reached, how often each
+// suspect kind was observed, and how far into the fault lane it got.
+// Exhaustive and walk modes leave it zero.
+type Coverage struct {
+	// StampShapes counts states per qualitative shape (see stampShape).
+	StampShapes map[string]int
+	// SuspectKinds counts states exhibiting each suspect kind, keyed by
+	// SuspectKind.String().
+	SuspectKinds map[string]int
+	// FaultDepth is the deepest fault-lane position reached.
+	FaultDepth int
+}
+
+func newCoverage() Coverage {
+	return Coverage{
+		StampShapes:  make(map[string]int),
+		SuspectKinds: make(map[string]int),
 	}
 }
 
@@ -47,9 +101,40 @@ type Stats struct {
 	Quiescent int
 	// MaxDepthSeen is the longest schedule prefix explored.
 	MaxDepthSeen int
-	// Truncated reports that a bound (MaxDepth or MaxStates) cut the
-	// exhaustive search short, so absence of violations is not a proof.
+	// Truncated reports that a bound (MaxDepth, MaxStates, Budget, or
+	// Frontier) cut the search short, so absence of violations is not a
+	// proof.
 	Truncated bool
+	// Probes counts drain-to-quiescence probes run by guided search;
+	// ProbeSteps counts the transitions they executed (charged against
+	// Budget alongside Transitions).
+	Probes     int
+	ProbeSteps int
+	// SuspectsFound counts distinct suspect states harvested by backward
+	// search's forward sweep.
+	SuspectsFound int
+	// Coverage is the guided-search exploration map (zero for exhaustive
+	// and walk modes).
+	Coverage Coverage
+}
+
+// spent is the total budget consumption of a guided/backward search.
+func (s *Stats) spent() int { return s.Transitions + s.ProbeSteps }
+
+// SuspectReport is one minimized suspect state found by backward search:
+// not a violation, but a near-violation worth human (or further machine)
+// attention, replayable via its token.
+type SuspectReport struct {
+	// Kinds names the suspect kinds the state exhibits.
+	Kinds []string
+	// Score is the weighted suspicion total.
+	Score int
+	// Schedule reaches the suspect state from the initial world (already
+	// ddmin-minimized against the suspect signature).
+	Schedule []int
+	// Token replays the schedule via `dgmccheck -replay` (the run is
+	// clean — the token documents how to reach the state, not a failure).
+	Token string
 }
 
 // Result is the outcome of a search.
@@ -58,6 +143,9 @@ type Result struct {
 	// Violation is nil when every explored schedule satisfied the
 	// invariants.
 	Violation *Violation
+	// Suspects are the minimized suspect states backward search expanded
+	// (nil outside backward mode, and omitted once a violation is found).
+	Suspects []SuspectReport
 }
 
 type bfsNode struct {
@@ -262,17 +350,45 @@ func Replay(cfg Config, scn Scenario, sched []int) (*World, *Violation, error) {
 	return out.w, v, nil
 }
 
+// runPrefix executes exactly sched — no auto-completion tail — and
+// returns the resulting world (which is generally not quiescent). Backward
+// search uses it to re-derive suspect states while minimizing the prefix
+// that reaches them; invariant violations during the prefix are ignored
+// here (the violation path reports through runSchedule instead).
+func runPrefix(cfg Config, scn Scenario, sched []int) (*World, error) {
+	w, err := NewWorld(cfg, scn)
+	if err != nil {
+		return nil, err
+	}
+	for i, choice := range sched {
+		if i > autoCompleteCap {
+			return nil, fmt.Errorf("explore: prefix exceeded %d steps", autoCompleteCap)
+		}
+		if _, ok := w.applyIndex(choice); !ok {
+			break
+		}
+	}
+	return w, nil
+}
+
 // Shrink minimizes a violating schedule, delta-debugging style: first
 // remove chunks of decreasing size, then lower each surviving choice to 0.
 // Clamped indices plus deterministic auto-completion keep every candidate
 // schedule executable, so shrinking never has to repair a broken prefix.
 // The result still violates an invariant (not necessarily the same one).
 func Shrink(cfg Config, scn Scenario, sched []int) []int {
-	violates := func(s []int) bool {
+	return shrinkWith(sched, func(s []int) bool {
 		out, err := runSchedule(cfg, scn, s, false)
 		return err == nil && out.violation != nil
-	}
-	if !violates(sched) {
+	})
+}
+
+// shrinkWith is the generalized ddmin core: minimize sched while keep
+// still holds. Shrink instantiates it with "the run violates"; backward
+// search instantiates it with "the prefix still reaches the suspect
+// signature".
+func shrinkWith(sched []int, keep func([]int) bool) []int {
+	if !keep(sched) {
 		return sched
 	}
 	cur := append([]int(nil), sched...)
@@ -280,7 +396,7 @@ func Shrink(cfg Config, scn Scenario, sched []int) []int {
 		removed := false
 		for start := 0; start+chunk <= len(cur); {
 			cand := append(append([]int(nil), cur[:start]...), cur[start+chunk:]...)
-			if violates(cand) {
+			if keep(cand) {
 				cur = cand
 				removed = true
 			} else {
@@ -302,7 +418,7 @@ func Shrink(cfg Config, scn Scenario, sched []int) []int {
 		}
 		cand := append([]int(nil), cur...)
 		cand[i] = 0
-		if violates(cand) {
+		if keep(cand) {
 			cur = cand
 		}
 	}
@@ -324,6 +440,14 @@ func buildViolation(cfg Config, scn Scenario, sched []int, err error, quiescent 
 	}
 	if out, runErr := runSchedule(cfg, scn, sched, true); runErr == nil {
 		v.Trace = out.w.Trace()
+		if out.violation != nil {
+			// The shrunk schedule's own failure is authoritative: ddmin
+			// only preserves "some violation", so the minimized schedule
+			// may fail differently than the state the search first hit,
+			// and Err must be exactly what Token replays to.
+			v.Err = out.violation
+			v.Quiescent = out.quiescentViolation
+		}
 	}
 	return v
 }
