@@ -15,6 +15,7 @@ import (
 	"dgmc/internal/flood"
 	"dgmc/internal/lsa"
 	"dgmc/internal/mctree"
+	"dgmc/internal/obs"
 	"dgmc/internal/route"
 	"dgmc/internal/sim"
 	"dgmc/internal/topo"
@@ -103,6 +104,48 @@ func TestAllocGateFIBForward(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+}
+
+// TestAllocGateForwardInstrumented holds the PR-9 line from outside the
+// package: the forward composition of TestAllocGateFIBForward plus full
+// observability — a flight-recorder event per packet, the deterministic
+// sampling decision, and a sampled-hop record — still makes exactly zero
+// heap allocations. internal/rt's white-box twin
+// (TestHandleDataInstrumentedZeroAlloc) pins the same budget on the real
+// Node.handleData with the registry live; this gate proves the obs
+// primitives themselves never regress into allocating.
+func TestAllocGateForwardInstrumented(t *testing.T) {
+	g, states, self := benchFIBSetup(t, 8)
+	tbl := compileFIB(g, states, self)
+	events := obs.NewFlightRecorder(1024)
+	hops := obs.NewFlightRecorder(1024)
+	d := lsa.DataFrame{Conn: states[0].conn, Src: 0, Seq: 0, Hops: 64, Payload: make([]byte, 64)}
+	buf := lsa.AppendDataFrame(nil, &d, 0)
+	var f lsa.Frame
+	var dec lsa.DataFrame
+	seq := uint64(0)
+	gate(t, "instrumented forward (decode+lookup+patch+record+sample)", 0, func() {
+		seq++
+		if err := lsa.DecodeFrameInto(&f, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := lsa.DecodeDataInto(&dec, &f); err != nil {
+			t.Fatal(err)
+		}
+		if e := tbl.Lookup(dec.Conn); e == nil || !e.Entered() {
+			t.Fatal("gate entry missing")
+		}
+		if err := lsa.PatchDataForward(buf, self, dec.Hops); err != nil {
+			t.Fatal(err)
+		}
+		events.Record(obs.RecForward, uint32(dec.Conn), uint32(dec.Src), seq, uint64(self))
+		if obs.Sampled(seq, 4) {
+			hops.Record(obs.RecForward, uint32(dec.Conn), uint32(dec.Src), seq, uint64(self))
+		}
+	})
+	if events.Written() == 0 || hops.Written() == 0 {
+		t.Fatal("recorder gates measured nothing")
+	}
 }
 
 // TestAllocGateFloodFanout bounds a full hop-by-hop flood on a 60-switch

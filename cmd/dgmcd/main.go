@@ -63,7 +63,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	resync := fs.Duration("resync", 500*time.Millisecond, "gap-recovery timeout; 0 disables (not recommended over UDP)")
 	epoch := fs.Uint64("epoch", 0, "restart epoch: bump by one on every restart of the same switch ID; a nonzero epoch cold-rejoins from the neighbors")
 	reopt := fs.Float64("reopt", 0, "re-optimization threshold for link recoveries (0 = off)")
-	admin := fs.String("admin", "", "admin HTTP listen address serving /metrics, /spans, /state, /debug/pprof (off by default)")
+	admin := fs.String("admin", "", "admin HTTP listen address serving /metrics, /spans, /state, /healthz, /flightrec, /debug/pprof (off by default)")
+	flightrec := fs.Int("flightrec", 0, "flight-recorder ring size in records; 0 disables the recorder and /flightrec stays empty")
+	sample := fs.Int("sample", 0, "trace every Nth data packet per source into the hop ring (requires -flightrec; 0 disables path sampling)")
 	verbose := fs.Bool("v", false, "log the protocol trace to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +78,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *reopt < 0 {
 		return fmt.Errorf("negative -reopt %v", *reopt)
+	}
+	if *flightrec < 0 || *sample < 0 {
+		return fmt.Errorf("negative -flightrec/-sample")
+	}
+	if *sample > 0 && *flightrec == 0 {
+		return fmt.Errorf("-sample needs -flightrec to hold the hop records")
 	}
 	alg, err := route.ByName(*algName)
 	if err != nil {
@@ -96,6 +104,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		resync:    *resync,
 		reopt:     *reopt,
 		admin:     *admin,
+		flightrec: *flightrec,
+		sample:    *sample,
 		epoch:     *epoch,
 		recvW:     stdout,
 	}
@@ -110,7 +120,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "dgmcd: switch %d on %s, %d neighbors, %d-switch fabric\n",
 		d.node.ID(), d.tr.LocalAddr(), len(tf.Graph.Neighbors(d.node.ID())), tf.Graph.NumSwitches())
 	if d.adminLn != nil {
-		fmt.Fprintf(stdout, "dgmcd: admin on http://%s (/metrics /spans /state /debug/pprof)\n", d.adminLn.Addr())
+		fmt.Fprintf(stdout, "dgmcd: admin on http://%s (/metrics /spans /state /healthz /flightrec /debug/pprof)\n", d.adminLn.Addr())
 	}
 	return d.repl(stdin, stdout)
 }
@@ -123,6 +133,8 @@ type daemonConfig struct {
 	resync    time.Duration
 	reopt     float64
 	admin     string // admin HTTP listen address; empty disables
+	flightrec int    // flight-recorder ring size; 0 disables
+	sample    int    // trace every Nth packet per source; 0 disables
 	epoch     uint64 // restart epoch; nonzero means crash-restart rejoin
 	recvW     io.Writer // delivered payloads print here; nil discards them
 	logf      func(format string, args ...any)
@@ -166,6 +178,8 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		ReoptimizeThreshold: cfg.reopt,
 		ResyncTimeout:       cfg.resync,
 		Epoch:               cfg.epoch,
+		FlightRecords:       cfg.flightrec,
+		SampleEvery:         cfg.sample,
 		Logf:                cfg.logf,
 	}
 	if cfg.recvW != nil {
@@ -210,11 +224,16 @@ func (d *daemon) startAdmin(addr string) error {
 		return fmt.Errorf("admin listener: %w", err)
 	}
 	d.adminLn = ln
-	d.adminSrv = &http.Server{Handler: obs.NewAdminMux(obs.AdminConfig{
+	cfg := obs.AdminConfig{
 		Registry: d.registry,
 		Spans:    d.spans,
 		State:    d.stateSnapshot,
-	})}
+		Health:   func() any { return d.node.Health() },
+	}
+	if d.node.FlightEnabled() {
+		cfg.Flight = d.node.FlightDoc
+	}
+	d.adminSrv = &http.Server{Handler: obs.NewAdminMux(cfg)}
 	go d.adminSrv.Serve(ln)
 	return nil
 }
@@ -389,6 +408,18 @@ func (d *daemon) exec(line string, w io.Writer) (quit bool, err error) {
 			s.Originated, s.Forwarded, s.Delivered, s.Drops(),
 			s.DropNoEntry, s.DropNoRoute, s.DropHops, s.DropLoop,
 			d.node.FIB().Size(), d.node.FIBCompiles())
+	case "health":
+		h := d.node.Health()
+		state := "converged"
+		if !h.Converged {
+			state = "CONVERGING"
+		}
+		fmt.Fprintf(w, "health: %s conns=%d gapped=%v resync-armed=%v gave-up=%v gap-depth=%d fib-entries=%d\n",
+			state, h.Conns, h.GappedConns, h.ResyncArmedConns, h.GiveUpConns, h.GapBufferDepth, h.FIBEntries)
+		if h.Anomaly != "" {
+			fmt.Fprintf(w, "health: last anomaly %s %dms ago (flight records written: %d)\n",
+				h.Anomaly, h.AnomalyAgeMS, h.FlightWritten)
+		}
 	case "conns":
 		fmt.Fprintf(w, "connections: %v\n", d.node.Connections())
 	case "metrics":
@@ -396,7 +427,7 @@ func (d *daemon) exec(line string, w io.Writer) (quit bool, err error) {
 		fmt.Fprintf(w, "events=%d computations=%d installs=%d mc-lsas=%d withdrawn=%d resync-req=%d decode-errs=%d\n",
 			m.Events, m.Computations, m.Installs, m.MCLSAs, m.Withdrawn, m.ResyncRequests, d.node.DecodeErrors())
 	case "help":
-		fmt.Fprint(w, "commands: join <conn> [sender|receiver|both], leave <conn>, show <conn>, send <conn> <text...>, stat, conns, metrics, quit\n")
+		fmt.Fprint(w, "commands: join <conn> [sender|receiver|both], leave <conn>, show <conn>, send <conn> <text...>, stat, health, conns, metrics, quit\n")
 	case "quit", "exit":
 		return true, nil
 	default:

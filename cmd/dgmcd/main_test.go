@@ -363,6 +363,12 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-topo", path, "-id", "0", "-algorithm", "magic"}, strings.NewReader(""), &out); err == nil {
 		t.Error("unknown -algorithm accepted")
 	}
+	if err := run([]string{"-topo", path, "-id", "0", "-flightrec", "-1"}, strings.NewReader(""), &out); err == nil {
+		t.Error("negative -flightrec accepted")
+	}
+	if err := run([]string{"-topo", path, "-id", "0", "-sample", "8"}, strings.NewReader(""), &out); err == nil {
+		t.Error("-sample without -flightrec accepted")
+	}
 
 	// A well-formed invocation with EOF on stdin starts and exits cleanly.
 	out.Reset()

@@ -70,7 +70,8 @@ func Delivery(p DeliveryParams) (*metrics.Table, error) {
 	for _, ce := range p.ChurnEvery {
 		cols = append(cols, fmt.Sprintf("ratio-churn@%d", ce))
 	}
-	cols = append(cols, "dups/1k", "refused/1k")
+	cols = append(cols, "dups/1k", "refused/1k",
+		"drop-ne/1k", "drop-nr/1k", "drop-hb/1k", "drop-lp/1k")
 	t := &metrics.Table{
 		Title: fmt.Sprintf(
 			"Delivery sweep — %d×%d live cluster, %d-packet streams (%d runs/point)",
@@ -95,6 +96,7 @@ func Delivery(p DeliveryParams) (*metrics.Table, error) {
 			churn[i] = &metrics.Sample{}
 		}
 		dups, refused := &metrics.Sample{}, &metrics.Sample{}
+		taxonomy := [4]*metrics.Sample{{}, {}, {}, {}}
 		for _, res := range results {
 			settled.Add(res.settledRatio)
 			for i, r := range res.churnRatios {
@@ -102,9 +104,13 @@ func Delivery(p DeliveryParams) (*metrics.Table, error) {
 			}
 			dups.Add(res.dupsPer1k)
 			refused.Add(res.refusedPer1k)
+			for i, d := range res.dropsPer1k {
+				taxonomy[i].Add(d)
+			}
 		}
 		cells := make([]metrics.Summary, 0, len(cols))
-		for _, s := range append(append([]*metrics.Sample{settled}, churn...), dups, refused) {
+		for _, s := range append(append([]*metrics.Sample{settled}, churn...),
+			dups, refused, taxonomy[0], taxonomy[1], taxonomy[2], taxonomy[3]) {
 			sum, err := s.Summarize()
 			if err != nil {
 				return nil, err
@@ -123,6 +129,13 @@ type deliveryResult struct {
 	churnRatios  []float64
 	dupsPer1k    float64
 	refusedPer1k float64
+	// dropsPer1k is the cluster-wide four-way data-plane drop taxonomy over
+	// the whole run — no-entry, no-route, hop-budget, loop — normalized per
+	// thousand expected deliveries. It attributes the loss the ratios show:
+	// fabric loss leaves no counter, churn shows up as no-entry/no-route
+	// (frames racing a FIB that has no entry yet), pathological topologies
+	// as hop-budget, and duplicate suppression as loop.
+	dropsPer1k [4]float64
 }
 
 // runDelivery executes one live run: boot the cluster, converge a member
@@ -261,9 +274,20 @@ func runDelivery(p DeliveryParams, prob float64, run int) (deliveryResult, error
 			return deliveryResult{}, err
 		}
 	}
+	var drops rt.ForwardStats
+	for _, node := range c.Nodes() {
+		s := node.ForwardStats()
+		drops.DropNoEntry += s.DropNoEntry
+		drops.DropNoRoute += s.DropNoRoute
+		drops.DropHops += s.DropHops
+		drops.DropLoop += s.DropLoop
+	}
 	if totalExpected > 0 {
 		res.dupsPer1k = 1000 * float64(totalDups) / float64(totalExpected)
 		res.refusedPer1k = 1000 * float64(totalRefused) / float64(totalExpected)
+		for i, d := range [4]uint64{drops.DropNoEntry, drops.DropNoRoute, drops.DropHops, drops.DropLoop} {
+			res.dropsPer1k[i] = 1000 * float64(d) / float64(totalExpected)
+		}
 	}
 	return res, nil
 }

@@ -23,7 +23,8 @@ func TestDeliverySweepSmall(t *testing.T) {
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d, want 2", len(tab.Rows))
 	}
-	wantCols := []string{"ratio-settled", "ratio-churn@15", "dups/1k", "refused/1k"}
+	wantCols := []string{"ratio-settled", "ratio-churn@15", "dups/1k", "refused/1k",
+		"drop-ne/1k", "drop-nr/1k", "drop-hb/1k", "drop-lp/1k"}
 	if len(tab.Columns) != len(wantCols) {
 		t.Fatalf("columns = %v, want %v", tab.Columns, wantCols)
 	}
@@ -44,5 +45,17 @@ func TestDeliverySweepSmall(t *testing.T) {
 	// is covered by ratio == 1 with no strays feeding the dup counter.
 	if r := lossy.Cells[0].Mean; r >= 1 || r <= 0 {
 		t.Fatalf("30%%-drop settled ratio = %g, want partial delivery", r)
+	}
+	// The taxonomy columns must never go negative, and on the lossless run
+	// the hop-budget column stays zero (trees are shallow, budget is ample).
+	for _, row := range tab.Rows {
+		for i := 4; i < 8; i++ {
+			if row.Cells[i].Mean < 0 {
+				t.Fatalf("drop taxonomy column %d negative: %+v", i, row.Cells[i])
+			}
+		}
+	}
+	if hb := clean.Cells[6].Mean; hb != 0 {
+		t.Fatalf("lossless hop-budget drops/1k = %g, want 0", hb)
 	}
 }

@@ -17,6 +17,14 @@ type AdminConfig struct {
 	// rendered as indented JSON — the daemon supplies a snapshot of
 	// per-connection protocol state here.
 	State func() any
+	// Flight, when set, is called per GET /flightrec request and must
+	// return the node's decoded flight-recorder document (events + sampled
+	// hop records). The path reconstructor consumes this endpoint.
+	Flight func() *FlightDoc
+	// Health, when set, backs GET /healthz with a JSON health summary
+	// (convergence, gaps, resync arming, last recorder anomaly). dgmctop
+	// scrapes this endpoint.
+	Health func() any
 }
 
 // NewAdminMux builds the admin endpoint set: /metrics, /spans, /state, and
@@ -54,6 +62,28 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 		_ = enc.Encode(cfg.State())
 	})
 
+	mux.HandleFunc("/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Flight == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Flight())
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Health == nil {
+			http.Error(w, "health surface not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Health())
+	})
+
 	// net/http/pprof registers only on http.DefaultServeMux; wire its
 	// handlers into this mux explicitly so the profiler rides the same
 	// opt-in admin listener.
@@ -69,7 +99,7 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("dgmc admin\n\n/metrics\n/spans\n/state\n/debug/pprof/\n"))
+		_, _ = w.Write([]byte("dgmc admin\n\n/metrics\n/spans\n/state\n/flightrec\n/healthz\n/debug/pprof/\n"))
 	})
 
 	return mux

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderBasic(t *testing.T) {
+	r := NewFlightRecorder(16)
+	if r.Cap() != 16 {
+		t.Fatalf("cap = %d, want 16", r.Cap())
+	}
+	r.Record(RecOriginate, 7, 3, 100, 0)
+	r.Record(RecForward, 7, 3, 100, 3)
+	r.Record(RecDeliver, 7, 3, 100, 1)
+	recs := r.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("snapshot = %d records, want 3", len(recs))
+	}
+	for i, want := range []RecKind{RecOriginate, RecForward, RecDeliver} {
+		if recs[i].Kind != want {
+			t.Fatalf("rec[%d].Kind = %v, want %v", i, recs[i].Kind, want)
+		}
+		if recs[i].Conn != 7 || recs[i].Src != 3 || recs[i].Seq != 100 {
+			t.Fatalf("rec[%d] = %+v, want conn=7 src=3 seq=100", i, recs[i])
+		}
+		if recs[i].Ticket != uint64(i+1) {
+			t.Fatalf("rec[%d].Ticket = %d, want %d", i, recs[i].Ticket, i+1)
+		}
+		if recs[i].AtNS == 0 {
+			t.Fatalf("rec[%d].AtNS = 0", i)
+		}
+	}
+	if recs[1].Arg != 3 {
+		t.Fatalf("forward Arg = %d, want 3", recs[1].Arg)
+	}
+	if got := r.Written(); got != 3 {
+		t.Fatalf("Written = %d, want 3", got)
+	}
+}
+
+func TestFlightRecorderWraps(t *testing.T) {
+	r := NewFlightRecorder(16)
+	for i := 0; i < 100; i++ {
+		r.Record(RecForward, 1, 2, uint64(i), 0)
+	}
+	recs := r.Snapshot()
+	if len(recs) != 16 {
+		t.Fatalf("snapshot after wrap = %d records, want 16", len(recs))
+	}
+	// Oldest surviving record is write 85 (ticket, 1-based), i.e. seq 84.
+	for i, rec := range recs {
+		if want := uint64(85 + i); rec.Ticket != want {
+			t.Fatalf("rec[%d].Ticket = %d, want %d", i, rec.Ticket, want)
+		}
+		if want := uint64(84 + i); rec.Seq != want {
+			t.Fatalf("rec[%d].Seq = %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderSizing(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 16}, {16, 16}, {17, 32}, {100, 128}, {4096, 4096},
+	} {
+		if got := NewFlightRecorder(tc.in).Cap(); got != tc.want {
+			t.Errorf("NewFlightRecorder(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if r := NewFlightRecorder(0); r != nil {
+		t.Fatalf("NewFlightRecorder(0) = %v, want nil", r)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(RecForward, 1, 2, 3, 4) // must not panic
+	if r.Snapshot() != nil {
+		t.Fatal("nil recorder snapshot should be nil")
+	}
+	if r.Cap() != 0 || r.Written() != 0 {
+		t.Fatal("nil recorder should report zero cap/written")
+	}
+	if k, at := r.LastAnomaly(); k != RecNone || !at.IsZero() {
+		t.Fatalf("nil recorder LastAnomaly = %v, %v", k, at)
+	}
+}
+
+func TestFlightRecorderLastAnomaly(t *testing.T) {
+	r := NewFlightRecorder(16)
+	if k, _ := r.LastAnomaly(); k != RecNone {
+		t.Fatalf("fresh recorder anomaly = %v, want none", k)
+	}
+	r.Record(RecForward, 1, 2, 3, 0) // not an anomaly
+	if k, _ := r.LastAnomaly(); k != RecNone {
+		t.Fatalf("after forward, anomaly = %v, want none", k)
+	}
+	before := time.Now().Add(-time.Second)
+	r.Record(RecDropHops, 1, 2, 3, 0)
+	k, at := r.LastAnomaly()
+	if k != RecDropHops {
+		t.Fatalf("anomaly kind = %v, want drop-hops", k)
+	}
+	if at.Before(before) || at.After(time.Now().Add(time.Second)) {
+		t.Fatalf("anomaly time %v out of range", at)
+	}
+	r.Record(RecResyncFired, 2, 0, 0, 0)
+	if k, _ := r.LastAnomaly(); k != RecResyncFired {
+		t.Fatalf("anomaly kind = %v, want resync-fired", k)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers the ring from several writer
+// goroutines while a reader snapshots continuously: run under -race this is
+// the seqlock's proof, and the decoded records must each be internally
+// consistent (kind in range, the writer's stamped fields coherent).
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(64)
+	const writers = 4
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Stamp src=w and seq=i, arg = w^i so a torn record that
+				// mixed two writes would break the invariant below.
+				r.Record(RecForward, uint32(w), uint32(w), uint64(i), uint64(w)^uint64(i))
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, rec := range r.Snapshot() {
+				if rec.Kind != RecForward {
+					t.Errorf("unexpected kind %v", rec.Kind)
+					return
+				}
+				if rec.Arg != uint64(rec.Src)^rec.Seq {
+					t.Errorf("torn record surfaced: %+v", rec)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got := r.Written(); got != writers*perWriter {
+		t.Fatalf("Written = %d, want %d", got, writers*perWriter)
+	}
+	recs := r.Snapshot()
+	if len(recs) == 0 {
+		t.Fatal("quiescent snapshot is empty")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Ticket <= recs[i-1].Ticket {
+			t.Fatalf("snapshot not ticket-ordered at %d", i)
+		}
+	}
+}
+
+// TestFlightRecorderRecordZeroAlloc pins the write path at 0 allocs — it
+// runs on the forward path with the packet in flight.
+func TestFlightRecorderRecordZeroAlloc(t *testing.T) {
+	r := NewFlightRecorder(1024)
+	allocs := testing.AllocsPerRun(500, func() {
+		r.Record(RecForward, 9, 4, 77, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f/op, want 0", allocs)
+	}
+	var nilRec *FlightRecorder
+	allocs = testing.AllocsPerRun(500, func() {
+		nilRec.Record(RecForward, 9, 4, 77, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Record allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRecKindJSONRoundTrip(t *testing.T) {
+	for k := RecOriginate; k < recKindCount; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back RecKind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v -> %s -> %v", k, b, back)
+		}
+	}
+	var k RecKind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &k); err == nil {
+		t.Fatal("unknown kind name should fail to unmarshal")
+	}
+}
+
+func TestSampled(t *testing.T) {
+	if Sampled(10, 0) || Sampled(0, 0) || Sampled(10, -1) {
+		t.Fatal("sampling disabled should never sample")
+	}
+	if !Sampled(0, 8) || !Sampled(8, 8) || !Sampled(16, 8) {
+		t.Fatal("multiples of every must be sampled")
+	}
+	if Sampled(1, 8) || Sampled(7, 8) || Sampled(9, 8) {
+		t.Fatal("non-multiples must not be sampled")
+	}
+	if !Sampled(123, 1) {
+		t.Fatal("every=1 samples everything")
+	}
+	// Epoch-namespaced sequences (epoch<<48 | counter) still sample
+	// deterministically: the decision is a pure function of the word.
+	seq := uint64(3)<<48 | 40
+	if !Sampled(seq, 8) {
+		t.Fatal("epoch-namespaced multiple should sample (2^48 ≡ 0 mod 8)")
+	}
+}
+
+func TestFlightDocJSONRoundTrip(t *testing.T) {
+	r := NewFlightRecorder(16)
+	r.Record(RecFIBSwap, 0, 5, 1, 12)
+	r.Record(RecDropNoRoute, 3, 2, 41, 4)
+	doc := &FlightDoc{Switch: 5, Cap: r.Cap(), Written: r.Written(), Events: r.Snapshot()}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back FlightDoc
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Switch != 5 || len(back.Events) != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Events[0].Kind != RecFIBSwap || back.Events[1].Kind != RecDropNoRoute {
+		t.Fatalf("kinds did not survive: %+v", back.Events)
+	}
+}

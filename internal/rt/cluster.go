@@ -47,6 +47,10 @@ type ClusterConfig struct {
 	// DataHops is the hop budget on originated payloads (default
 	// DefaultDataHops).
 	DataHops int
+	// FlightRecords and SampleEvery enable every node's flight recorder
+	// and 1-in-N packet path sampling; see NodeConfig.
+	FlightRecords int
+	SampleEvery   int
 }
 
 // ClusterDataHandler is ClusterConfig.DataHandler: a node-level DataHandler
@@ -139,6 +143,8 @@ func (c *Cluster) newNode(id topo.SwitchID, epoch uint64, snap *NodeSnapshot) (*
 		Restore:             snap,
 		DataHandler:         dh,
 		DataHops:            c.cfg.DataHops,
+		FlightRecords:       c.cfg.FlightRecords,
+		SampleEvery:         c.cfg.SampleEvery,
 	}, c.fabric.Transport(id))
 }
 

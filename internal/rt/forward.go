@@ -6,6 +6,7 @@ import (
 
 	"dgmc/internal/fib"
 	"dgmc/internal/lsa"
+	"dgmc/internal/obs"
 	"dgmc/internal/topo"
 )
 
@@ -14,10 +15,12 @@ import (
 // installed MC topologies.
 //
 // The steady-state forward path is allocation-free by construction (the
-// root alloc gate pins it at 0 allocs/op): the frame decodes into stack
-// values, the table lookup is one atomic pointer load plus a map read, the
-// relay patches From/hops/CRC into the received buffer in place, and every
-// counter is a plain atomic. It runs on the transport receive goroutine and
+// root alloc gate pins it at 0 allocs/op, with the flight recorder and
+// packet sampling enabled): the frame decodes into stack values, the table
+// lookup is one atomic pointer load plus a map read, the relay patches
+// From/hops/CRC into the received buffer in place, every counter is a plain
+// atomic in a per-connection stripe, and the flight recorder writes through
+// a fixed-size seqlock ring. It runs on the transport receive goroutine and
 // never takes the machine lock — installs swap the table under the hot
 // path, they never block it.
 //
@@ -47,8 +50,15 @@ var ErrNotSender = errors.New("rt: switch may not send on this connection")
 // state for the connection, or no route into its MC topology.
 var ErrNoRoute = errors.New("rt: no route into the MC")
 
-// forwardCounters are the data plane's per-node statistics: plain atomics
-// so they work (and stay allocation-free) with or without a registry.
+// fwdStripes is the stripe count of the data plane's counter array. Power
+// of two so the conn→stripe map is a mask; 64 stripes × one cache line
+// keeps counter contention negligible however many connections share the
+// node while letting per-connection metrics read "their" stripe directly.
+const fwdStripes = 64
+
+// forwardCounters are one stripe of the data plane's statistics: plain
+// atomics so they work (and stay allocation-free) with or without a
+// registry. Padded to a cache line so stripes do not false-share.
 type forwardCounters struct {
 	originated  atomic.Uint64
 	forwarded   atomic.Uint64
@@ -57,24 +67,49 @@ type forwardCounters struct {
 	dropNoRoute atomic.Uint64
 	dropHops    atomic.Uint64
 	dropLoop    atomic.Uint64
+	_           [1]uint64 // pad to 64 bytes
+}
+
+// snapshot reads one stripe into a ForwardStats value.
+func (c *forwardCounters) snapshot() ForwardStats {
+	return ForwardStats{
+		Originated:  c.originated.Load(),
+		Forwarded:   c.forwarded.Load(),
+		Delivered:   c.delivered.Load(),
+		DropNoEntry: c.dropNoEntry.Load(),
+		DropNoRoute: c.dropNoRoute.Load(),
+		DropHops:    c.dropHops.Load(),
+		DropLoop:    c.dropLoop.Load(),
+	}
+}
+
+// forwardStripes is the striped counter set: connections map onto stripes
+// by conn mod fwdStripes, so two connections can share a stripe (per-conn
+// series are therefore stripe-accurate, exact when conns < 64) but the
+// node-wide sums in ForwardStats are always exact.
+type forwardStripes [fwdStripes]forwardCounters
+
+// stripe returns the counter stripe for conn.
+func (fs *forwardStripes) stripe(conn lsa.ConnID) *forwardCounters {
+	return &fs[uint32(conn)&(fwdStripes-1)]
 }
 
 // ForwardStats is a snapshot of one node's data-plane counters.
 type ForwardStats struct {
 	// Originated counts payload frames this node sent into the network.
-	Originated uint64
+	Originated uint64 `json:"originated"`
 	// Forwarded counts relay transmissions (one per link copy).
-	Forwarded uint64
+	Forwarded uint64 `json:"forwarded"`
 	// Delivered counts payloads handed to the local application.
-	Delivered uint64
+	Delivered uint64 `json:"delivered"`
 	// DropNoEntry counts frames for connections with no FIB entry.
-	DropNoEntry uint64
+	DropNoEntry uint64 `json:"drop_no_entry"`
 	// DropNoRoute counts frames stranded off-tree with no contact route.
-	DropNoRoute uint64
+	DropNoRoute uint64 `json:"drop_no_route"`
 	// DropHops counts frames that exhausted their hop budget.
-	DropHops uint64
+	DropHops uint64 `json:"drop_hops"`
 	// DropLoop counts own frames that looped back.
-	DropLoop uint64
+	DropLoop uint64 `json:"drop_loop"`
 }
 
 // Drops returns the sum of all drop reasons.
@@ -82,17 +117,34 @@ func (s ForwardStats) Drops() uint64 {
 	return s.DropNoEntry + s.DropNoRoute + s.DropHops + s.DropLoop
 }
 
-// ForwardStats returns a snapshot of the node's data-plane counters.
+// add accumulates o into s.
+func (s *ForwardStats) add(o ForwardStats) {
+	s.Originated += o.Originated
+	s.Forwarded += o.Forwarded
+	s.Delivered += o.Delivered
+	s.DropNoEntry += o.DropNoEntry
+	s.DropNoRoute += o.DropNoRoute
+	s.DropHops += o.DropHops
+	s.DropLoop += o.DropLoop
+}
+
+// ForwardStats returns a snapshot of the node's data-plane counters: the
+// sum over all stripes. Safe concurrent with live forwarding and FIB swaps
+// (each field is an atomic load; the total is not a single atomic cut, same
+// as any multi-counter snapshot).
 func (n *Node) ForwardStats() ForwardStats {
-	return ForwardStats{
-		Originated:  n.fwd.originated.Load(),
-		Forwarded:   n.fwd.forwarded.Load(),
-		Delivered:   n.fwd.delivered.Load(),
-		DropNoEntry: n.fwd.dropNoEntry.Load(),
-		DropNoRoute: n.fwd.dropNoRoute.Load(),
-		DropHops:    n.fwd.dropHops.Load(),
-		DropLoop:    n.fwd.dropLoop.Load(),
+	var total ForwardStats
+	for i := range n.fwd {
+		total.add(n.fwd[i].snapshot())
 	}
+	return total
+}
+
+// ConnForwardStats returns the counter stripe conn maps to. Exact for the
+// connection when fewer than fwdStripes connections are live; an aggregate
+// of the stripe's connections otherwise.
+func (n *Node) ConnForwardStats(conn lsa.ConnID) ForwardStats {
+	return n.fwd.stripe(conn).snapshot()
 }
 
 // FIB returns the node's current forwarding table (never nil after NewNode;
@@ -119,9 +171,23 @@ func (n *Node) maybeRecompileLocked() {
 func (n *Node) recompileFIBLocked() {
 	b := fib.NewBuilder(n.id, n.machine.Unicast().Image())
 	n.machine.ForwardingState(b.Add)
-	n.fib.Store(b.Build())
-	n.fibCompiles.Add(1)
+	t := b.Build()
+	n.fib.Store(t)
+	compiles := n.fibCompiles.Add(1)
 	n.obs.fibCompiles.Inc()
+	n.flight.Record(obs.RecFIBSwap, 0, uint32(n.id), compiles, uint64(t.Size()))
+	n.registerConnSeries(t)
+}
+
+// recordData writes one data-plane record: always into the event ring, and
+// into the sampled-hop ring too when the packet's sequence selects it. Both
+// rings are nil-safe and allocation-free, so this inlines to two branches
+// when the recorder is disabled.
+func (n *Node) recordData(kind obs.RecKind, conn lsa.ConnID, src topo.SwitchID, seq uint64, from topo.SwitchID) {
+	n.flight.Record(kind, uint32(conn), uint32(src), seq, uint64(from))
+	if obs.Sampled(seq, n.sampleEvery) {
+		n.hopRec.Record(kind, uint32(conn), uint32(src), seq, uint64(from))
+	}
 }
 
 // SendData originates one payload on conn, fanning it out exactly as a
@@ -160,8 +226,9 @@ func (n *Node) SendData(conn lsa.ConnID, payload []byte) (uint64, error) {
 		n.tracef("sw%d: data to contact %d: %v", n.id, e.ContactNext, err)
 	}
 	putBuf(buf)
-	n.fwd.originated.Add(1)
+	n.fwd.stripe(conn).originated.Add(1)
 	n.obs.dataOrig.Inc()
+	n.recordData(obs.RecOriginate, conn, n.id, seq, n.id)
 	return seq, nil
 }
 
@@ -170,15 +237,22 @@ func (n *Node) SendData(conn lsa.ConnID, payload []byte) (uint64, error) {
 // (minus the arrival link) on-tree, one contact hop off-tree. Runs on the
 // transport receive goroutine; zero allocations, no locks.
 func (n *Node) handleData(buf []byte, f *lsa.Frame) {
+	var d lsa.DataFrame
 	if f.Origin == n.id {
 		// Our own frame came back: a transient loop while trees disagree, or
 		// a stale frame from a pre-crash incarnation. Either way it stops
-		// here — the origin already fanned it out once.
-		n.fwd.dropLoop.Add(1)
+		// here — the origin already fanned it out once. Decode is best-effort
+		// (loops are anomalies, not the steady state) so the drop lands on
+		// the right stripe and the flight record carries the connection.
+		conn := lsa.ConnID(0)
+		if err := lsa.DecodeDataInto(&d, f); err == nil {
+			conn = d.Conn
+		}
+		n.fwd.stripe(conn).dropLoop.Add(1)
 		n.obs.dataDropLoop.Inc()
+		n.recordData(obs.RecDropLoop, conn, f.Origin, f.Seq, f.From)
 		return
 	}
-	var d lsa.DataFrame
 	if err := lsa.DecodeDataInto(&d, f); err != nil {
 		n.decodeErrs.Add(1)
 		n.obs.decodeErrs.Inc()
@@ -186,13 +260,15 @@ func (n *Node) handleData(buf []byte, f *lsa.Frame) {
 	}
 	e := n.fib.Load().Lookup(d.Conn)
 	if e == nil {
-		n.fwd.dropNoEntry.Add(1)
+		n.fwd.stripe(d.Conn).dropNoEntry.Add(1)
 		n.obs.dataDropNoEntry.Inc()
+		n.recordData(obs.RecDropNoEntry, d.Conn, d.Src, d.Seq, f.From)
 		return
 	}
 	if e.Local {
-		n.fwd.delivered.Add(1)
+		n.fwd.stripe(d.Conn).delivered.Add(1)
 		n.obs.dataDeliv.Inc()
+		n.recordData(obs.RecDeliver, d.Conn, d.Src, d.Seq, f.From)
 		if h := n.dataHandler; h != nil {
 			h(d.Conn, d.Src, d.Seq, d.Payload)
 		}
@@ -211,13 +287,15 @@ func (n *Node) handleData(buf []byte, f *lsa.Frame) {
 			return
 		}
 		if d.Hops == 0 {
-			n.fwd.dropHops.Add(1)
+			n.fwd.stripe(d.Conn).dropHops.Add(1)
 			n.obs.dataDropHops.Inc()
+			n.recordData(obs.RecDropHops, d.Conn, d.Src, d.Seq, from)
 			return
 		}
 		if err := lsa.PatchDataForward(buf, n.id, d.Hops-1); err != nil {
 			return
 		}
+		sent := false
 		for _, nb := range e.Neighbors {
 			if nb == from {
 				continue
@@ -226,14 +304,19 @@ func (n *Node) handleData(buf []byte, f *lsa.Frame) {
 				n.obs.sendErrs.Inc()
 				n.tracef("sw%d: data relay to %d: %v", n.id, nb, err)
 			} else {
-				n.fwd.forwarded.Add(1)
+				n.fwd.stripe(d.Conn).forwarded.Add(1)
 				n.obs.dataFwd.Inc()
+				sent = true
 			}
+		}
+		if sent {
+			n.recordData(obs.RecForward, d.Conn, d.Src, d.Seq, from)
 		}
 	} else if e.ContactNext != topo.NoSwitch {
 		if d.Hops == 0 {
-			n.fwd.dropHops.Add(1)
+			n.fwd.stripe(d.Conn).dropHops.Add(1)
 			n.obs.dataDropHops.Inc()
+			n.recordData(obs.RecDropHops, d.Conn, d.Src, d.Seq, f.From)
 			return
 		}
 		if err := lsa.PatchDataForward(buf, n.id, d.Hops-1); err != nil {
@@ -243,11 +326,13 @@ func (n *Node) handleData(buf []byte, f *lsa.Frame) {
 			n.obs.sendErrs.Inc()
 			n.tracef("sw%d: data relay to contact %d: %v", n.id, e.ContactNext, err)
 		} else {
-			n.fwd.forwarded.Add(1)
+			n.fwd.stripe(d.Conn).forwarded.Add(1)
 			n.obs.dataFwd.Inc()
+			n.recordData(obs.RecForward, d.Conn, d.Src, d.Seq, f.From)
 		}
 	} else {
-		n.fwd.dropNoRoute.Add(1)
+		n.fwd.stripe(d.Conn).dropNoRoute.Add(1)
 		n.obs.dataDropNoRoute.Inc()
+		n.recordData(obs.RecDropNoRoute, d.Conn, d.Src, d.Seq, f.From)
 	}
 }

@@ -38,13 +38,23 @@ const fwdConn = lsa.ConnID(1)
 // installs a hand-built FIB so the forward path is exercised in isolation
 // from the control plane.
 func fwdNode(t *testing.T, id topo.SwitchID, kind mctree.Kind, members mctree.Members, tr *mctree.Tree, dh DataHandler) (*Node, *stubTransport) {
+	return fwdNodeWith(t, id, kind, members, tr, dh, nil)
+}
+
+// fwdNodeWith is fwdNode with a NodeConfig hook (recorder, sampling,
+// registry) applied before boot.
+func fwdNodeWith(t *testing.T, id topo.SwitchID, kind mctree.Kind, members mctree.Members, tr *mctree.Tree, dh DataHandler, mutate func(*NodeConfig)) (*Node, *stubTransport) {
 	t.Helper()
 	g, err := topo.Line(6, 10*time.Microsecond)
 	if err != nil {
 		t.Fatal(err)
 	}
 	st := newStubTransport()
-	n, err := NewNode(NodeConfig{ID: id, Graph: g, DataHandler: dh}, st)
+	cfg := NodeConfig{ID: id, Graph: g, DataHandler: dh}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := NewNode(cfg, st)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,109 @@
+package rt
+
+import (
+	"time"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/obs"
+)
+
+// NodeHealth is one switch's health summary: the JSON document behind the
+// /healthz admin endpoint and the dgmcd `health` REPL verb, and the row
+// source for the dgmctop cluster aggregator. It answers the operator
+// questions directly — converged? gapped? resync armed? what did the flight
+// recorder last flag? — and carries the forward counters so scrape deltas
+// yield throughput and drop rates.
+type NodeHealth struct {
+	Switch int    `json:"switch"`
+	Epoch  uint64 `json:"epoch"`
+
+	// Conns counts live (non-dormant) connections; Converged is true when
+	// every one of them is individually converged: received == computed
+	// stamp, received ≥ expected, and no detected gap.
+	Conns     int  `json:"conns"`
+	Converged bool `json:"converged"`
+
+	// GappedConns lists connections with a detected sequence gap;
+	// ResyncArmedConns those with a pending gap-check timer; GiveUpConns
+	// those whose recovery exhausted its round budget.
+	GappedConns      []uint32 `json:"gapped_conns,omitempty"`
+	ResyncArmedConns []uint32 `json:"resync_armed_conns,omitempty"`
+	GiveUpConns      []uint32 `json:"give_up_conns,omitempty"`
+	// GapBufferDepth totals event LSAs buffered out of order across
+	// connections; OutOfOrderMax is the deepest single connection.
+	GapBufferDepth int `json:"gap_buffer_depth"`
+
+	// FIBEntries / FIBCompiles describe the data plane's table; Forward
+	// its counters (sum over stripes).
+	FIBEntries  int          `json:"fib_entries"`
+	FIBCompiles uint64       `json:"fib_compiles"`
+	Forward     ForwardStats `json:"forward"`
+
+	// Flight summarizes the recorder: total records written, plus the most
+	// recent anomaly (drop / resync / reconcile / rejoin) and how long ago
+	// it happened. Anomaly is "" with AnomalyAgeMS -1 when the recorder is
+	// off or nothing anomalous has been recorded.
+	FlightWritten uint64 `json:"flight_written"`
+	Anomaly       string `json:"anomaly,omitempty"`
+	AnomalyAgeMS  int64  `json:"anomaly_age_ms"`
+}
+
+// Health assembles the node's health summary. It takes the machine lock
+// briefly (same cost class as Metrics or a /state scrape); never call it
+// from the forward path.
+func (n *Node) Health() NodeHealth {
+	h := NodeHealth{
+		Switch:       int(n.id),
+		Epoch:        n.epoch,
+		Converged:    true,
+		FIBEntries:   n.fib.Load().Size(),
+		FIBCompiles:  n.fibCompiles.Load(),
+		Forward:      n.ForwardStats(),
+		AnomalyAgeMS: -1,
+	}
+
+	n.mu.Lock()
+	conns := n.machine.Connections()
+	h.Conns = len(conns)
+	for _, conn := range conns {
+		snap, ok := n.machine.Connection(conn)
+		gapped := n.machine.Gapped(conn)
+		if ok && (!snap.R.Equal(snap.C) || !snap.R.Geq(snap.E) || gapped) {
+			h.Converged = false
+		}
+		if gapped {
+			h.GappedConns = append(h.GappedConns, uint32(conn))
+		}
+		if n.machine.ResyncArmed(conn) {
+			h.ResyncArmedConns = append(h.ResyncArmedConns, uint32(conn))
+		}
+		if n.machine.ResyncGaveUp(conn) {
+			h.GiveUpConns = append(h.GiveUpConns, uint32(conn))
+		}
+	}
+	h.GapBufferDepth = n.machine.GapBufferDepth()
+	n.mu.Unlock()
+
+	h.FlightWritten = n.flight.Written()
+	if kind, at := n.flight.LastAnomaly(); kind != obs.RecNone {
+		h.Anomaly = kind.String()
+		if age := time.Since(at).Milliseconds(); age >= 0 {
+			h.AnomalyAgeMS = age
+		} else {
+			h.AnomalyAgeMS = 0
+		}
+	}
+	return h
+}
+
+// HealthyConn reports whether one connection is individually converged and
+// gap-free on this node (a narrower cut of Health for tests and the REPL).
+func (n *Node) HealthyConn(conn lsa.ConnID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	snap, ok := n.machine.Connection(conn)
+	if !ok {
+		return false
+	}
+	return snap.R.Equal(snap.C) && snap.R.Geq(snap.E) && !n.machine.Gapped(conn)
+}

@@ -61,6 +61,21 @@ type NodeConfig struct {
 	// is the data plane's only loop guard while trees at different switches
 	// transiently disagree during reconvergence.
 	DataHops int
+	// FlightRecords, when positive, enables the node's flight recorder: a
+	// lock-free, allocation-free ring holding the last N data/control
+	// events (forwards, the drop taxonomy, FIB swaps, LSA batches, resync
+	// firings, reconciles, rejoins), snapshotted via FlightDoc for the
+	// /flightrec admin endpoint. Rounded up to a power of two, min 16.
+	FlightRecords int
+	// SampleEvery, when positive (and FlightRecords is set), enables
+	// 1-in-N packet path sampling: every data frame whose per-source
+	// sequence is a multiple of SampleEvery gets a per-hop trace record in
+	// a second ring of the same size, which the offline reconstructor
+	// (obs.ReconstructPaths) joins into hop-by-hop path reports. The
+	// decision is a pure function of the sequence number every frame
+	// already carries, so all hops sample the same packets with no extra
+	// wire bits.
+	SampleEvery int
 	// Epoch is the node's restart epoch (zero for a first boot). It
 	// namespaces the node's flood sequence numbers — seq = epoch<<48 |
 	// counter — so frames originated by a previous incarnation can never
@@ -115,7 +130,15 @@ type Node struct {
 	dataHandler DataHandler
 	dataHops    uint8
 	dataSeq     atomic.Uint64
-	fwd         forwardCounters
+	fwd         forwardStripes
+
+	// flight is the event ring ("black box"); hopRec the sampled per-hop
+	// trace ring, kept separate so bursts of ordinary events cannot evict
+	// the sparse sampled-path evidence. Both nil when disabled — every
+	// Record call is nil-safe, so the hot path pays one branch each.
+	flight      *obs.FlightRecorder
+	hopRec      *obs.FlightRecorder
+	sampleEvery int
 
 	// inbox is the receive queue feeding the LSA loop: decoded LSAs and
 	// resync messages. Unbounded — backpressure on the receive path would
@@ -193,6 +216,13 @@ func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
 		closed:       make(chan struct{}),
 	}
 	n.inCond = sync.NewCond(&n.inMu)
+	if cfg.FlightRecords > 0 {
+		n.flight = obs.NewFlightRecorder(cfg.FlightRecords)
+		if cfg.SampleEvery > 0 {
+			n.hopRec = obs.NewFlightRecorder(cfg.FlightRecords)
+			n.sampleEvery = cfg.SampleEvery
+		}
+	}
 	// Seed the flood sequence counter into this incarnation's epoch window.
 	// 48 bits of counter per epoch is beyond any realistic uptime, and the
 	// jump past every prior epoch is what invalidates stale pre-crash frames
@@ -260,6 +290,7 @@ func (n *Node) live() *Node {
 // partition heals.
 func (n *Node) Reconcile(nb topo.SwitchID) {
 	n.busy.Add(1)
+	n.flight.Record(obs.RecReconcile, 0, uint32(n.id), 0, uint64(nb))
 	n.mu.Lock()
 	n.machine.ReconcileNeighbor(nb)
 	n.maybeRecompileLocked()
@@ -274,6 +305,7 @@ func (n *Node) Reconcile(nb topo.SwitchID) {
 // its own event counter before it originates anything new.
 func (n *Node) RejoinFromNeighbors() {
 	n.busy.Add(1)
+	n.flight.Record(obs.RecRejoin, 0, uint32(n.id), 0, 0)
 	n.mu.Lock()
 	n.machine.RequestFullResync()
 	n.maybeRecompileLocked()
@@ -337,6 +369,23 @@ func (n *Node) Metrics() core.Metrics {
 // DecodeErrors counts frames dropped as undecodable (corruption, version
 // skew, truncation).
 func (n *Node) DecodeErrors() uint64 { return n.decodeErrs.Load() }
+
+// FlightEnabled reports whether the node's flight recorder is on.
+func (n *Node) FlightEnabled() bool { return n.flight != nil }
+
+// FlightDoc snapshots the node's flight-recorder rings into the JSON
+// document the /flightrec admin endpoint serves (and the offline path
+// reconstructor consumes). Returns an empty document when the recorder is
+// disabled. Never runs on the hot path.
+func (n *Node) FlightDoc() *obs.FlightDoc {
+	return &obs.FlightDoc{
+		Switch:  uint32(n.id),
+		Cap:     n.flight.Cap(),
+		Written: n.flight.Written(),
+		Events:  n.flight.Snapshot(),
+		Hops:    n.hopRec.Snapshot(),
+	}
+}
 
 // Close stops the goroutine cluster and detaches from the transport. It is
 // idempotent and waits for the loops to exit.
@@ -493,6 +542,7 @@ func (n *Node) lsaLoop() {
 		if n.obs.enabled() {
 			start = time.Now()
 		}
+		n.flight.Record(obs.RecLSAApply, 0, uint32(n.id), 0, uint64(len(batch)))
 		n.mu.Lock()
 		n.machine.ReceiveBatch(nil, batch)
 		n.maybeRecompileLocked()
@@ -658,6 +708,7 @@ func (n *Node) ArmResync(conn lsa.ConnID) {
 		}
 		n.obs.resyncTmr.Inc()
 		n.busy.Add(1)
+		n.flight.Record(obs.RecResyncFired, uint32(conn), uint32(n.id), 0, 0)
 		n.mu.Lock()
 		n.machine.ResyncFired(conn)
 		n.maybeRecompileLocked()

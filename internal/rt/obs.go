@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"dgmc/internal/core"
+	"dgmc/internal/fib"
 	"dgmc/internal/lsa"
 	"dgmc/internal/obs"
 )
@@ -163,4 +164,57 @@ func (n *Node) registerMachineFuncs(reg *obs.Registry) {
 	reg.GaugeFunc("dgmc_fib_entries", func() float64 {
 		return float64(n.live().fib.Load().Size())
 	}, sw)
+}
+
+// registerConnSeries exports per-connection delivery series for every
+// connection in the freshly compiled table: sent/forwarded/delivered plus
+// the four-way drop taxonomy, each reading the connection's counter stripe
+// at scrape time, and a per-connection FIB fan-out gauge. Called from
+// recompileFIBLocked — the control path, never per packet — and idempotent
+// by registry dedup, so churning connections re-register for free. Stripe
+// accuracy: conns map onto 64 stripes, so two connections 64 apart share a
+// series' backing counters (exact below that).
+func (n *Node) registerConnSeries(t *fib.Table) {
+	if n.obs.reg == nil {
+		return
+	}
+	for _, conn := range t.Conns() {
+		n.obs.connForwardSeries(n, conn)
+	}
+}
+
+// connForwardSeries registers the per-connection data-plane series (scrape
+// closures follow the succession chain like every func instrument).
+func (o *nodeObs) connForwardSeries(n *Node, conn lsa.ConnID) {
+	cl := obs.L("conn", strconv.Itoa(int(conn)))
+	sel := func(pick func(ForwardStats) uint64) func() float64 {
+		return func() float64 {
+			return float64(pick(n.live().ConnForwardStats(conn)))
+		}
+	}
+	o.reg.CounterFunc("dgmc_conn_data_originated_total",
+		sel(func(s ForwardStats) uint64 { return s.Originated }), o.sw, cl)
+	o.reg.CounterFunc("dgmc_conn_data_forwarded_total",
+		sel(func(s ForwardStats) uint64 { return s.Forwarded }), o.sw, cl)
+	o.reg.CounterFunc("dgmc_conn_data_delivered_total",
+		sel(func(s ForwardStats) uint64 { return s.Delivered }), o.sw, cl)
+	for _, d := range []struct {
+		reason string
+		pick   func(ForwardStats) uint64
+	}{
+		{"no-entry", func(s ForwardStats) uint64 { return s.DropNoEntry }},
+		{"no-route", func(s ForwardStats) uint64 { return s.DropNoRoute }},
+		{"hop-budget", func(s ForwardStats) uint64 { return s.DropHops }},
+		{"loop", func(s ForwardStats) uint64 { return s.DropLoop }},
+	} {
+		o.reg.CounterFunc("dgmc_conn_data_drops_total", sel(d.pick),
+			o.sw, cl, obs.L("reason", d.reason))
+	}
+	o.reg.GaugeFunc("dgmc_conn_fib_fanout", func() float64 {
+		e := n.live().fib.Load().Lookup(conn)
+		if e == nil {
+			return 0
+		}
+		return float64(len(e.Neighbors))
+	}, o.sw, cl)
 }

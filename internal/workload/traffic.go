@@ -44,6 +44,13 @@ type TrafficConfig struct {
 	// Pace, when set, is called between packets (e.g. a sleep, or fault
 	// injection mid-stream).
 	Pace func(i int)
+	// SampleEvery, when positive, mirrors the data plane's 1-in-N path
+	// sampling decision (a packet is sampled iff its per-source sequence is
+	// a multiple of SampleEvery): the pump stamps those packets in the
+	// ledger, so a harness can cross-check reconstructed flight-recorder
+	// paths against the exact set of packets the cluster should have
+	// traced. Must match the cluster's SampleEvery to mean anything.
+	SampleEvery int
 }
 
 // Pump originates cfg.Packets payloads round-robin over cfg.Sources,
@@ -73,7 +80,11 @@ func Pump(s Sender, led *Ledger, cfg TrafficConfig) error {
 			if cfg.Expect != nil {
 				want = cfg.Expect(src)
 			}
-			led.RecordSend(PacketID{Src: src, Seq: seq}, want)
+			id := PacketID{Src: src, Seq: seq}
+			led.RecordSend(id, want)
+			if cfg.SampleEvery > 0 && seq%uint64(cfg.SampleEvery) == 0 {
+				led.MarkSampled(id)
+			}
 		}
 		if cfg.Pace != nil {
 			cfg.Pace(i)
@@ -94,6 +105,9 @@ type Ledger struct {
 	// early holds deliveries that raced ahead of their RecordSend (the
 	// fabric can deliver before SendData's caller regains control).
 	early map[PacketID]map[topo.SwitchID]uint64
+	// sampled stamps the packets selected by the pump's SampleEvery mirror
+	// of the data plane's path-sampling decision.
+	sampled map[PacketID]bool
 }
 
 type packetRecord struct {
@@ -106,6 +120,7 @@ func NewLedger() *Ledger {
 	return &Ledger{
 		packets: make(map[PacketID]*packetRecord),
 		early:   make(map[PacketID]map[topo.SwitchID]uint64),
+		sampled: make(map[PacketID]bool),
 	}
 }
 
@@ -124,6 +139,24 @@ func (l *Ledger) RecordSend(id PacketID, expected []topo.SwitchID) {
 		rec.expected[sw] = true
 	}
 	l.packets[id] = rec
+}
+
+// MarkSampled stamps one packet as selected by path sampling.
+func (l *Ledger) MarkSampled(id PacketID) {
+	l.mu.Lock()
+	l.sampled[id] = true
+	l.mu.Unlock()
+}
+
+// SampledIDs returns the stamped packets in unspecified order.
+func (l *Ledger) SampledIDs() []PacketID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]PacketID, 0, len(l.sampled))
+	for id := range l.sampled {
+		out = append(out, id)
+	}
+	return out
 }
 
 // RecordRefused counts a send the runtime rejected (e.g. the source was not
@@ -163,6 +196,8 @@ type Summary struct {
 	// first); Strays counts deliveries at switches that were not expected —
 	// including deliveries never matched to a recorded send.
 	Dups, Strays int
+	// Sampled counts packets stamped by the pump's path-sampling mirror.
+	Sampled int
 }
 
 // Ratio is Delivered/Expected (1 when nothing was expected).
@@ -178,7 +213,7 @@ func (s Summary) Ratio() float64 {
 func (l *Ledger) Summary() Summary {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	s := Summary{Packets: len(l.packets), Refused: int(l.refused)}
+	s := Summary{Packets: len(l.packets), Refused: int(l.refused), Sampled: len(l.sampled)}
 	for _, rec := range l.packets {
 		s.Expected += len(rec.expected)
 		for sw, n := range rec.got {
