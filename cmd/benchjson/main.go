@@ -37,8 +37,12 @@ type Result struct {
 
 // Report is the full JSON document.
 type Report struct {
-	Label      string            `json:"label,omitempty"`
-	Context    map[string]string `json:"context"`
+	Label   string            `json:"label,omitempty"`
+	Context map[string]string `json:"context"`
+	// Notes carries free-form key=value annotations from the -notes flag —
+	// e.g. a pre-optimization baseline figure the archived run is gated
+	// against, so the comparison lives next to the numbers.
+	Notes      map[string]string `json:"notes,omitempty"`
 	Benchmarks []Result          `json:"benchmarks"`
 	Failed     bool              `json:"failed,omitempty"`
 }
@@ -47,6 +51,7 @@ func run(args []string, r io.Reader, w io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(w)
 	label := fs.String("label", "", "label recorded in the output (e.g. pr3)")
+	notes := fs.String("notes", "", "comma-separated key=value annotations recorded in the output")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +61,16 @@ func run(args []string, r io.Reader, w io.Writer) error {
 		return err
 	}
 	rep.Label = *label
+	if *notes != "" {
+		rep.Notes = map[string]string{}
+		for _, kv := range strings.Split(*notes, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("malformed -notes entry %q, want key=value", kv)
+			}
+			rep.Notes[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines in input")
 	}

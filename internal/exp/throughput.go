@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/metrics"
+	"dgmc/internal/rt"
+	"dgmc/internal/topo"
+	"dgmc/internal/workload"
+)
+
+// ThroughputParams configures the data-plane saturation sweep: a live
+// rt.Cluster on an in-process ChanFabric is blasted flat-out by the
+// workload.Blast generator and the sustained packets/sec is measured across
+// cluster sizes, concurrent source counts, and payload sizes. This is the
+// experiment behind the PR-10 fabric rework: packets/sec as a first-class,
+// regression-gated metric rather than a side effect of delivery soaks.
+type ThroughputParams struct {
+	// Sizes lists the cluster sizes (switch counts) to sweep; each becomes
+	// one table row. Defaults to {16, 32, 64}.
+	Sizes []int
+	// Sources lists how many member switches originate concurrently; the
+	// member set has five switches (four corners plus one interior), so
+	// values above five are clamped. Defaults to {1, 5}.
+	Sources []int
+	// Payloads lists the app-payload sizes in bytes. Defaults to {64, 512}.
+	Payloads []int
+	// Warmup and Measure are the per-run windows (defaults 100ms / 300ms).
+	// Warmup lets pools, schedulers, and the closed loop reach steady state
+	// before the measured window opens.
+	Warmup, Measure time.Duration
+	// MaxInFlight bounds the fabric's outstanding frames — the closed loop
+	// that keeps an unbounded in-process fabric from ballooning its queues
+	// under open-loop load (default 1024).
+	MaxInFlight int64
+	// RunsPerPoint is the number of runs per cell (default 3). Runs execute
+	// serially: racing saturation runs against each other would measure
+	// scheduler contention, not the fabric.
+	RunsPerPoint int
+}
+
+func (p ThroughputParams) normalized() ThroughputParams {
+	if len(p.Sizes) == 0 {
+		p.Sizes = []int{16, 32, 64}
+	}
+	if len(p.Sources) == 0 {
+		p.Sources = []int{1, 5}
+	}
+	if len(p.Payloads) == 0 {
+		p.Payloads = []int{64, 512}
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = 100 * time.Millisecond
+	}
+	if p.Measure <= 0 {
+		p.Measure = 300 * time.Millisecond
+	}
+	if p.MaxInFlight <= 0 {
+		p.MaxInFlight = 1024
+	}
+	if p.RunsPerPoint == 0 {
+		p.RunsPerPoint = 3
+	}
+	return p
+}
+
+// Throughput runs the saturation sweep and reports, per cluster size, the
+// sustained origination rate (kpkt/s) and cluster-wide delivery rate for
+// every sources × payload combination (means with 95% CIs).
+func Throughput(p ThroughputParams) (*metrics.Table, error) {
+	p = p.normalized()
+	var cols []string
+	for _, src := range p.Sources {
+		for _, pay := range p.Payloads {
+			cols = append(cols,
+				fmt.Sprintf("ksend/s s%d·%dB", src, pay),
+				fmt.Sprintf("kdeliv/s s%d·%dB", src, pay))
+		}
+	}
+	t := &metrics.Table{
+		Title: fmt.Sprintf(
+			"Throughput sweep — live ChanFabric cluster under saturating load, %s measure (%d runs/point)",
+			p.Measure, p.RunsPerPoint),
+		XLabel:  "switches",
+		Columns: cols,
+	}
+	for _, size := range p.Sizes {
+		var cells []metrics.Summary
+		for _, src := range p.Sources {
+			for _, pay := range p.Payloads {
+				send, deliv := &metrics.Sample{}, &metrics.Sample{}
+				for run := 0; run < p.RunsPerPoint; run++ {
+					res, err := runThroughput(p, size, src, pay)
+					if err != nil {
+						return nil, fmt.Errorf("n=%d src=%d payload=%d run %d: %w",
+							size, src, pay, run, err)
+					}
+					send.Add(res.SendRate() / 1000)
+					deliv.Add(res.DeliveredRate() / 1000)
+				}
+				for _, s := range []*metrics.Sample{send, deliv} {
+					sum, err := s.Summarize()
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, sum)
+				}
+			}
+		}
+		if err := t.AddRow(float64(size), cells...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// throughputShape maps a switch count to a grid as square as possible.
+func throughputShape(n int) (rows, cols int) {
+	rows = 1
+	for r := 2; r*r <= n; r++ {
+		if n%r == 0 {
+			rows = r
+		}
+	}
+	return rows, n / rows
+}
+
+// runThroughput executes one saturation run: boot the cluster, converge the
+// five-member set, then blast from the first src members with a closed loop
+// bounding the fabric's in-flight frames.
+func runThroughput(p ThroughputParams, size, src, payload int) (workload.BlastResult, error) {
+	rows, cols := throughputShape(size)
+	g, err := topo.Grid(rows, cols, 10*time.Microsecond)
+	if err != nil {
+		return workload.BlastResult{}, err
+	}
+	conn := lsa.ConnID(1)
+	fab := rt.NewChanFabric(size)
+	c, err := rt.NewCluster(rt.ClusterConfig{
+		Graph: g, ResyncTimeout: 50 * time.Millisecond,
+	}, fab)
+	if err != nil {
+		return workload.BlastResult{}, err
+	}
+	defer c.Close()
+
+	members := []topo.SwitchID{0, topo.SwitchID(cols - 1), topo.SwitchID(cols + 1),
+		topo.SwitchID(size - cols), topo.SwitchID(size - 1)}
+	for _, sw := range members {
+		if err := c.Join(sw, conn, mctree.SenderReceiver); err != nil {
+			return workload.BlastResult{}, err
+		}
+	}
+	if err := c.WaitConverged(60 * time.Second); err != nil {
+		return workload.BlastResult{}, err
+	}
+	if src > len(members) {
+		src = len(members)
+	}
+	if src < 1 {
+		src = 1
+	}
+	return workload.Blast(c, workload.BlastConfig{
+		Conn:        conn,
+		Sources:     members[:src],
+		PayloadSize: payload,
+		Warmup:      p.Warmup,
+		Measure:     p.Measure,
+		InFlight:    fab.InFlight,
+		MaxInFlight: p.MaxInFlight,
+		Stats: func() workload.BlastStats {
+			s := c.ForwardStats()
+			return workload.BlastStats{Delivered: s.Delivered, Forwarded: s.Forwarded}
+		},
+	})
+}

@@ -68,6 +68,20 @@ func DecodeDataInto(d *DataFrame, f *Frame) error {
 	return nil
 }
 
+// PatchDataSeq rewrites the outer sequence number of an encoded data frame
+// in place and fixes the CRC. The batch-origination path encodes one frame
+// and restamps the sequence per packet, so a burst pays the header+payload
+// encode once instead of per copy.
+func PatchDataSeq(buf []byte, seq uint64) error {
+	if len(buf) < frameHeaderLen+dataHeaderLen {
+		return fmt.Errorf("lsa: data frame too short to patch (%d bytes)", len(buf))
+	}
+	binary.BigEndian.PutUint64(buf[frameSeqOffset:], seq)
+	binary.BigEndian.PutUint32(buf[frameHeaderLen-4:],
+		frameCRC(buf[:frameHeaderLen-4], buf[frameHeaderLen:]))
+	return nil
+}
+
 // PatchDataForward rewrites the link-level From field and the hop budget of
 // an encoded data frame in place and fixes the CRC in a single pass, so a
 // forwarder can relay the buffer it received without re-encoding.

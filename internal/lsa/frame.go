@@ -79,6 +79,10 @@ const frameHeaderLen = 26
 // forwarding path via PatchFrameFrom.
 const frameFromOffset = 6
 
+// frameSeqOffset is the byte offset of the Seq field, used by the in-place
+// patch helpers (PatchDataSeq) and the header peek.
+const frameSeqOffset = 10
+
 // MaxFramePayload bounds the payload length a decoder will accept. It is
 // far above anything the protocol produces (a proposal tree plus a stamp
 // for a few hundred switches is a few KB) while keeping a hostile length
@@ -120,6 +124,23 @@ func AppendFrameWith(dst []byte, f *Frame, payloadFn func([]byte) []byte) []byte
 	return dst
 }
 
+// PeekFrameMeta reads the kind and identity fields (origin, link-level
+// from, outer sequence) straight out of an encoded frame's fixed-offset
+// header, without validating the length or CRC — for fabric-level
+// classification (e.g. the loss knob's per-frame drop hash) that must not
+// pay for a full decode on every send. ok is false when buf is shorter
+// than a frame header.
+func PeekFrameMeta(buf []byte) (kind FrameKind, origin, from topo.SwitchID, seq uint64, ok bool) {
+	if len(buf) < frameHeaderLen {
+		return 0, 0, 0, 0, false
+	}
+	kind = FrameKind(buf[1])
+	origin = topo.SwitchID(int32(binary.BigEndian.Uint32(buf[2:])))
+	from = topo.SwitchID(int32(binary.BigEndian.Uint32(buf[frameFromOffset:])))
+	seq = binary.BigEndian.Uint64(buf[frameSeqOffset:])
+	return kind, origin, from, seq, true
+}
+
 // PatchFrameFrom rewrites the From field of an encoded frame in place (and
 // fixes up the CRC), so a forwarder can relay the same buffer without
 // re-encoding the payload.
@@ -133,9 +154,21 @@ func PatchFrameFrom(buf []byte, from topo.SwitchID) error {
 	return nil
 }
 
+// crcTable is the frame checksum polynomial: Castagnoli, not IEEE, because
+// amd64/arm64 check it with a dedicated instruction where the IEEE
+// polynomial falls back to table lookups below the carry-less-multiply
+// kernel's minimum length — and protocol frames live exactly in that small
+// range. Under data-plane saturation the checksum (verified on every
+// receive, recomputed on every in-place forward patch) is the single
+// largest CPU item, so the polynomial choice is a throughput knob; the
+// error-detection strength is equivalent, and the framing is internal to
+// this implementation (both ends share this code), so no compatibility is
+// given up.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 func frameCRC(header, payload []byte) uint32 {
-	crc := crc32.ChecksumIEEE(header)
-	return crc32.Update(crc, crc32.IEEETable, payload)
+	crc := crc32.Update(0, crcTable, header)
+	return crc32.Update(crc, crcTable, payload)
 }
 
 // DecodeFrame decodes one frame from buf. It errors on truncation, version

@@ -1,0 +1,118 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/mctree"
+	"dgmc/internal/topo"
+	"dgmc/internal/workload"
+)
+
+// TestBlastSmoke runs the saturating load generator at audited scale on
+// both live fabrics: every accepted send is ledgered with its expected
+// receiver set, so the exactly-once contract (no duplicates, no strays)
+// is checked under the same concurrent batched senders the throughput
+// benchmark races — and the data plane's own ForwardStats counters must
+// agree with the ledger's independent tally. Small enough to run
+// race-enabled in CI as a blocking gate.
+func TestBlastSmoke(t *testing.T) {
+	t.Run("ChanFabric", func(t *testing.T) {
+		fab := NewChanFabric(9)
+		blastSmoke(t, fab, fab.InFlight, func() error {
+			for fab.InFlight() != 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+			return nil
+		}, 1.0)
+	})
+	t.Run("UDPFabric", func(t *testing.T) {
+		fab, err := NewUDPFabric(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Datagram sockets have no in-flight count and may shed frames
+		// under burst, so the smoke settles on node quiescence and gates a
+		// near-lossless ratio instead of exactness; the exactly-once and
+		// counter-agreement assertions are unconditional.
+		blastSmoke(t, fab, nil, nil, 0.9)
+	})
+}
+
+func blastSmoke(t *testing.T, fab Fabric, inflight func() int64, drain func() error, minRatio float64) {
+	const rows, cols = 3, 3
+	conn := lsa.ConnID(1)
+	g, err := topo.Grid(rows, cols, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := workload.NewLedger()
+	c, err := NewCluster(ClusterConfig{
+		Graph: g, ResyncTimeout: resyncFast,
+		DataHandler: func(at topo.SwitchID, _ lsa.ConnID, src topo.SwitchID, seq uint64, _ []byte) {
+			led.RecordRecv(at, workload.PacketID{Src: src, Seq: seq})
+		},
+	}, fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	members := []topo.SwitchID{0, 4, 8}
+	for _, sw := range members {
+		if err := c.Join(sw, conn, mctree.SenderReceiver); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitConverged(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	expect := func(src topo.SwitchID) []topo.SwitchID {
+		var out []topo.SwitchID
+		for _, sw := range members {
+			if sw != src {
+				out = append(out, sw)
+			}
+		}
+		return out
+	}
+
+	res, err := workload.Blast(c, workload.BlastConfig{
+		Conn: conn, Sources: members,
+		SendersPerSource: 2, PayloadSize: 32, Batch: 16, Packets: 900,
+		Ledger: led, Expect: expect,
+		InFlight: inflight, MaxInFlight: 256,
+		Drain: drain,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Settle(50*time.Millisecond, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Refused != 0 {
+		t.Fatalf("converged cluster refused %d sends", res.Refused)
+	}
+	if res.Sent != 900 {
+		t.Fatalf("accepted %d sends, want the full 900 budget", res.Sent)
+	}
+	sum := led.Summary()
+	t.Logf("blast smoke: %+v ratio=%.4f sendRate=%.0f/s", sum, sum.Ratio(), res.SendRate())
+	if sum.Dups != 0 || sum.Strays != 0 {
+		t.Fatalf("exactly-once violated under blast: %d dups, %d strays", sum.Dups, sum.Strays)
+	}
+	if r := sum.Ratio(); r < minRatio {
+		t.Fatalf("delivery ratio %.4f < %.2f under blast", r, minRatio)
+	}
+	// With dups and strays at zero, the ledger's delivered count is exactly
+	// the number of delivery events the data plane performed.
+	stats := c.ForwardStats()
+	if stats.Delivered != uint64(sum.Delivered) {
+		t.Fatalf("ForwardStats.Delivered = %d but ledger recorded %d deliveries", stats.Delivered, sum.Delivered)
+	}
+	if stats.Originated != res.Sent {
+		t.Fatalf("ForwardStats.Originated = %d but blast accepted %d sends", stats.Originated, res.Sent)
+	}
+}

@@ -2,37 +2,64 @@ package rt
 
 import "sync"
 
-// maxPooledBuf caps the capacity of buffers the pool retains. It matches the
-// receive-side maximum (maxUDPFrame) so every buffer that flows through the
-// node — pooled or caller-supplied — is eligible for reuse, while anything
-// freakishly larger is left for the collector.
+// The frame buffer pool is size-classed. Almost every buffer flowing
+// through a node is small — control floods of a few hundred bytes, data
+// frames of header + payload — while UDPTransport.Recv rents a full 64 KiB
+// datagram buffer per call. One shared pool let the populations mix: a
+// burst of UDP receives seeded it with 64 KiB arrays that the per-frame
+// copy path then rented for 30-byte frames, pinning megabytes of backing
+// array behind kilobyte-scale traffic. Two classes keep each population
+// recycling among its own.
+
+// smallBufCap is the small class's capacity: comfortably above every
+// control payload and the data frames the load generator drives, so the
+// saturation fast path stays inside this class.
+const smallBufCap = 4096
+
+// maxPooledBuf caps the capacity of buffers the pool retains. It matches
+// the receive-side maximum (maxUDPFrame) so every buffer that flows
+// through the node — pooled or caller-supplied — is eligible for reuse,
+// while anything freakishly larger is left for the collector.
 const maxPooledBuf = maxUDPFrame
 
-// bufPool recycles the frame byte buffers that used to dominate the node's
-// per-message garbage: encode buffers in the flood/unicast send paths,
-// per-frame copies inside ChanFabric, and the 64 KiB receive buffers of
-// UDPTransport. The pool holds *[]byte boxes; the box itself costs one
-// 24-byte header per round trip, against the kilobytes of backing array it
-// preserves.
-var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+// The pools hold *[]byte boxes; the box itself costs one 24-byte header
+// per round trip, against the backing array it preserves. Class purity is
+// enforced on the put side (putBuf routes by capacity) and double-checked
+// on the get side, so a stray undersized buffer can never surface from a
+// rental.
+var (
+	smallPool = sync.Pool{New: func() any { b := make([]byte, 0, smallBufCap); return &b }}
+	largePool = sync.Pool{New: func() any { b := make([]byte, 0, maxPooledBuf); return &b }}
+)
 
 // getBuf returns a zero-length buffer with at least minCap capacity.
 func getBuf(minCap int) []byte {
-	b := (*bufPool.Get().(*[]byte))[:0]
+	var b []byte
+	if minCap <= smallBufCap {
+		b = (*smallPool.Get().(*[]byte))[:0]
+	} else if minCap <= maxPooledBuf {
+		b = (*largePool.Get().(*[]byte))[:0]
+	}
 	if cap(b) < minCap {
 		b = make([]byte, 0, minCap)
 	}
 	return b
 }
 
-// putBuf hands a buffer back for reuse. The caller must not touch b (or any
-// slice aliasing it) afterwards; decoded messages never alias frame buffers
-// (every payload decoder copies out), which is what makes recycling on the
-// receive path safe.
+// putBuf hands a buffer back to its size class by capacity. The caller
+// must not touch b (or any slice aliasing it) afterwards; decoded messages
+// never alias frame buffers (every payload decoder copies out), which is
+// what makes recycling on the receive path safe. Buffers too small for the
+// small class or too large for the large class go to the collector rather
+// than poisoning a class.
 func putBuf(b []byte) {
-	if cap(b) == 0 || cap(b) > maxPooledBuf {
-		return
+	c := cap(b)
+	switch {
+	case c >= maxUDPFrame && c <= maxPooledBuf:
+		b = b[:0]
+		largePool.Put(&b)
+	case c >= smallBufCap && c < maxUDPFrame:
+		b = b[:0]
+		smallPool.Put(&b)
 	}
-	b = b[:0]
-	bufPool.Put(&b)
 }

@@ -26,8 +26,10 @@ import (
 // the way an undetected split behaves, so senders see success, not errors.
 type ChanFabric struct {
 	queues []atomic.Pointer[frameQueue]
-	// inflight counts frames enqueued but not yet returned by Recv, letting
-	// the harness distinguish "quiescent" from "packets still in flight".
+	// inflight counts frames enqueued but not yet handed to a receiver,
+	// letting the harness distinguish "quiescent" from "packets still in
+	// flight". Every path that discards queued frames (Kill, Reset, Close)
+	// settles the count through frameQueue.close's drain tally.
 	inflight atomic.Int64
 	// groups holds the active partition as a switch→group map (nil when the
 	// fabric is whole). Cross-group sends are silently dropped.
@@ -41,17 +43,18 @@ type ChanFabric struct {
 	lost atomic.Uint64
 }
 
-// lossCfg is one SetLoss configuration: a fixed drop threshold and a
-// counter-mode PRNG state, so drop decisions are reproducible for a given
-// seed and arrival order without any shared lock on the send path.
+// lossCfg is one SetLoss configuration: a fixed drop threshold and the hash
+// seed. The drop verdict for a frame is a pure function of (seed, frame
+// identity, destination) — no shared counter — so a seeded soak produces
+// the same loss set on every run no matter how many sender goroutines race
+// or how the scheduler interleaves them.
 type lossCfg struct {
-	thresh uint64 // drop when mix64(seed+ctr) < thresh
+	thresh uint64 // drop when the identity hash < thresh
 	seed   uint64
-	ctr    atomic.Uint64
 }
 
-// mix64 is the splitmix64 finalizer: a cheap, well-distributed hash of the
-// per-send counter.
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit hash
+// step used to turn frame identities into drop verdicts.
 func mix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -84,9 +87,7 @@ func (f *ChanFabric) Kill(id topo.SwitchID) error {
 	if int(id) < 0 || int(id) >= len(f.queues) {
 		return fmt.Errorf("rt: kill of unknown switch %d", id)
 	}
-	q := f.queues[id].Load()
-	q.close()
-	f.inflight.Add(-int64(q.drain()))
+	f.inflight.Add(-int64(f.queues[id].Load().close()))
 	return nil
 }
 
@@ -99,8 +100,7 @@ func (f *ChanFabric) Reset(id topo.SwitchID) error {
 	old := f.queues[id].Swap(newFrameQueue())
 	// A sender racing the swap may have pushed onto the dying queue after
 	// Kill's drain; account for anything still there.
-	old.close()
-	f.inflight.Add(-int64(old.drain()))
+	f.inflight.Add(-int64(old.close()))
 	return nil
 }
 
@@ -124,8 +124,9 @@ func (f *ChanFabric) ClearPartition() {
 }
 
 // SetLoss makes the fabric drop each payload (FrameData) frame with
-// probability prob, using a deterministic per-send hash seeded by seed.
-// prob ≤ 0 disables loss. Control frames are never dropped.
+// probability prob, using a deterministic hash of the frame's identity
+// seeded by seed. prob ≤ 0 disables loss. Control frames are never
+// dropped.
 func (f *ChanFabric) SetLoss(prob float64, seed int64) {
 	if prob <= 0 {
 		f.loss.Store(nil)
@@ -143,14 +144,26 @@ func (f *ChanFabric) SetLoss(prob float64, seed int64) {
 // Lost returns the number of frames discarded by the loss knob.
 func (f *ChanFabric) Lost() uint64 { return f.lost.Load() }
 
-// dropData reports whether the loss knob claims this frame. Only payload
-// frames are eligible; the kind byte sits at a fixed header offset.
-func (f *ChanFabric) dropData(data []byte) bool {
+// dropData reports whether the loss knob claims this frame on the link to
+// `to`. Only payload frames are eligible. The verdict hashes the frame's
+// wire identity — origin and data sequence, plus the link-level from/to
+// pair — so each link's copy of a packet gets an independent coin flip,
+// and the full loss set is a pure function of the seed: reproducible
+// across runs however many concurrent senders the load generator races,
+// where the old global-counter PRNG made drops scheduler-dependent.
+func (f *ChanFabric) dropData(data []byte, to topo.SwitchID) bool {
 	lc := f.loss.Load()
-	if lc == nil || len(data) < 2 || lsa.FrameKind(data[1]) != lsa.FrameData {
+	if lc == nil {
 		return false
 	}
-	if mix64(lc.seed+lc.ctr.Add(1)) >= lc.thresh {
+	kind, origin, from, seq, ok := lsa.PeekFrameMeta(data)
+	if !ok || kind != lsa.FrameData {
+		return false
+	}
+	h := mix64(lc.seed ^ uint64(uint32(origin)))
+	h = mix64(h ^ seq)
+	h = mix64(h ^ uint64(uint32(from))<<32 ^ uint64(uint32(to)))
+	if h >= lc.thresh {
 		return false
 	}
 	f.lost.Add(1)
@@ -169,10 +182,12 @@ func (f *ChanFabric) blocked(from, to topo.SwitchID) bool {
 	return okf && okt && gf != gt
 }
 
-// Close closes every queue.
+// Close closes every queue, draining whatever is still queued so pooled
+// frame buffers return to their pool and the in-flight count settles back
+// to zero — a partly-shut fabric must not poison a later quiescence check.
 func (f *ChanFabric) Close() error {
 	for i := range f.queues {
-		f.queues[i].Load().close()
+		f.inflight.Add(-int64(f.queues[i].Load().close()))
 	}
 	return nil
 }
@@ -181,6 +196,14 @@ func (f *ChanFabric) Close() error {
 type chanPort struct {
 	fabric *ChanFabric
 	id     topo.SwitchID
+	// pending stashes the tail of a popAll batch between single-frame Recv
+	// calls (the batched path, RecvBatch, hands the whole batch to the
+	// caller instead). Recv is single-consumer, but Close must be able to
+	// drain a stashed batch whose frames still count as in flight — hence
+	// the mutex.
+	mu      sync.Mutex
+	pending [][]byte
+	next    int
 }
 
 func (p *chanPort) Send(to topo.SwitchID, data []byte) error {
@@ -190,12 +213,13 @@ func (p *chanPort) Send(to topo.SwitchID, data []byte) error {
 	if p.fabric.blocked(p.id, to) {
 		return nil // partitioned: the frame vanishes, undetected
 	}
-	if p.fabric.dropData(data) {
+	if p.fabric.dropData(data, to) {
 		return nil // lossy fabric ate the payload; the sender never knows
 	}
 	// Copy: the wire would; and the caller is free to patch its buffer for
 	// the next neighbor while this copy sits queued. The copy comes from the
-	// frame pool and goes back once the receiving node has handled it.
+	// frame pool — outside the queue lock, so the critical section stays one
+	// append — and goes back once the receiving node has handled it.
 	buf := append(getBuf(len(data)), data...)
 	if !p.fabric.queues[to].Load().push(buf) {
 		putBuf(buf)
@@ -205,26 +229,111 @@ func (p *chanPort) Send(to topo.SwitchID, data []byte) error {
 	return nil
 }
 
-func (p *chanPort) Recv() ([]byte, error) {
-	buf, ok := p.fabric.queues[p.id].Load().pop()
-	if !ok {
-		return nil, ErrClosed
+// SendOwned implements the ownership-transfer send: buf moves into the
+// destination queue as-is — no copy, no pool round-trip. Every non-queued
+// outcome (unknown switch, partition, loss, closed destination) recycles
+// buf right here, upholding the callee-always-consumes contract.
+func (p *chanPort) SendOwned(to topo.SwitchID, buf []byte) error {
+	if int(to) < 0 || int(to) >= len(p.fabric.queues) {
+		putBuf(buf)
+		return fmt.Errorf("rt: send to unknown switch %d", to)
 	}
-	p.fabric.inflight.Add(-1)
-	return buf, nil
-}
-
-func (p *chanPort) Close() error {
-	p.fabric.queues[p.id].Load().close()
+	if p.fabric.blocked(p.id, to) || p.fabric.dropData(buf, to) {
+		putBuf(buf)
+		return nil // vanished in the fabric; the sender never knows
+	}
+	if !p.fabric.queues[to].Load().push(buf) {
+		putBuf(buf)
+		return ErrClosed
+	}
+	p.fabric.inflight.Add(1)
 	return nil
 }
 
-// frameQueue is an unbounded FIFO of frames with blocking pop.
+func (p *chanPort) Recv() ([]byte, error) {
+	for {
+		p.mu.Lock()
+		if p.next < len(p.pending) {
+			buf := p.pending[p.next]
+			p.pending[p.next] = nil
+			p.next++
+			p.mu.Unlock()
+			p.fabric.inflight.Add(-1)
+			return buf, nil
+		}
+		recycle := p.pending[:0]
+		p.pending, p.next = nil, 0
+		p.mu.Unlock()
+		batch, ok := p.fabric.queues[p.id].Load().popAll(recycle)
+		if !ok {
+			// Closed; a batch stashed concurrently with the close would hold
+			// in-flight frames forever, so sweep it on the way out.
+			p.drainPending()
+			return nil, ErrClosed
+		}
+		p.mu.Lock()
+		p.pending, p.next = batch, 0
+		p.mu.Unlock()
+	}
+}
+
+// RecvBatch drains the port's entire backlog in one blocking call — the
+// batched fast path Node.recvLoop prefers, one queue-lock acquisition per
+// burst instead of per frame. recycle must be the slice returned by the
+// previous call (or nil); its backing array goes back to the queue for the
+// producers' next batch, while the frames themselves are the caller's to
+// putBuf once handled. The frames stay in the fabric's in-flight count
+// until the consumer settles them with Release — InFlight()==0 must keep
+// meaning "nothing queued anywhere and nothing mid-handling", exactly as
+// it did when Recv handed frames out one at a time.
+func (p *chanPort) RecvBatch(recycle [][]byte) ([][]byte, error) {
+	batch, ok := p.fabric.queues[p.id].Load().popAll(recycle)
+	if !ok {
+		return nil, ErrClosed
+	}
+	return batch, nil
+}
+
+// Release settles n batch-received frames as handled (see RecvBatch).
+func (p *chanPort) Release(n int) {
+	p.fabric.inflight.Add(-int64(n))
+}
+
+func (p *chanPort) Close() error {
+	f := p.fabric
+	f.inflight.Add(-int64(f.queues[p.id].Load().close()))
+	p.drainPending()
+	return nil
+}
+
+// drainPending discards a batch stashed between Recv calls, returning its
+// buffers to the pool and balancing the in-flight count.
+func (p *chanPort) drainPending() {
+	p.mu.Lock()
+	for ; p.next < len(p.pending); p.next++ {
+		putBuf(p.pending[p.next])
+		p.pending[p.next] = nil
+		p.fabric.inflight.Add(-1)
+	}
+	p.pending, p.next = nil, 0
+	p.mu.Unlock()
+}
+
+// frameQueue is an unbounded MPSC FIFO of frames with a blocking batch
+// pop. Producers append to back under the lock; the consumer takes the
+// whole backlog in one popAll and hands its previous batch's array back,
+// so the two arrays ping-pong between the sides: a balanced workload runs
+// at one lock acquisition per burst with zero steady-state allocation.
+// This replaced a head-shift queue (items = items[1:]) that kept every
+// popped frame reachable through the backing array and re-copied the tail
+// on append once capacity ran out — the hottest path in the saturation
+// profile.
 type frameQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  [][]byte
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	back    [][]byte
+	waiters int // consumers parked in popAll; push only signals when > 0
+	closed  bool
 }
 
 func newFrameQueue() *frameQueue {
@@ -235,45 +344,55 @@ func newFrameQueue() *frameQueue {
 
 func (q *frameQueue) push(buf []byte) bool {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return false
 	}
-	q.items = append(q.items, buf)
-	q.cond.Signal()
+	q.back = append(q.back, buf)
+	if q.waiters > 0 {
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
 	return true
 }
 
-func (q *frameQueue) pop() ([]byte, bool) {
+// popAll blocks until the queue has frames (or closes), then takes the
+// entire backlog. recycle is the batch slice returned by the previous
+// popAll: its entries are cleared — no frame stays reachable beyond the
+// batch after it — and its backing array becomes the producers' next back
+// array.
+func (q *frameQueue) popAll(recycle [][]byte) ([][]byte, bool) {
+	clear(recycle)
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for len(q.back) == 0 && !q.closed {
+		q.waiters++
 		q.cond.Wait()
+		q.waiters--
 	}
-	if len(q.items) == 0 {
+	batch := q.back
+	if len(batch) == 0 {
+		q.mu.Unlock()
 		return nil, false
 	}
-	buf := q.items[0]
-	q.items = q.items[1:]
-	return buf, true
+	q.back = recycle[:0]
+	q.mu.Unlock()
+	return batch, true
 }
 
-// drain discards everything queued and returns how many frames were
-// dropped (so the fabric's in-flight count stays balanced).
-func (q *frameQueue) drain() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	n := len(q.items)
-	for _, buf := range q.items {
-		putBuf(buf)
-	}
-	q.items = nil
-	return n
-}
-
-func (q *frameQueue) close() {
+// close drains and closes the queue, waking blocked consumers, and returns
+// how many queued frames it discarded so the fabric can settle its
+// in-flight accounting. Idempotent; every discarded buffer returns to the
+// frame pool.
+func (q *frameQueue) close() int {
 	q.mu.Lock()
 	q.closed = true
+	n := len(q.back)
+	for i, buf := range q.back {
+		putBuf(buf)
+		q.back[i] = nil
+	}
+	q.back = q.back[:0]
 	q.cond.Broadcast()
 	q.mu.Unlock()
+	return n
 }

@@ -1,0 +1,226 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dgmc/internal/lsa"
+	"dgmc/internal/topo"
+)
+
+// testDataFrame encodes a minimal payload frame: enough header for
+// PeekFrameMeta (which is all the fabric itself reads) without needing a
+// decodable data payload.
+func testDataFrame(origin topo.SwitchID, seq uint64) []byte {
+	return lsa.EncodeFrame(&lsa.Frame{
+		Version: lsa.FrameVersion, Kind: lsa.FrameData,
+		Origin: origin, From: origin, Seq: seq,
+	})
+}
+
+// TestFrameQueueNoRetentionAfterPop pins the fix for the head-shift queue's
+// memory retention: popping with items = items[1:] kept every popped frame
+// reachable through the backing array, so handled buffers could never be
+// collected (or reused) until the array happened to reallocate. The
+// two-list queue's contract is that once a batch array is recycled, none of
+// its former frames remain reachable through the queue — verified here with
+// finalizers: every popped frame must become collectable while the queue is
+// still alive and holding the recycled array.
+func TestFrameQueueNoRetentionAfterPop(t *testing.T) {
+	q := newFrameQueue()
+	const n = 64
+	var freed atomic.Int32
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 4096)
+		runtime.SetFinalizer(&buf[0], func(*byte) { freed.Add(1) })
+		if !q.push(buf) {
+			t.Fatal("push failed on open queue")
+		}
+	}
+	batch, ok := q.popAll(nil)
+	if !ok || len(batch) != n {
+		t.Fatalf("popAll returned %d frames (ok=%v), want %d", len(batch), ok, n)
+	}
+	// Recycle the batch array back into the queue (the steady-state
+	// ping-pong). Its entries must be cleared on the way in.
+	if !q.push(make([]byte, 16)) {
+		t.Fatal("push failed on open queue")
+	}
+	batch2, ok := q.popAll(batch)
+	if !ok || len(batch2) != 1 {
+		t.Fatalf("second popAll returned %d frames (ok=%v), want 1", len(batch2), ok)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for freed.Load() < n && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+	if got := freed.Load(); got < n {
+		t.Fatalf("only %d/%d popped frames became collectable: the queue retains handled frames", got, n)
+	}
+	runtime.KeepAlive(q)
+	runtime.KeepAlive(batch2)
+}
+
+// TestFrameQueueBalancedCyclesBounded runs far past 10^5 balanced push/pop
+// cycles and requires the queue machinery itself to allocate nothing in
+// steady state: the batch array handed back by the consumer becomes the
+// producers' next back array, so a balanced workload ping-pongs two arrays
+// forever. The old queue re-copied its tail on append whenever the
+// head-shifted capacity ran out, allocating (and retaining) continuously
+// under exactly this load.
+func TestFrameQueueBalancedCyclesBounded(t *testing.T) {
+	q := newFrameQueue()
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = make([]byte, 256)
+	}
+	var batch [][]byte
+	cycle := func() {
+		for _, b := range bufs {
+			if !q.push(b) {
+				t.Fatal("push failed on open queue")
+			}
+		}
+		var ok bool
+		batch, ok = q.popAll(batch)
+		if !ok || len(batch) != len(bufs) {
+			t.Fatalf("popAll returned %d frames (ok=%v), want %d", len(batch), ok, len(bufs))
+		}
+	}
+	for i := 0; i < 64; i++ {
+		cycle() // reach steady state: arrays sized, pools warm
+	}
+	const cycles = 150_000
+	if allocs := testing.AllocsPerRun(cycles, cycle); allocs > 0 {
+		t.Fatalf("queue allocates %.2f times per balanced cycle in steady state, want 0", allocs)
+	}
+}
+
+// TestChanFabricDrainOnClose pins the close-time accounting fix: closing a
+// fabric with frames still queued must drain them — returning their buffers
+// to the pool — and settle InFlight back to zero, so a partly-shut fabric
+// cannot wedge a later quiescence check that waits for the in-flight count.
+func TestChanFabricDrainOnClose(t *testing.T) {
+	fab := NewChanFabric(3)
+	p := fab.Transport(0)
+	frame := testDataFrame(0, 1)
+	for i := 0; i < 50; i++ {
+		if err := p.Send(1, frame); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Send(2, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fab.InFlight(); got != 100 {
+		t.Fatalf("InFlight = %d with 100 frames queued, want 100", got)
+	}
+	if err := fab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fab.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after Close with frames queued, want 0", got)
+	}
+}
+
+// TestChanPortDrainOnClose covers the port-close half: a batch stashed
+// between single-frame Recv calls still counts as in flight, and closing
+// the port must sweep the stash as well as the queue.
+func TestChanPortDrainOnClose(t *testing.T) {
+	fab := NewChanFabric(2)
+	tx, rx := fab.Transport(0), fab.Transport(1)
+	frame := testDataFrame(0, 1)
+	for i := 0; i < 20; i++ {
+		if err := tx.Send(1, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One Recv pops the whole backlog and stashes the other 19 frames.
+	buf, err := rx.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	putBuf(buf)
+	if got := fab.InFlight(); got != 19 {
+		t.Fatalf("InFlight = %d after one Recv of 20, want 19", got)
+	}
+	if err := rx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fab.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after port Close with stashed batch, want 0", got)
+	}
+}
+
+// TestLossDeterministicUnderConcurrency pins the loss knob's determinism
+// fix. The old implementation hashed a global send counter, so which frames
+// died depended on how the scheduler interleaved concurrent senders — two
+// identical runs produced different loss sets. The verdict is now a pure
+// function of the frame's wire identity (origin, data sequence) and the
+// link, so the same seeded workload must lose exactly the same frames no
+// matter how many goroutines race the sends.
+func TestLossDeterministicUnderConcurrency(t *testing.T) {
+	const (
+		frames  = 4000
+		senders = 4
+		prob    = 0.4
+		seed    = 1234
+	)
+	run := func() map[uint64]bool {
+		fab := NewChanFabric(2)
+		fab.SetLoss(prob, seed)
+		tx, rx := fab.Transport(0), fab.Transport(1)
+		got := make(map[uint64]bool, frames)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				buf, err := rx.Recv()
+				if err != nil {
+					return
+				}
+				_, _, _, seq, ok := lsa.PeekFrameMeta(buf)
+				if !ok {
+					t.Error("received frame too short to peek")
+				}
+				got[seq] = true
+				putBuf(buf)
+			}
+		}()
+		var wg sync.WaitGroup
+		for g := 0; g < senders; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for s := g; s < frames; s += senders {
+					if err := tx.Send(1, testDataFrame(0, uint64(s+1))); err != nil {
+						t.Error(err)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for fab.InFlight() != 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		fab.Close()
+		<-done
+		return got
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == frames {
+		t.Fatalf("run delivered %d/%d frames; loss knob inert or total", len(a), frames)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs delivered %d vs %d frames: loss set depends on scheduling", len(a), len(b))
+	}
+	for seq := range a {
+		if !b[seq] {
+			t.Fatalf("seq %d survived run 1 but died in run 2: loss set depends on scheduling", seq)
+		}
+	}
+}

@@ -313,6 +313,17 @@ func (c *Cluster) SendData(sw topo.SwitchID, conn lsa.ConnID, payload []byte) (u
 	return n.SendData(conn, payload)
 }
 
+// SendDataBatch originates count copies of payload on conn at switch sw in
+// one batched call (see Node.SendDataBatch); it satisfies
+// workload.BatchSender so the load generator amortizes per-send setup.
+func (c *Cluster) SendDataBatch(sw topo.SwitchID, conn lsa.ConnID, payload []byte, count int) (uint64, int, error) {
+	n := c.aliveNode(sw)
+	if n == nil {
+		return 0, 0, fmt.Errorf("rt: no live switch %d", sw)
+	}
+	return n.SendDataBatch(conn, payload, count)
+}
+
 // ForwardStats sums the data-plane counters across switches: live nodes
 // plus the latest incarnation of any currently-dead switch. A crashed
 // incarnation's counters vanish with it, exactly as a real switch's would.

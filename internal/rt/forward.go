@@ -232,11 +232,75 @@ func (n *Node) SendData(conn lsa.ConnID, payload []byte) (uint64, error) {
 	return seq, nil
 }
 
+// SendDataBatch originates count copies of payload on conn, reserving one
+// contiguous block of data sequence numbers and returning its first value.
+// The frame is encoded once; each subsequent packet restamps the sequence
+// (and CRC) in place before fanning out, so the per-packet cost is the
+// patch plus the link sends — the setup (entitlement check, FIB lookup,
+// buffer rental, header+payload encode) is paid once per batch. Like
+// SendData, per-link send errors are counted and traced but do not fail
+// the packet; the entitlement and route checks happen once up front, which
+// is the batch's semantics: one claim, count packets.
+func (n *Node) SendDataBatch(conn lsa.ConnID, payload []byte, count int) (uint64, int, error) {
+	if count <= 0 {
+		return 0, 0, nil
+	}
+	select {
+	case <-n.closed:
+		return 0, 0, ErrClosed
+	default:
+	}
+	e := n.fib.Load().Lookup(conn)
+	if e == nil {
+		return 0, 0, ErrNoRoute
+	}
+	if !e.CanSend {
+		return 0, 0, ErrNotSender
+	}
+	if !e.Entered() && e.ContactNext == topo.NoSwitch {
+		return 0, 0, ErrNoRoute
+	}
+	first := n.dataSeq.Add(uint64(count)) - uint64(count) + 1
+	d := lsa.DataFrame{Conn: conn, Src: n.id, Seq: first, Hops: n.dataHops, Payload: payload}
+	buf := lsa.AppendDataFrame(getBuf(64+len(payload)), &d, n.id)
+	for i := 0; i < count; i++ {
+		seq := first + uint64(i)
+		if i > 0 {
+			if err := lsa.PatchDataSeq(buf, seq); err != nil {
+				putBuf(buf)
+				return first, i, err
+			}
+		}
+		if e.Entered() {
+			for _, nb := range e.Neighbors {
+				if err := n.tr.Send(nb, buf); err != nil {
+					n.obs.sendErrs.Inc()
+					n.tracef("sw%d: data to %d: %v", n.id, nb, err)
+				}
+			}
+		} else if err := n.tr.Send(e.ContactNext, buf); err != nil {
+			n.obs.sendErrs.Inc()
+			n.tracef("sw%d: data to contact %d: %v", n.id, e.ContactNext, err)
+		}
+		n.recordData(obs.RecOriginate, conn, n.id, seq, n.id)
+	}
+	putBuf(buf)
+	n.fwd.stripe(conn).originated.Add(uint64(count))
+	n.obs.dataOrig.Add(uint64(count))
+	return first, count, nil
+}
+
 // handleData is the steady-state forward path: deliver locally if this
 // switch is a receiving member, then relay per the FIB entry — tree fan-out
 // (minus the arrival link) on-tree, one contact hop off-tree. Runs on the
 // transport receive goroutine; zero allocations, no locks.
-func (n *Node) handleData(buf []byte, f *lsa.Frame) {
+//
+// consumed reports that buf's ownership was transferred to the transport:
+// when the transport supports SendOwned, the relay's last outgoing link
+// takes the already-patched frame by move instead of copying it. The local
+// delivery callback runs before any move, so d.Payload (which aliases buf)
+// is safe for the handler's duration.
+func (n *Node) handleData(buf []byte, f *lsa.Frame) (consumed bool) {
 	var d lsa.DataFrame
 	if f.Origin == n.id {
 		// Our own frame came back: a transient loop while trees disagree, or
@@ -277,13 +341,13 @@ func (n *Node) handleData(buf []byte, f *lsa.Frame) {
 		// Leaf check first: exhausting the hop budget at a switch with
 		// nowhere further to forward is normal termination, not a drop.
 		from := f.From
-		want := 0
-		for _, nb := range e.Neighbors {
+		last := -1
+		for i, nb := range e.Neighbors {
 			if nb != from {
-				want++
+				last = i
 			}
 		}
-		if want == 0 {
+		if last < 0 {
 			return
 		}
 		if d.Hops == 0 {
@@ -296,11 +360,20 @@ func (n *Node) handleData(buf []byte, f *lsa.Frame) {
 			return
 		}
 		sent := false
-		for _, nb := range e.Neighbors {
+		for i, nb := range e.Neighbors {
 			if nb == from {
 				continue
 			}
-			if err := n.tr.Send(nb, buf); err != nil {
+			var err error
+			if i == last && n.ownedTr != nil {
+				// Final link: move the patched frame instead of copying it.
+				// SendOwned consumes buf on every outcome.
+				err = n.ownedTr.SendOwned(nb, buf)
+				consumed = true
+			} else {
+				err = n.tr.Send(nb, buf)
+			}
+			if err != nil {
 				n.obs.sendErrs.Inc()
 				n.tracef("sw%d: data relay to %d: %v", n.id, nb, err)
 			} else {
@@ -322,7 +395,14 @@ func (n *Node) handleData(buf []byte, f *lsa.Frame) {
 		if err := lsa.PatchDataForward(buf, n.id, d.Hops-1); err != nil {
 			return
 		}
-		if err := n.tr.Send(e.ContactNext, buf); err != nil {
+		var err error
+		if n.ownedTr != nil {
+			err = n.ownedTr.SendOwned(e.ContactNext, buf)
+			consumed = true
+		} else {
+			err = n.tr.Send(e.ContactNext, buf)
+		}
+		if err != nil {
 			n.obs.sendErrs.Inc()
 			n.tracef("sw%d: data relay to contact %d: %v", n.id, e.ContactNext, err)
 		} else {
@@ -335,4 +415,5 @@ func (n *Node) handleData(buf []byte, f *lsa.Frame) {
 		n.obs.dataDropNoRoute.Inc()
 		n.recordData(obs.RecDropNoRoute, d.Conn, d.Src, d.Seq, f.From)
 	}
+	return consumed
 }

@@ -1,21 +1,25 @@
 #!/bin/sh
 # Run the micro-benchmark suite and archive the results as BENCH_<label>.json
-# (default label: pr3). Usage: scripts/bench.sh [label] [benchtime]
+# (default label: pr3). Usage: scripts/bench.sh [label] [benchtime] [notes]
+# where notes is an optional comma-separated key=value list recorded in the
+# JSON (e.g. a baseline figure the run is compared against).
 #
 # The micro benchmarks (micro_bench_test.go) isolate hot-path unit costs —
-# machine step, frame encode/decode, flood fan-out, topology compute — so
-# successive PRs can diff them; the figure-level suite stays in bench_test.go
-# and cmd/dgmcbench.
+# machine step, frame encode/decode, flood fan-out, topology compute — and
+# BenchmarkClusterThroughput measures whole-fabric packets/sec under
+# saturation, so successive PRs can diff them; the figure-level suite stays
+# in bench_test.go and cmd/dgmcbench.
 set -eu
 cd "$(dirname "$0")/.."
 
 label="${1:-pr3}"
 benchtime="${2:-1s}"
+notes="${3:-}"
 out="BENCH_${label}.json"
 
 go test -run '^$' \
-  -bench '^(BenchmarkMachineStep|BenchmarkFrameEncode|BenchmarkFrameDecode|BenchmarkFloodFanout|BenchmarkTopoCompute|BenchmarkFIBForward|BenchmarkFIBCompile)$' \
+  -bench '^(BenchmarkMachineStep|BenchmarkFrameEncode|BenchmarkFrameDecode|BenchmarkFloodFanout|BenchmarkTopoCompute|BenchmarkFIBForward|BenchmarkFIBCompile|BenchmarkClusterThroughput)$' \
   -benchmem -benchtime "$benchtime" . |
-  go run ./cmd/benchjson -label "$label" > "$out"
+  go run ./cmd/benchjson -label "$label" ${notes:+-notes "$notes"} > "$out"
 
 echo "wrote $out" >&2

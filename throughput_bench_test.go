@@ -1,0 +1,86 @@
+// Cluster-throughput benchmark: cluster-wide packets/sec through a live
+// 16-switch ChanFabric, the figure the PR-10 fabric rework is gated on.
+// Where BenchmarkFIBForward isolates the per-packet lookup cost (~ns), this
+// measures the whole in-process fabric — sender goroutines, per-frame
+// copies, queue hops, receive loops, delivery fan-out — under saturation
+// from workload.Blast, so a regression anywhere in that pipeline moves a
+// number CI and BENCH_<pr>.json can see.
+package dgmc_test
+
+import (
+	"testing"
+	"time"
+
+	"dgmc/internal/mctree"
+	"dgmc/internal/rt"
+	"dgmc/internal/topo"
+	"dgmc/internal/workload"
+)
+
+// benchCluster boots a rows×cols grid cluster on a ChanFabric, joins the
+// corner + interior member set the delivery experiments use, and converges.
+func benchCluster(b *testing.B, rows, cols int) (*rt.Cluster, *rt.ChanFabric, []topo.SwitchID) {
+	b.Helper()
+	g, err := topo.Grid(rows, cols, 10*time.Microsecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := rows * cols
+	fab := rt.NewChanFabric(n)
+	c, err := rt.NewCluster(rt.ClusterConfig{Graph: g, ResyncTimeout: 50 * time.Millisecond}, fab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := []topo.SwitchID{0, topo.SwitchID(cols - 1), topo.SwitchID(cols + 1),
+		topo.SwitchID(n - cols), topo.SwitchID(n - 1)}
+	for _, sw := range members {
+		if err := c.Join(sw, 1, mctree.SenderReceiver); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.WaitConverged(60 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return c, fab, members
+}
+
+// BenchmarkClusterThroughput drives b.N 64-byte payloads through the
+// converged 16-switch cluster from every member concurrently (two sender
+// goroutines per source) and reports end-to-end packets/sec alongside the
+// cluster-wide delivery and forward rates. The drain (fabric in-flight down
+// to zero) is inside the measured window: a packet only counts when it has
+// actually cleared the fabric.
+func BenchmarkClusterThroughput(b *testing.B) {
+	c, fab, members := benchCluster(b, 4, 4)
+	defer c.Close()
+	b.ResetTimer()
+	res, err := workload.Blast(c, workload.BlastConfig{
+		Conn:             1,
+		Sources:          members,
+		SendersPerSource: 1,
+		PayloadSize:      64,
+		Packets:          b.N,
+		InFlight:         fab.InFlight,
+		MaxInFlight:      1024,
+		Drain: func() error {
+			for fab.InFlight() != 0 {
+				time.Sleep(50 * time.Microsecond)
+			}
+			return nil
+		},
+		Stats: func() workload.BlastStats {
+			s := c.ForwardStats()
+			return workload.BlastStats{Delivered: s.Delivered, Forwarded: s.Forwarded}
+		},
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Refused != 0 {
+		b.Fatalf("converged cluster refused %d sends", res.Refused)
+	}
+	b.ReportMetric(res.SendRate(), "pkts/sec")
+	b.ReportMetric(res.DeliveredRate(), "delivered/sec")
+	b.ReportMetric(res.ForwardedRate(), "forwarded/sec")
+}
